@@ -1,0 +1,302 @@
+package brisa_test
+
+// One benchmark per table and figure of the paper's evaluation (§III), plus
+// ablation benches for the design choices DESIGN.md calls out. Each bench
+// runs the corresponding experiment at a reduced scale (the shapes are
+// scale-stable; see EXPERIMENTS.md for full-scale results produced by
+// cmd/brisa-figures) and reports the experiment's headline metrics through
+// b.ReportMetric, so `go test -bench .` regenerates every row/series in
+// miniature.
+
+import (
+	"testing"
+	"time"
+
+	brisa "repro"
+	"repro/internal/experiments"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+const benchScale = experiments.Scale(0.15)
+
+// unit builds a whitespace-free metric unit from a series name.
+func unit(prefix, name string) string {
+	out := make([]rune, 0, len(prefix)+len(name))
+	for _, r := range prefix + name {
+		switch r {
+		case ' ', ',', '=':
+			out = append(out, '-')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func medianOf(points []stats.CDFPoint) float64 {
+	for _, p := range points {
+		if p.Pct >= 50 {
+			return p.Value
+		}
+	}
+	if len(points) == 0 {
+		return 0
+	}
+	return points[len(points)-1].Value
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure2(benchScale, int64(i+1))
+		for _, s := range r.Series {
+			b.ReportMetric(medianOf(s.Points), unit("dups/msg:", s.Name))
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure6(benchScale, int64(i+1))
+		for _, s := range r.Series {
+			b.ReportMetric(medianOf(s.Points), unit("median-depth:", s.Name))
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure7(benchScale, int64(i+1))
+		for _, s := range r.Series {
+			b.ReportMetric(medianOf(s.Points), unit("median-degree:", s.Name))
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure8(benchScale, int64(i+1))
+		b.ReportMetric(float64(len(r.DotView4)), "dot-bytes-view4")
+		b.ReportMetric(float64(len(r.DotView8)), "dot-bytes-view8")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure9(benchScale, int64(i+1))
+		for _, s := range r.Series {
+			b.ReportMetric(medianOf(s.Points)*1000, unit("median-ms:", s.Name))
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		down, _ := experiments.RunFigures10And11(benchScale, int64(i+1))
+		b.ReportMetric(down.Cells["tree, view=4"][10].P50, "dl-KBps-tree4-10KB")
+		b.ReportMetric(down.Cells["DAG, 2 parents, view=4"][10].P50, "dl-KBps-dag4-10KB")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, up := experiments.RunFigures10And11(benchScale, int64(i+1))
+		b.ReportMetric(up.Cells["tree, view=4"][10].P50, "ul-KBps-tree4-10KB")
+		b.ReportMetric(up.Cells["tree, view=4"][10].P90, "ul-KBps-tree4-10KB-p90")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable1(benchScale, int64(i+1))
+		b.ReportMetric(float64(len(r.Table.Rows)), "rows")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure12(benchScale, int64(i+1))
+		b.ReportMetric(float64(len(r.Table.Rows)), "rows")
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure13(benchScale, int64(i+1))
+		for _, s := range r.Series {
+			b.ReportMetric(medianOf(s.Points)*1000, unit("median-ms:", s.Name))
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable2(benchScale, int64(i+1))
+		b.ReportMetric(float64(len(r.Table.Rows)), "rows")
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFigure14(benchScale, int64(i+1))
+		for _, s := range r.Series {
+			if len(s.Points) > 0 {
+				b.ReportMetric(medianOf(s.Points)*1000, unit("median-ms:", s.Name))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// benchTreeRun measures duplicates, deactivation traffic and construction
+// on a small tree cluster with one knob varied.
+func benchTreeRun(b *testing.B, seed int64, mutate func(*brisa.Config)) (dupsPerNode float64, constructMedian time.Duration) {
+	d, c, _ := benchTreeRunFull(b, seed, mutate)
+	return d, c
+}
+
+func benchTreeRunFull(b *testing.B, seed int64, mutate func(*brisa.Config)) (dupsPerNode float64, constructMedian time.Duration, deactsPerNode float64) {
+	cfg := brisa.Config{Mode: brisa.ModeTree, ViewSize: 4}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := brisa.NewCluster(brisa.ClusterConfig{Nodes: 96, Seed: seed, Peer: cfg})
+	c.Bootstrap()
+	source := c.Peers()[0]
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		i := i
+		c.Net.After(time.Duration(i)*200*time.Millisecond, func() {
+			source.Publish(1, make([]byte, 512))
+		})
+	}
+	c.Net.RunFor(msgs*200*time.Millisecond + 10*time.Second)
+	var dups, deacts uint64
+	var sample stats.Sample
+	for _, p := range c.AlivePeers() {
+		dups += p.Metrics().Duplicates
+		deacts += p.Metrics().DeactivationsSent
+		if d, ok := p.ConstructionTime(1); ok {
+			sample.AddDuration(d)
+		}
+	}
+	for _, p := range c.AlivePeers() {
+		if got := p.DeliveredCount(1); got != msgs {
+			b.Fatalf("incomplete dissemination: %d of %d", got, msgs)
+		}
+	}
+	n := float64(len(c.AlivePeers()))
+	return float64(dups) / n, time.Duration(sample.Median() * float64(time.Second)), float64(deacts) / n
+}
+
+// BenchmarkAblationSymmetricDeactivation quantifies the §II-E optimization.
+// Duplicates are unchanged (pruning completes within the first message
+// either way); the saving is in explicit deactivation control messages —
+// the loser side is pruned without its own Deactivate round.
+func BenchmarkAblationSymmetricDeactivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, deactsOn := benchTreeRunFull(b, int64(i+1), nil)
+		_, _, deactsOff := benchTreeRunFull(b, int64(i+1), func(cfg *brisa.Config) {
+			cfg.DisableSymmetricDeactivation = true
+		})
+		b.ReportMetric(deactsOn, "deactivations/node:symmetric")
+		b.ReportMetric(deactsOff, "deactivations/node:plain")
+	}
+}
+
+// BenchmarkAblationExpansionFactor compares HyParView expansion factor 1 vs
+// 2 (§II-A): the factor dampens join-storm evictions.
+func BenchmarkAblationExpansionFactor(b *testing.B) {
+	for _, factor := range []float64{1, 2} {
+		factor := factor
+		name := "x1"
+		if factor == 2 {
+			name = "x2"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dups, constr := benchTreeRun(b, int64(i+1), func(cfg *brisa.Config) {
+					cfg.ExpansionFactor = factor
+				})
+				b.ReportMetric(dups, "dups/node")
+				b.ReportMetric(float64(constr.Milliseconds()), "construct-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStrategies runs the selection strategies head-to-head on
+// identical networks.
+func BenchmarkAblationStrategies(b *testing.B) {
+	for _, s := range []brisa.Strategy{brisa.FirstCome{}, brisa.DelayAware{}, brisa.Gerontocratic{}, brisa.LoadBalancing{}} {
+		s := s
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dups, _ := benchTreeRun(b, int64(i+1), func(cfg *brisa.Config) {
+					cfg.Strategy = s
+				})
+				b.ReportMetric(dups, "dups/node")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCyclePrevention contrasts the metadata cost of the two
+// cycle-prevention mechanisms (§II-D vs §II-G): exact path embedding (tree)
+// vs approximate depth labels (DAG with 1 parent), measured as control bytes
+// per delivered payload byte.
+func BenchmarkAblationCyclePrevention(b *testing.B) {
+	run := func(seed int64, mode brisa.Mode) float64 {
+		cfg := brisa.Config{Mode: mode, ViewSize: 4}
+		if mode == brisa.ModeDAG {
+			cfg.Parents = 1
+		}
+		c := brisa.NewCluster(brisa.ClusterConfig{Nodes: 96, Seed: seed, Peer: cfg})
+		c.Bootstrap()
+		c.Net.ResetUsage()
+		c.Net.SetPhase(simnet.PhaseDissemination)
+		source := c.Peers()[0]
+		const msgs = 50
+		for i := 0; i < msgs; i++ {
+			i := i
+			c.Net.After(time.Duration(i)*200*time.Millisecond, func() {
+				source.Publish(1, make([]byte, 512))
+			})
+		}
+		c.Net.RunFor(msgs*200*time.Millisecond + 10*time.Second)
+		var control, payload uint64
+		for _, p := range c.AlivePeers() {
+			u := c.Net.Usage(p.ID())
+			control += u.UpBytes[simnet.PhaseDissemination][0]
+			payload += u.UpBytes[simnet.PhaseDissemination][1]
+		}
+		return float64(control) / float64(payload)
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(int64(i+1), brisa.ModeTree), "ctl-bytes/payload-byte:path-embedding")
+		b.ReportMetric(run(int64(i+1), brisa.ModeDAG), "ctl-bytes/payload-byte:depth-labels")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance: events
+// processed per second for a 512-node flood — the substrate cost all
+// experiments pay.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := brisa.NewCluster(brisa.ClusterConfig{
+			Nodes: 512,
+			Seed:  int64(i + 1),
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		})
+		c.Bootstrap()
+		source := c.Peers()[0]
+		for k := 0; k < 50; k++ {
+			k := k
+			c.Net.After(time.Duration(k)*200*time.Millisecond, func() {
+				source.Publish(1, make([]byte, 1024))
+			})
+		}
+		c.Net.RunFor(50*200*time.Millisecond + 10*time.Second)
+	}
+}

@@ -1,0 +1,227 @@
+// Package brisa is the public API of this BRISA reproduction: epidemic data
+// dissemination where efficient tree/DAG structures emerge from a HyParView
+// overlay by selective link deactivation (Matos et al., IPDPS 2012).
+//
+// A Peer bundles the two protocol layers — the HyParView peer sampling
+// service and the BRISA dissemination core — wired together (membership
+// callbacks, keep-alive piggybacks). The same Peer runs on the deterministic
+// simulator (Cluster, package internal/simnet) or on the live goroutine/TCP
+// runtime (internal/livenet).
+//
+// Quickstart (simulated):
+//
+//	cluster := brisa.NewCluster(brisa.ClusterConfig{Nodes: 64})
+//	cluster.Bootstrap()
+//	source := cluster.Peers()[0]
+//	cluster.Net.After(0, func() { source.Publish(1, []byte("hello")) })
+//	cluster.Net.RunFor(5 * time.Second)
+package brisa
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hyparview"
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Re-exported identifiers so callers only import this package.
+type (
+	// NodeID identifies a node (48-bit, the paper's ip:port width).
+	NodeID = ids.NodeID
+	// StreamID names one dissemination stream.
+	StreamID = wire.StreamID
+	// Mode selects the emerged structure (flood, tree, DAG).
+	Mode = core.Mode
+	// Strategy ranks candidate parents (§II-E).
+	Strategy = core.Strategy
+	// Event is a structural protocol event (for instrumentation).
+	Event = core.Event
+	// EventType classifies events.
+	EventType = core.EventType
+	// Metrics are the BRISA protocol counters.
+	Metrics = core.Metrics
+)
+
+// Structure modes.
+const (
+	ModeFlood = core.ModeFlood
+	ModeTree  = core.ModeTree
+	ModeDAG   = core.ModeDAG
+)
+
+// Event types (see core.EventType for semantics).
+const (
+	EvDeliver          = core.EvDeliver
+	EvDuplicate        = core.EvDuplicate
+	EvParentAdopt      = core.EvParentAdopt
+	EvParentLost       = core.EvParentLost
+	EvOrphan           = core.EvOrphan
+	EvSoftRepair       = core.EvSoftRepair
+	EvHardRepair       = core.EvHardRepair
+	EvRepaired         = core.EvRepaired
+	EvCycleDetected    = core.EvCycleDetected
+	EvConstructionDone = core.EvConstructionDone
+	EvDepthChange      = core.EvDepthChange
+	EvStallRepair      = core.EvStallRepair
+)
+
+// Parent selection strategies.
+type (
+	// FirstCome picks the earliest heard sender (§II-E strategy 1).
+	FirstCome = core.FirstCome
+	// DelayAware picks the lowest-RTT sender (§II-E strategy 2).
+	DelayAware = core.DelayAware
+	// Gerontocratic prefers long-lived candidates (§IV).
+	Gerontocratic = core.Gerontocratic
+	// LoadBalancing prefers candidates with few outgoing links (§IV).
+	LoadBalancing = core.LoadBalancing
+)
+
+// Config assembles one peer.
+type Config struct {
+	// Mode is the dissemination structure (default ModeTree).
+	Mode Mode
+	// Parents is the DAG parent target (default 2 in ModeDAG).
+	Parents int
+	// Strategy is the parent selection strategy (default FirstCome, with
+	// symmetric deactivation enabled as in the paper).
+	Strategy Strategy
+	// ViewSize is the HyParView active view target (default 4, the
+	// paper's baseline).
+	ViewSize int
+	// ExpansionFactor lets the active view stretch (default 2, §II-A).
+	ExpansionFactor float64
+	// HyParView, when non-nil, overrides the derived PSS configuration
+	// entirely (ViewSize/ExpansionFactor are then ignored).
+	HyParView *hyparview.Config
+	// OnDeliver receives every delivered payload.
+	OnDeliver func(stream StreamID, seq uint32, payload []byte)
+	// OnEvent receives structural events (evaluation instrumentation).
+	OnEvent func(ev Event)
+	// DisablePiggyback turns off the keep-alive piggyback channel used by
+	// informed soft repair (for ablations).
+	DisablePiggyback bool
+	// DisableSymmetricDeactivation turns off the §II-E symmetric
+	// deactivation optimization (for ablations).
+	DisableSymmetricDeactivation bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == ModeDAG && c.Parents <= 0 {
+		c.Parents = 2
+	}
+	if c.Strategy == nil {
+		c.Strategy = FirstCome{}
+	}
+	if c.ViewSize <= 0 {
+		c.ViewSize = 4
+	}
+	if c.ExpansionFactor == 0 {
+		c.ExpansionFactor = 2
+	}
+	return c
+}
+
+// Peer is one assembled protocol stack: HyParView + BRISA on a shared actor.
+type Peer struct {
+	id    NodeID
+	pss   *hyparview.Protocol
+	brisa *core.Protocol
+	mux   *node.Mux
+}
+
+// NewPeer assembles a peer. Register Handler() with a runtime (simnet or
+// livenet) under the same id.
+func NewPeer(id NodeID, cfg Config) *Peer {
+	cfg = cfg.withDefaults()
+
+	hvCfg := hyparview.DefaultConfig()
+	if cfg.HyParView != nil {
+		hvCfg = *cfg.HyParView
+	} else {
+		hvCfg.ActiveSize = cfg.ViewSize
+		hvCfg.ExpansionFactor = cfg.ExpansionFactor
+		hvCfg.PassiveSize = 6 * cfg.ViewSize
+	}
+
+	var bp *core.Protocol // captured by the callbacks below
+	hvCfg.OnNeighborUp = func(peer NodeID) { bp.NeighborUp(peer) }
+	hvCfg.OnNeighborDown = func(peer NodeID) { bp.NeighborDown(peer) }
+	if !cfg.DisablePiggyback {
+		hvCfg.Piggyback = func() []byte { return bp.PiggybackBlob() }
+		hvCfg.OnPiggyback = func(peer NodeID, blob []byte) { bp.HandlePiggyback(peer, blob) }
+	}
+	pss := hyparview.New(hvCfg)
+
+	symmetric := false
+	if _, ok := cfg.Strategy.(FirstCome); ok && cfg.Mode == ModeTree && !cfg.DisableSymmetricDeactivation {
+		// §II-E: the optimization's argument ("the duplicate's sender
+		// received the message first, so we cannot be its parent") only
+		// holds for single-parent trees under first-come ordering; a DAG
+		// node may still want us as an additional parent.
+		symmetric = true
+	}
+	bp = core.New(core.Config{
+		Mode:                  cfg.Mode,
+		Parents:               cfg.Parents,
+		Strategy:              cfg.Strategy,
+		SymmetricDeactivation: symmetric,
+		PSS:                   pss,
+		OnDeliver:             cfg.OnDeliver,
+		OnEvent:               cfg.OnEvent,
+	})
+
+	mux := node.NewMux()
+	mux.Register(pss, hyparview.Kinds()...)
+	mux.Register(bp, core.Kinds()...)
+	return &Peer{id: id, pss: pss, brisa: bp, mux: mux}
+}
+
+// ID returns the peer's identifier.
+func (p *Peer) ID() NodeID { return p.id }
+
+// Handler returns the actor to register with a runtime.
+func (p *Peer) Handler() node.Handler { return p.mux }
+
+// Join bootstraps the peer into the overlay via an existing member.
+func (p *Peer) Join(contact NodeID) { p.pss.Join(contact) }
+
+// Publish injects the next message of a stream this peer sources.
+func (p *Peer) Publish(stream StreamID, payload []byte) uint32 {
+	return p.brisa.Publish(stream, payload)
+}
+
+// Neighbors returns the current HyParView active view.
+func (p *Peer) Neighbors() []NodeID { return p.pss.Active() }
+
+// Parents returns the peer's current parents for a stream.
+func (p *Peer) Parents(stream StreamID) []NodeID { return p.brisa.Parents(stream) }
+
+// Children returns the neighbors the peer currently relays a stream to.
+func (p *Peer) Children(stream StreamID) []NodeID { return p.brisa.Children(stream) }
+
+// Depth returns the peer's structural depth for a stream.
+func (p *Peer) Depth(stream StreamID) (int, bool) { return p.brisa.Depth(stream) }
+
+// DeliveredCount returns how many distinct messages the peer delivered.
+func (p *Peer) DeliveredCount(stream StreamID) uint64 { return p.brisa.DeliveredCount(stream) }
+
+// IsOrphan reports whether the peer is currently cut off from the stream.
+func (p *Peer) IsOrphan(stream StreamID) bool { return p.brisa.IsOrphan(stream) }
+
+// ConstructionTime returns the Figure 13 metric for this peer.
+func (p *Peer) ConstructionTime(stream StreamID) (time.Duration, bool) {
+	return p.brisa.ConstructionTime(stream)
+}
+
+// Metrics returns the BRISA protocol counters.
+func (p *Peer) Metrics() Metrics { return p.brisa.Metrics() }
+
+// PSSMetrics returns the HyParView protocol counters.
+func (p *Peer) PSSMetrics() hyparview.Metrics { return p.pss.Metrics() }
+
+// RTT returns the keep-alive RTT estimate for an active neighbor.
+func (p *Peer) RTT(peer NodeID) time.Duration { return p.pss.RTT(peer) }

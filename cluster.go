@@ -1,0 +1,227 @@
+package brisa
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// ClusterConfig describes a simulated deployment.
+type ClusterConfig struct {
+	// Nodes is the network size.
+	Nodes int
+	// Peer configures every peer (OnDeliver/OnEvent are shared; wrap them
+	// if per-peer state is needed — callbacks receive no peer argument by
+	// design, use PeerConfig instead for that).
+	Peer Config
+	// PeerConfig, when set, derives a per-peer configuration (overrides
+	// Peer).
+	PeerConfig func(id NodeID) Config
+	// Seed drives all simulation randomness (default 1).
+	Seed int64
+	// Latency is the network latency model (default simnet.Cluster()).
+	Latency simnet.LatencyModel
+	// JoinInterval staggers the bootstrap joins (default 50ms). The
+	// paper's traces join one node per second; experiments compress this.
+	JoinInterval time.Duration
+	// StabilizeTime is how long Bootstrap runs after the last join
+	// (default 15s of virtual time).
+	StabilizeTime time.Duration
+	// DetectDelay overrides the failure-detection latency.
+	DetectDelay time.Duration
+	// NodeBandwidth is each node's shared egress throughput in
+	// bytes/second (0 = infinite). Floods queue behind it, as on real
+	// testbeds.
+	NodeBandwidth int64
+	// LinkBandwidth is the per-link throughput in bytes/second (0 =
+	// infinite).
+	LinkBandwidth int64
+	// ProcessingDelay, when set, adds per-message scheduling delay at
+	// receivers (see simnet.LogNormalDelay).
+	ProcessingDelay func(r *rand.Rand) time.Duration
+}
+
+// Cluster is a simulated BRISA deployment: N peers on a virtual network.
+type Cluster struct {
+	// Net is the underlying simulator; use it to advance virtual time,
+	// schedule workload events, inject churn, and read traffic counters.
+	Net   *simnet.Network
+	cfg   ClusterConfig
+	peers map[NodeID]*Peer
+	order []NodeID
+	next  uint64
+}
+
+// NewCluster builds the peers and registers them with a fresh simulator.
+// Nodes are not joined to each other yet; call Bootstrap (or schedule joins
+// manually for custom traces).
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("brisa: ClusterConfig.Nodes must be positive")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.JoinInterval <= 0 {
+		cfg.JoinInterval = 50 * time.Millisecond
+	}
+	if cfg.StabilizeTime <= 0 {
+		cfg.StabilizeTime = 15 * time.Second
+	}
+	c := &Cluster{
+		Net: simnet.New(simnet.Options{
+			Seed:            cfg.Seed,
+			Latency:         cfg.Latency,
+			DetectDelay:     cfg.DetectDelay,
+			NodeBandwidth:   cfg.NodeBandwidth,
+			Bandwidth:       cfg.LinkBandwidth,
+			ProcessingDelay: cfg.ProcessingDelay,
+		}),
+		cfg:   cfg,
+		peers: make(map[NodeID]*Peer),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.addPeer()
+	}
+	return c
+}
+
+func (c *Cluster) peerConfig(id NodeID) Config {
+	if c.cfg.PeerConfig != nil {
+		return c.cfg.PeerConfig(id)
+	}
+	return c.cfg.Peer
+}
+
+func (c *Cluster) addPeer() *Peer {
+	c.next++
+	id := NodeID(c.next)
+	p := NewPeer(id, c.peerConfig(id))
+	c.peers[id] = p
+	c.Net.AddNode(id, p.Handler())
+	c.order = append(c.order, id)
+	return p
+}
+
+// Bootstrap joins every peer to a random earlier peer, one per
+// JoinInterval, then runs the simulation until the overlay stabilizes.
+func (c *Cluster) Bootstrap() {
+	for i, id := range c.order {
+		if i == 0 {
+			continue
+		}
+		i, id := i, id
+		c.Net.At(time.Duration(i)*c.cfg.JoinInterval, func() {
+			contact := c.order[c.Net.Rand().Intn(i)]
+			c.peers[id].Join(contact)
+		})
+	}
+	c.Net.RunUntil(time.Duration(len(c.order))*c.cfg.JoinInterval + c.cfg.StabilizeTime)
+}
+
+// Peers returns all peers in creation order, including crashed ones.
+func (c *Cluster) Peers() []*Peer {
+	out := make([]*Peer, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.peers[id])
+	}
+	return out
+}
+
+// AlivePeers returns the peers whose node is still alive.
+func (c *Cluster) AlivePeers() []*Peer {
+	out := make([]*Peer, 0, len(c.order))
+	for _, id := range c.order {
+		if c.Net.Alive(id) {
+			out = append(out, c.peers[id])
+		}
+	}
+	return out
+}
+
+// Peer returns the peer with the given id, or nil.
+func (c *Cluster) Peer(id NodeID) *Peer { return c.peers[id] }
+
+// JoinNew adds a brand-new peer and joins it via a random alive member (the
+// churn "join" primitive). It returns the new peer.
+func (c *Cluster) JoinNew() *Peer {
+	p := c.addPeer()
+	alive := c.Net.NodeIDs()
+	// Exclude the newborn itself from contact candidates.
+	candidates := alive[:0]
+	for _, id := range alive {
+		if id != p.ID() {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) > 0 {
+		contact := candidates[c.Net.Rand().Intn(len(candidates))]
+		// The new node's Start event is queued but has not run yet; join
+		// right after it. The node may also be crashed by churn within the
+		// same event batch, before Start ever runs — skip the join then.
+		c.Net.After(0, func() {
+			if c.Net.Alive(p.ID()) {
+				p.Join(contact)
+			}
+		})
+		// Bootstrap retry: a contact can die mid-join under churn, leaving
+		// the newborn isolated. Re-join through another member until the
+		// overlay accepts it (what a deployment's bootstrap loop does).
+		c.retryJoin(p, 5)
+	}
+	return p
+}
+
+func (c *Cluster) retryJoin(p *Peer, attempts int) {
+	if attempts <= 0 {
+		return
+	}
+	c.Net.After(5*time.Second, func() {
+		if !c.Net.Alive(p.ID()) || len(p.Neighbors()) > 0 {
+			return
+		}
+		alive := c.Net.NodeIDs()
+		candidates := alive[:0]
+		for _, id := range alive {
+			if id != p.ID() {
+				candidates = append(candidates, id)
+			}
+		}
+		if len(candidates) == 0 {
+			return
+		}
+		p.Join(candidates[c.Net.Rand().Intn(len(candidates))])
+		c.retryJoin(p, attempts-1)
+	})
+}
+
+// CrashRandom kills one random alive peer, never one of the excluded ids
+// (e.g., the stream source). It returns the victim, or Nil if none was
+// available.
+func (c *Cluster) CrashRandom(exclude ...NodeID) NodeID {
+	skip := make(map[NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	alive := c.Net.NodeIDs()
+	candidates := alive[:0]
+	for _, id := range alive {
+		if !skip[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+	victim := candidates[c.Net.Rand().Intn(len(candidates))]
+	c.Net.Crash(victim)
+	return victim
+}
+
+// String summarizes the cluster state.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{nodes=%d alive=%d t=%v}",
+		len(c.order), len(c.Net.NodeIDs()), c.Net.Since())
+}

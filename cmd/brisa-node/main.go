@@ -1,0 +1,104 @@
+// Command brisa-node hosts one live BRISA peer on real TCP. Start a first
+// node, then join others to it; any node can publish a stream.
+//
+// Terminal 1 (bootstrap node, also the source):
+//
+//	brisa-node -listen 127.0.0.1:7001 -publish 100 -rate 5
+//
+// Terminals 2..n:
+//
+//	brisa-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	brisa "repro"
+	"repro/internal/ids"
+	"repro/internal/livenet"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address (the node id)")
+		join    = flag.String("join", "", "ip:port of an existing node to join through")
+		mode    = flag.String("mode", "tree", "structure: tree | dag")
+		view    = flag.Int("view", 4, "HyParView active view size")
+		publish = flag.Int("publish", 0, "number of messages to publish (0 = receive only)")
+		rate    = flag.Float64("rate", 5, "publish rate, messages/second")
+		payload = flag.Int("payload", 1024, "payload bytes")
+		verbose = flag.Bool("v", false, "log deliveries")
+	)
+	flag.Parse()
+
+	m := brisa.ModeTree
+	if *mode == "dag" {
+		m = brisa.ModeDAG
+	}
+
+	wrapper := &livenet.LateHandler{}
+	node, err := livenet.Start(livenet.Config{Listen: *listen, Handler: wrapper})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+
+	delivered := 0
+	peer := brisa.NewPeer(node.ID(), brisa.Config{
+		Mode: m, ViewSize: *view,
+		OnDeliver: func(stream brisa.StreamID, seq uint32, payload []byte) {
+			delivered++
+			if *verbose {
+				log.Printf("delivered stream=%d seq=%d (%d bytes)", stream, seq, len(payload))
+			}
+		},
+	})
+	wrapper.Set(peer.Handler())
+	log.Printf("node %s up (%s, view %d)", node.Addr(), m, *view)
+
+	if *join != "" {
+		contact, err := parseAddr(*join)
+		if err != nil {
+			log.Fatalf("bad -join address: %v", err)
+		}
+		node.Call(func() { peer.Join(contact) })
+		log.Printf("joining via %s", *join)
+	}
+
+	if *publish > 0 {
+		go func() {
+			// Let the overlay settle before the bootstrap flood.
+			time.Sleep(2 * time.Second)
+			interval := time.Duration(float64(time.Second) / *rate)
+			for i := 0; i < *publish; i++ {
+				node.Call(func() { peer.Publish(1, make([]byte, *payload)) })
+				time.Sleep(interval)
+			}
+			log.Printf("published %d messages", *publish)
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	node.Call(func() {
+		fmt.Printf("delivered=%d neighbors=%v parents=%v children=%v\n",
+			delivered, peer.Neighbors(), peer.Parents(1), peer.Children(1))
+	})
+}
+
+// parseAddr converts "a.b.c.d:port" into the 48-bit node identifier.
+func parseAddr(s string) (ids.NodeID, error) {
+	var a, b, c, d, port int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d:%d", &a, &b, &c, &d, &port); err != nil {
+		return ids.Nil, err
+	}
+	host := uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+	return ids.FromHostPort(host, uint16(port)), nil
+}

@@ -1,0 +1,133 @@
+// Command brisa-sim runs a one-off BRISA deployment on the simulator with
+// configurable structure, workload, and an optional churn script in the
+// paper's trace language (Listing 1).
+//
+// Examples:
+//
+//	brisa-sim -nodes 512 -mode tree -view 4 -messages 500 -payload 1024
+//	brisa-sim -nodes 128 -mode dag -parents 2 -churn "from 0s to 300s const churn 3% each 60s"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	brisa "repro"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 128, "network size")
+		mode     = flag.String("mode", "tree", "structure: flood | tree | dag")
+		parents  = flag.Int("parents", 2, "DAG parent target")
+		view     = flag.Int("view", 4, "HyParView active view size")
+		strategy = flag.String("strategy", "first-come", "parent selection: first-come | delay-aware | gerontocratic | load-balancing")
+		messages = flag.Int("messages", 100, "messages to publish")
+		payload  = flag.Int("payload", 1024, "payload bytes per message")
+		rate     = flag.Float64("rate", 5, "messages per second")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		planet   = flag.Bool("planetlab", false, "use PlanetLab latencies instead of cluster")
+		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied after stabilization")
+	)
+	flag.Parse()
+
+	var m brisa.Mode
+	switch *mode {
+	case "flood":
+		m = brisa.ModeFlood
+	case "tree":
+		m = brisa.ModeTree
+	case "dag":
+		m = brisa.ModeDAG
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	var strat brisa.Strategy
+	switch *strategy {
+	case "first-come":
+		strat = brisa.FirstCome{}
+	case "delay-aware":
+		strat = brisa.DelayAware{}
+	case "gerontocratic":
+		strat = brisa.Gerontocratic{}
+	case "load-balancing":
+		strat = brisa.LoadBalancing{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	var latency simnet.LatencyModel
+	if *planet {
+		latency = simnet.PlanetLab()
+	}
+	c := brisa.NewCluster(brisa.ClusterConfig{
+		Nodes:   *nodes,
+		Seed:    *seed,
+		Latency: latency,
+		Peer:    brisa.Config{Mode: m, Parents: *parents, ViewSize: *view, Strategy: strat},
+	})
+	fmt.Printf("bootstrapping %d nodes (view %d, %s, %s)...\n", *nodes, *view, m, strat.Name())
+	c.Bootstrap()
+
+	source := c.Peers()[0]
+	interval := time.Duration(float64(time.Second) / *rate)
+	for i := 0; i < *messages; i++ {
+		i := i
+		c.Net.After(time.Duration(i)*interval, func() {
+			source.Publish(1, make([]byte, *payload))
+		})
+	}
+
+	if *churn != "" {
+		script, err := trace.Parse(*churn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churn script: %v\n", err)
+			os.Exit(2)
+		}
+		script.Replay(schedAdapter{c}, &target{c: c, protect: source.ID()})
+	}
+
+	c.Net.RunFor(time.Duration(*messages)*interval + 30*time.Second)
+
+	var metrics brisa.Metrics
+	complete := 0
+	for _, p := range c.AlivePeers() {
+		pm := p.Metrics()
+		metrics.Duplicates += pm.Duplicates
+		metrics.SoftRepairs += pm.SoftRepairs
+		metrics.HardRepairs += pm.HardRepairs
+		metrics.Orphans += pm.Orphans
+		if p.DeliveredCount(1) == uint64(*messages) {
+			complete++
+		}
+	}
+	alive := len(c.AlivePeers())
+	fmt.Printf("alive nodes:        %d\n", alive)
+	fmt.Printf("complete deliveries: %d/%d nodes\n", complete, alive)
+	fmt.Printf("duplicates total:   %d (%.3f per node per message)\n",
+		metrics.Duplicates, float64(metrics.Duplicates)/float64(alive)/float64(*messages))
+	fmt.Printf("orphan events:      %d (soft repairs %d, hard repairs %d)\n",
+		metrics.Orphans, metrics.SoftRepairs, metrics.HardRepairs)
+}
+
+type schedAdapter struct{ c *brisa.Cluster }
+
+func (s schedAdapter) At(offset time.Duration, fn func()) {
+	s.c.Net.At(s.c.Net.Since()+offset, fn)
+}
+
+type target struct {
+	c       *brisa.Cluster
+	protect brisa.NodeID
+}
+
+func (t *target) Join()     { t.c.JoinNew() }
+func (t *target) Fail()     { t.c.CrashRandom(t.protect) }
+func (t *target) Size() int { return len(t.c.Net.NodeIDs()) }
+func (t *target) Stop()     {}

@@ -1,0 +1,983 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Protocol is one node's BRISA instance. It implements node.Proto; all
+// methods run on the node's actor loop. Membership changes arrive through
+// NeighborUp/NeighborDown, wired to the PSS callbacks by the assembler
+// (package brisa or the experiment harness).
+type Protocol struct {
+	node.BaseProto
+	cfg       Config
+	env       node.Env
+	streams   map[wire.StreamID]*stream
+	metrics   Metrics
+	startedAt time.Time
+	stopped   bool
+}
+
+// New builds a Protocol. cfg.PSS must be set.
+func New(cfg Config) *Protocol {
+	if cfg.PSS == nil {
+		panic("core: Config.PSS is required")
+	}
+	return &Protocol{
+		cfg:     cfg.withDefaults(),
+		streams: make(map[wire.StreamID]*stream),
+	}
+}
+
+// Start implements node.Proto.
+func (p *Protocol) Start(env node.Env) {
+	p.env = env
+	p.startedAt = env.Now()
+}
+
+// Stop implements node.Proto.
+func (p *Protocol) Stop() { p.stopped = true }
+
+// Metrics returns a snapshot of the counters.
+func (p *Protocol) Metrics() Metrics { return p.metrics }
+
+// Mode returns the configured structure mode.
+func (p *Protocol) Mode() Mode { return p.cfg.Mode }
+
+func (p *Protocol) getStream(id wire.StreamID) *stream {
+	st, ok := p.streams[id]
+	if !ok {
+		st = newStream(id)
+		p.streams[id] = st
+	}
+	return st
+}
+
+// StreamIDs lists the streams this node has state for, ascending.
+func (p *Protocol) StreamIDs() []wire.StreamID {
+	out := make([]wire.StreamID, 0, len(p.streams))
+	for id := range p.streams {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; stream counts are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Parents returns the node's current parents for a stream, ascending.
+func (p *Protocol) Parents(id wire.StreamID) []ids.NodeID {
+	if st, ok := p.streams[id]; ok {
+		return st.parentIDs()
+	}
+	return nil
+}
+
+// Children returns the neighbors this node currently relays the stream to
+// (outbound-active links). In a converged structure these are exactly the
+// nodes that selected us as a parent.
+func (p *Protocol) Children(id wire.StreamID) []ids.NodeID {
+	if st, ok := p.streams[id]; ok {
+		return p.childrenOf(st)
+	}
+	return nil
+}
+
+func (p *Protocol) childrenOf(st *stream) []ids.NodeID {
+	var out []ids.NodeID
+	for _, n := range p.cfg.PSS.Active() {
+		if !st.outInactive.Has(n) && !st.isParent(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Depth returns the node's structural depth for a stream: hops from the
+// source in tree mode (path length), the depth label in DAG mode. ok is
+// false if the node has not received the stream.
+func (p *Protocol) Depth(id wire.StreamID) (int, bool) {
+	st, ok := p.streams[id]
+	if !ok || !st.started {
+		return 0, false
+	}
+	if st.source {
+		return 0, true
+	}
+	switch p.cfg.Mode {
+	case ModeTree:
+		if len(st.myPath) == 0 {
+			return 0, false
+		}
+		return len(st.myPath) - 1, true
+	case ModeDAG:
+		if st.depth == wire.NoDepth {
+			return 0, false
+		}
+		return int(st.depth), true
+	}
+	return 0, false
+}
+
+// DeliveredCount returns how many distinct messages of the stream this node
+// has delivered.
+func (p *Protocol) DeliveredCount(id wire.StreamID) uint64 {
+	st, ok := p.streams[id]
+	if !ok || !st.started {
+		return 0
+	}
+	return uint64(st.contigUpTo-st.base) + uint64(len(st.sparse))
+}
+
+// IsOrphan reports whether the node is currently cut off from the stream's
+// structure: it has received the stream but holds no parent. (Repair-delay
+// accounting uses the internal orphanedAt timestamp instead, which is only
+// cleared by a post-repair delivery.)
+func (p *Protocol) IsOrphan(id wire.StreamID) bool {
+	st, ok := p.streams[id]
+	return ok && p.cfg.Mode != ModeFlood && st.started && !st.source && len(st.parents) == 0
+}
+
+// ConstructionTime returns the §III-D metric behind Figure 13: the time from
+// this node's first deactivation activity until all inbound links except the
+// target number of parents were inactive. ok is false if construction has
+// not completed.
+func (p *Protocol) ConstructionTime(id wire.StreamID) (time.Duration, bool) {
+	st, ok := p.streams[id]
+	if !ok || st.constructedAt.IsZero() {
+		return 0, false
+	}
+	return st.constructedAt.Sub(st.firstDeactivateAt), true
+}
+
+func (p *Protocol) emit(ev Event) {
+	if p.cfg.OnEvent != nil {
+		ev.At = p.env.Now()
+		p.cfg.OnEvent(ev)
+	}
+}
+
+// ---------------------------------------------------------------- publish
+
+// Publish injects the next message of a stream this node sources. The first
+// Publish implicitly floods the network and bootstraps the dissemination
+// structure (§II-C); an empty payload reproduces the paper's "empty message"
+// bootstrap option.
+func (p *Protocol) Publish(id wire.StreamID, payload []byte) uint32 {
+	st := p.getStream(id)
+	if !st.source {
+		st.source = true
+		st.depth = 0
+		st.myPath = []ids.NodeID{p.env.ID()}
+		st.nextSeq = 1
+	}
+	seq := st.nextSeq
+	st.nextSeq++
+	st.markDelivered(seq)
+	st.remember(seq, payload, p.cfg.BufferSize)
+	p.metrics.Delivered++
+	p.emit(Event{Type: EvDeliver, Stream: id, Seq: seq})
+	p.relay(st, ids.Nil, seq, payload)
+	return seq
+}
+
+// relay forwards a message to every outbound-active neighbor except the one
+// it came from.
+func (p *Protocol) relay(st *stream, except ids.NodeID, seq uint32, payload []byte) {
+	msg := wire.Data{
+		Stream:  st.id,
+		Seq:     seq,
+		Depth:   st.depth,
+		Payload: payload,
+	}
+	if p.cfg.Mode != ModeDAG {
+		msg.Path = st.myPath
+	}
+	for _, n := range p.cfg.PSS.Active() {
+		if n == except || st.outInactive.Has(n) {
+			continue
+		}
+		p.env.Send(n, msg)
+	}
+}
+
+// ---------------------------------------------------------------- receive
+
+// Receive implements node.Proto.
+func (p *Protocol) Receive(from ids.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case wire.Data:
+		p.onData(from, msg)
+	case wire.Deactivate:
+		p.onDeactivate(from, msg)
+	case wire.Reactivate:
+		p.onReactivate(from, msg)
+	case wire.FloodRepair:
+		p.onFloodRepair(from, msg)
+	case wire.DepthUpdate:
+		p.onDepthUpdate(from, msg)
+	case wire.MsgRequest:
+		p.onMsgRequest(from, msg)
+	}
+}
+
+func (p *Protocol) onData(from ids.NodeID, m wire.Data) {
+	st := p.getStream(m.Stream)
+	now := p.env.Now()
+
+	// Record what this message reveals about the sender's position.
+	if _, ok := st.firstHeard[from]; !ok {
+		st.firstHeard[from] = now
+	}
+	pi := st.info(from)
+	pi.at = now
+	if p.cfg.Mode == ModeDAG {
+		pi.depth = m.Depth
+	} else {
+		pi.pathHasMe = pathContains(m.Path, p.env.ID())
+		pi.pathKnown = true
+	}
+
+	if st.isDelivered(m.Seq) {
+		p.onDuplicate(st, from, m)
+		return
+	}
+
+	// New message: deliver.
+	st.markDelivered(m.Seq)
+	st.remember(m.Seq, m.Payload, p.cfg.BufferSize)
+	p.metrics.Delivered++
+	st.lastDeliveredAt = now
+	if st.isParent(from) {
+		st.lastParentDelivery = now
+	}
+	p.emit(Event{Type: EvDeliver, Stream: st.id, Seq: m.Seq, Peer: from})
+	if p.cfg.OnDeliver != nil {
+		p.cfg.OnDeliver(st.id, m.Seq, m.Payload)
+	}
+	if !st.orphanedAt.IsZero() {
+		p.emit(Event{
+			Type: EvRepaired, Stream: st.id, Peer: from,
+			Dur: now.Sub(st.orphanedAt), Hard: st.orphanWasHard,
+		})
+		st.orphanedAt = time.Time{}
+		st.orphanWasHard = false
+	}
+
+	if st.source {
+		// Our own message came back: a transient loop. Dedup already
+		// stopped it; nothing to update structurally.
+		return
+	}
+
+	// Structure bookkeeping.
+	switch p.cfg.Mode {
+	case ModeTree:
+		st.myPath = append(ids.Clone(m.Path), p.env.ID())
+		if pathContains(m.Path, p.env.ID()) {
+			// §II-D continuous cycle detection, on *every* reception: a
+			// path through us means our parent is fed (directly or via
+			// retransmissions) by our own subtree. Duplicates through a
+			// starved cycle never arrive, so new messages must be
+			// checked too.
+			if st.isParent(from) {
+				p.metrics.CycleDetections++
+				p.emit(Event{Type: EvCycleDetected, Stream: st.id, Peer: from})
+				p.dropParent(st, from)
+				p.sendDeactivate(st, from, false)
+				st.cooldown[from] = now.Add(p.cfg.ReadoptCooldown)
+				if !p.revertGrace(st) {
+					p.repairOrAcquire(st, from)
+				}
+			}
+		} else if len(st.parents) == 0 {
+			p.adoptParent(st, from)
+		}
+	case ModeDAG:
+		if st.depth == wire.NoDepth {
+			p.setDepth(st, m.Depth+1)
+		} else if m.Depth == st.depth {
+			p.setDepth(st, m.Depth+1)
+		}
+		p.enforceParentDepth(st, from)
+		if !st.isParent(from) && len(st.parents) < p.cfg.Parents && m.Depth < st.depth {
+			p.adoptParent(st, from)
+		}
+	}
+
+	p.relay(st, from, m.Seq, m.Payload)
+	p.maybeRecoverGaps(st, from, m.Seq)
+}
+
+// onDuplicate runs the §II-C link-deactivation state machine.
+func (p *Protocol) onDuplicate(st *stream, from ids.NodeID, m wire.Data) {
+	p.metrics.Duplicates++
+	p.emit(Event{Type: EvDuplicate, Stream: st.id, Seq: m.Seq, Peer: from})
+	if p.cfg.Mode == ModeFlood {
+		return
+	}
+	if st.source {
+		// Every inbound link at the source is useless.
+		if !st.inactiveIn.Has(from) {
+			p.sendDeactivate(st, from, false)
+		}
+		return
+	}
+	switch p.cfg.Mode {
+	case ModeTree:
+		p.onDuplicateTree(st, from, m)
+	case ModeDAG:
+		p.onDuplicateDAG(st, from, m)
+	}
+}
+
+func (p *Protocol) onDuplicateTree(st *stream, from ids.NodeID, m wire.Data) {
+	if from == st.graceParent {
+		return // expected duplicates during a make-before-break switch
+	}
+	eligible := !pathContains(m.Path, p.env.ID())
+	if st.isParent(from) {
+		if !eligible {
+			// §II-D: continuous cycle detection — the parent's messages
+			// now flow through us.
+			p.metrics.CycleDetections++
+			p.emit(Event{Type: EvCycleDetected, Stream: st.id, Peer: from})
+			p.dropParent(st, from)
+			p.sendDeactivate(st, from, false)
+			st.cooldown[from] = p.env.Now().Add(p.cfg.ReadoptCooldown)
+			if !p.revertGrace(st) {
+				p.repairOrAcquire(st, from)
+			}
+		}
+		return
+	}
+	if !eligible {
+		if !st.inactiveIn.Has(from) {
+			p.sendDeactivate(st, from, false)
+		}
+		return
+	}
+	if len(st.parents) == 0 {
+		p.adoptParent(st, from)
+		return
+	}
+	cur := st.parentIDs()[0]
+	if p.switchWins(st, from, cur) {
+		p.beginGraceSwitch(st, cur, from)
+		return
+	}
+	if !st.inactiveIn.Has(from) {
+		p.sendDeactivate(st, from, p.cfg.SymmetricDeactivation)
+	}
+}
+
+// beginGraceSwitch replaces parent old with new, make-before-break: old's
+// inbound link stays active for GracePeriod so that, if new turns out to
+// sit in our own subtree (a cycle closed by two racing switches), data
+// keeps flowing, the exact path check sees the loop, and we revert. Only
+// after a clean grace period is old's link deactivated.
+func (p *Protocol) beginGraceSwitch(st *stream, old, new ids.NodeID) {
+	p.finalizeGrace(st) // at most one switch in flight
+	p.dropParent(st, old)
+	p.adoptParent(st, new)
+	now := p.env.Now()
+	st.graceParent = old
+	st.graceUntil = now.Add(p.cfg.GracePeriod)
+	st.lastSwitch = now
+	id := st.id
+	p.env.After(p.cfg.GracePeriod, func() {
+		s, ok := p.streams[id]
+		if !ok || s.graceParent == ids.Nil || p.env.Now().Before(s.graceUntil) {
+			return
+		}
+		p.finalizeGrace(s)
+	})
+}
+
+// finalizeGrace commits a pending switch: the old parent's inbound link is
+// deactivated unless it was re-adopted meanwhile.
+func (p *Protocol) finalizeGrace(st *stream) {
+	old := st.graceParent
+	if old == ids.Nil {
+		return
+	}
+	st.graceParent = ids.Nil
+	if !st.isParent(old) && p.cfg.PSS.ActiveContains(old) && !st.inactiveIn.Has(old) {
+		p.sendDeactivate(st, old, false)
+	}
+}
+
+// revertGrace aborts a pending switch after the new parent proved bad,
+// re-adopting the still-active old parent. Reports whether it could.
+func (p *Protocol) revertGrace(st *stream) bool {
+	old := st.graceParent
+	if old == ids.Nil {
+		return false
+	}
+	st.graceParent = ids.Nil
+	if !p.cfg.PSS.ActiveContains(old) {
+		return false
+	}
+	p.adoptParent(st, old)
+	return true
+}
+
+// switchWins decides whether a duplicate's sender displaces an incumbent
+// parent: the candidate must not be under a re-adoption cooldown, must not
+// have reported us as *its* parent (a switch would close a two-node
+// cycle), and its score must beat the incumbent's by the configured
+// hysteresis margin. The dampening keeps symmetric metrics (RTT) from
+// racing pairs of nodes into adopting each other.
+func (p *Protocol) switchWins(st *stream, cand, inc ids.NodeID) bool {
+	now := p.env.Now()
+	if until, ok := st.cooldown[cand]; ok && now.Before(until) {
+		return false
+	}
+	if pi, ok := st.peers[cand]; ok && pi.parentIsMe {
+		return false
+	}
+	if cand == st.graceParent {
+		return false // a reverted parent must not flap straight back
+	}
+	sc := p.cfg.Strategy.Score(p.offer(st, cand))
+	si := p.cfg.Strategy.Score(p.incumbent(st, inc))
+	margin := p.cfg.SwitchMargin * mathAbs(si)
+	return sc < si-margin
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (p *Protocol) onDuplicateDAG(st *stream, from ids.NodeID, m wire.Data) {
+	if from == st.graceParent {
+		return // expected duplicates during a make-before-break switch
+	}
+	if st.isParent(from) {
+		// Same-depth reception pushes us down (§II-G); a parent that sank
+		// below us is dropped. pi.depth was refreshed from m.Depth in
+		// onData.
+		p.enforceParentDepth(st, from)
+		return
+	}
+	if st.depth != wire.NoDepth && m.Depth == st.depth {
+		p.setDepth(st, m.Depth+1) // sender becomes eligible below
+	}
+	if st.depth == wire.NoDepth || m.Depth >= st.depth {
+		if !st.inactiveIn.Has(from) {
+			p.sendDeactivate(st, from, false)
+		}
+		return
+	}
+	if len(st.parents) < p.cfg.Parents {
+		p.adoptParent(st, from)
+		return
+	}
+	// Parent set is full: the offer may displace the worst incumbent, but
+	// only past the hysteresis bar.
+	parents := st.parentIDs()
+	worst := parents[0]
+	worstCand := p.incumbent(st, worst)
+	for _, par := range parents[1:] {
+		if c := p.incumbent(st, par); !better(p.cfg.Strategy, c, worstCand) {
+			worst, worstCand = par, c
+		}
+	}
+	if !p.switchWins(st, from, worst) {
+		if !st.inactiveIn.Has(from) {
+			// Never symmetric in DAG mode: a neighbor that heard the
+			// message before us may still adopt us as an extra parent.
+			p.sendDeactivate(st, from, false)
+		}
+		return
+	}
+	p.beginGraceSwitch(st, worst, from)
+}
+
+// ---------------------------------------------------------------- links
+
+func (p *Protocol) sendDeactivate(st *stream, to ids.NodeID, symmetric bool) {
+	p.env.Send(to, wire.Deactivate{Stream: st.id, Symmetric: symmetric})
+	st.inactiveIn.Add(to)
+	if symmetric {
+		st.outInactive.Add(to)
+	}
+	p.metrics.DeactivationsSent++
+	if st.firstDeactivateAt.IsZero() {
+		st.firstDeactivateAt = p.env.Now()
+	}
+	p.checkConstructed(st)
+}
+
+func (p *Protocol) onDeactivate(from ids.NodeID, m wire.Deactivate) {
+	st := p.getStream(m.Stream)
+	st.outInactive.Add(from)
+	if m.Symmetric {
+		// §II-E optimization: the peer also stopped relaying to us, so our
+		// inbound link from it is inactive without a further message.
+		if !st.inactiveIn.Has(from) {
+			st.inactiveIn.Add(from)
+			if st.firstDeactivateAt.IsZero() {
+				st.firstDeactivateAt = p.env.Now()
+			}
+			p.checkConstructed(st)
+		}
+	}
+}
+
+func (p *Protocol) onReactivate(from ids.NodeID, m wire.Reactivate) {
+	st := p.getStream(m.Stream)
+	st.outInactive.Remove(from)
+}
+
+func (p *Protocol) sendReactivate(st *stream, to ids.NodeID) {
+	st.inactiveIn.Remove(to)
+	p.env.Send(to, wire.Reactivate{Stream: st.id})
+	p.metrics.ReactivationsSent++
+}
+
+// checkConstructed records the Figure 13 construction-completion instant:
+// the number of inbound-active links reached the target parent count.
+func (p *Protocol) checkConstructed(st *stream) {
+	if !st.constructedAt.IsZero() || st.firstDeactivateAt.IsZero() || st.source {
+		return
+	}
+	inActive := 0
+	for _, n := range p.cfg.PSS.Active() {
+		if !st.inactiveIn.Has(n) {
+			inActive++
+		}
+	}
+	if inActive <= p.cfg.Parents {
+		st.constructedAt = p.env.Now()
+		p.emit(Event{
+			Type: EvConstructionDone, Stream: st.id,
+			Dur: st.constructedAt.Sub(st.firstDeactivateAt),
+		})
+	}
+}
+
+// ---------------------------------------------------------------- parents
+
+func (p *Protocol) candidate(st *stream, peer ids.NodeID) Candidate {
+	c := Candidate{Peer: peer, RTT: p.cfg.PSS.RTT(peer), Degree: -1}
+	if t, ok := st.firstHeard[peer]; ok {
+		c.FirstHeard = t
+	}
+	if pi, ok := st.peers[peer]; ok {
+		c.Uptime = pi.uptime
+		c.Degree = pi.degree
+	}
+	return c
+}
+
+// offer describes a duplicate's sender as a parent candidate. Its
+// first-heard instant is the *current* reception: under first-come
+// semantics, every duplicate is by definition a later offer than the
+// incumbent parent's (§II-E: "all subsequent duplicates received trigger
+// the deactivation of the incoming link"). Reusing the historical
+// first-heard time here would let a long-known neighbor steal parenthood
+// back right after a repair and close a structure cycle.
+func (p *Protocol) offer(st *stream, peer ids.NodeID) Candidate {
+	c := p.candidate(st, peer)
+	c.FirstHeard = p.env.Now()
+	return c
+}
+
+// incumbent describes a current parent; its offer stands from the moment it
+// was adopted.
+func (p *Protocol) incumbent(st *stream, peer ids.NodeID) Candidate {
+	c := p.candidate(st, peer)
+	if t, ok := st.parents[peer]; ok {
+		c.FirstHeard = t
+	}
+	return c
+}
+
+func (p *Protocol) adoptParent(st *stream, peer ids.NodeID) {
+	if st.inactiveIn.Has(peer) {
+		p.sendReactivate(st, peer)
+	}
+	st.parents[peer] = p.env.Now()
+	// Give the new parent a full stall window before judging it.
+	st.lastParentDelivery = p.env.Now()
+	p.emit(Event{Type: EvParentAdopt, Stream: st.id, Peer: peer})
+}
+
+// dropParent removes a parent for protocol-internal reasons (replacement,
+// cycle, depth conflict) without failure accounting.
+func (p *Protocol) dropParent(st *stream, peer ids.NodeID) {
+	delete(st.parents, peer)
+	p.emit(Event{Type: EvParentLost, Stream: st.id, Peer: peer})
+}
+
+// knownEligible evaluates the cycle-prevention condition for *proactive*
+// parent adoption (soft repair, DAG replenishment) using local knowledge
+// from data receptions and keep-alive piggybacks. Unknown positions are NOT
+// eligible: adopting blindly after a repair can close a silent cycle that
+// carries no data and therefore never triggers the continuous cycle
+// detection. Nodes without an informed candidate fall back to hard repair,
+// where the exact per-message path check governs adoption (§II-F).
+func (p *Protocol) knownEligible(st *stream, peer ids.NodeID) bool {
+	if until, ok := st.cooldown[peer]; ok && p.env.Now().Before(until) {
+		return false
+	}
+	pi, ok := st.peers[peer]
+	if !ok || pi.parentIsMe {
+		return false
+	}
+	switch p.cfg.Mode {
+	case ModeTree:
+		return pi.pathKnown && !pi.pathHasMe
+	case ModeDAG:
+		if pi.depth == wire.NoDepth {
+			return false
+		}
+		// §II-G: parents may sit at any depth *not greater than* ours —
+		// adopting an equal-depth parent is legal, the same-depth rule
+		// then pushes us one level down on its next message.
+		return st.depth == wire.NoDepth || pi.depth <= st.depth
+	}
+	return false
+}
+
+// bestEligibleNeighbor picks the strategy-preferred eligible active-view
+// member that is not already a parent and not excluded.
+func (p *Protocol) bestEligibleNeighbor(st *stream, exclude ids.NodeID) (ids.NodeID, bool) {
+	var bestID ids.NodeID
+	var bestCand Candidate
+	found := false
+	for _, n := range p.cfg.PSS.Active() {
+		if n == exclude || st.isParent(n) || !p.knownEligible(st, n) {
+			continue
+		}
+		c := p.candidate(st, n)
+		if !found || better(p.cfg.Strategy, c, bestCand) {
+			bestID, bestCand, found = n, c, true
+		}
+	}
+	return bestID, found
+}
+
+// acquireParents tops the parent set back up to the target using local
+// knowledge (DAG replenishment, or a tree node mid-repair).
+func (p *Protocol) acquireParents(st *stream) {
+	if st.source || !st.started || p.cfg.Mode == ModeFlood {
+		return
+	}
+	for len(st.parents) < p.cfg.Parents {
+		c, ok := p.bestEligibleNeighbor(st, ids.Nil)
+		if !ok {
+			return
+		}
+		p.sendReactivate(st, c)
+		p.adoptParent(st, c)
+	}
+}
+
+// ---------------------------------------------------------------- repair
+
+// NeighborUp is wired to the PSS neighbor-up callback: links to new nodes
+// start active (§II-F).
+func (p *Protocol) NeighborUp(peer ids.NodeID) {
+	for _, st := range p.streams {
+		st.forget(peer) // fresh node, fresh links: both directions active
+		if !st.orphanedAt.IsZero() || (p.cfg.Mode == ModeDAG && st.started && !st.source && len(st.parents) < p.cfg.Parents) {
+			p.acquireParents(st)
+		}
+	}
+}
+
+// NeighborDown is wired to the PSS neighbor-down callback (§II-F failure
+// handling).
+func (p *Protocol) NeighborDown(peer ids.NodeID) {
+	for _, st := range p.streams {
+		wasParent := st.isParent(peer)
+		delete(st.parents, peer)
+		if st.graceParent == peer {
+			st.graceParent = ids.Nil
+		}
+		st.forget(peer)
+		if !wasParent {
+			continue
+		}
+		p.metrics.ParentsLost++
+		p.emit(Event{Type: EvParentLost, Stream: st.id, Peer: peer})
+		if len(st.parents) > 0 {
+			// DAG with surviving parents: flow continues seamlessly; top
+			// the parent set back up in the background.
+			p.acquireParents(st)
+			continue
+		}
+		p.becameParentless(st, peer)
+	}
+}
+
+// becameParentless runs the §II-F disconnection handling whenever a node
+// that had joined the structure ends up with no parents — whether through a
+// neighbor failure or through protocol-internal drops (depth-label drift,
+// cycle detection). It is a no-op while any parent remains.
+func (p *Protocol) becameParentless(st *stream, cause ids.NodeID) {
+	if st.source || !st.started || p.cfg.Mode == ModeFlood || len(st.parents) > 0 {
+		return
+	}
+	if !st.orphanedAt.IsZero() {
+		return // already mid-repair
+	}
+	p.metrics.Orphans++
+	st.orphanedAt = p.env.Now()
+	st.orphanWasHard = false
+	p.emit(Event{Type: EvOrphan, Stream: st.id, Peer: cause})
+	p.repairOrAcquire(st, cause)
+}
+
+// repairOrAcquire implements §II-F: soft repair if any active-view member is
+// an eligible replacement, hard repair (flooding fallback) otherwise.
+func (p *Protocol) repairOrAcquire(st *stream, failed ids.NodeID) {
+	if c, ok := p.bestEligibleNeighbor(st, failed); ok {
+		p.metrics.SoftRepairs++
+		p.sendReactivate(st, c)
+		p.adoptParent(st, c)
+		p.emit(Event{Type: EvSoftRepair, Stream: st.id, Peer: c})
+		// Ask the new parent for anything we might have missed in flight.
+		p.requestRecent(st, c)
+		return
+	}
+	p.hardRepair(st, failed)
+}
+
+// hardRepair is the flooding fallback (§II-F): forget our position, turn all
+// inbound links back on, and order our children to re-bootstrap their part
+// of the structure.
+func (p *Protocol) hardRepair(st *stream, failed ids.NodeID) {
+	p.metrics.HardRepairs++
+	st.orphanWasHard = true
+	p.emit(Event{Type: EvHardRepair, Stream: st.id, Peer: failed})
+	p.forgetPosition(st)
+	order := wire.FloodRepair{Stream: st.id}
+	sent := 0
+	for _, n := range p.cfg.PSS.Active() {
+		if st.inactiveIn.Has(n) {
+			p.sendReactivate(st, n)
+		}
+		if !st.outInactive.Has(n) {
+			p.env.Send(n, order)
+			sent++
+		}
+	}
+	if sent > 0 {
+		p.metrics.FloodRepairOrders++
+	}
+}
+
+// forgetPosition resets the node's cycle-detection state so it can take any
+// neighbor as a parent, like a fresh node (§II-F).
+func (p *Protocol) forgetPosition(st *stream) {
+	if p.cfg.Mode == ModeDAG {
+		st.depth = wire.NoDepth
+	}
+	for _, pi := range st.peers {
+		pi.pathKnown = false
+		pi.pathHasMe = false
+		pi.depth = wire.NoDepth
+	}
+}
+
+// onFloodRepair handles a parent's re-activation order: replace that parent
+// locally if possible, otherwise recurse the re-bootstrap downwards.
+func (p *Protocol) onFloodRepair(from ids.NodeID, m wire.FloodRepair) {
+	st := p.getStream(m.Stream)
+	if !st.isParent(from) {
+		// We do not depend on the sender; our feed is unaffected.
+		return
+	}
+	p.dropParent(st, from)
+	if c, ok := p.bestEligibleNeighbor(st, from); ok {
+		// Absorb the repair: a local replacement exists. The former parent
+		// will pick us (or another node) up through normal selection.
+		p.sendReactivate(st, c)
+		p.adoptParent(st, c)
+		p.requestRecent(st, c)
+		return
+	}
+	// Recurse: reactivate all inbound and pass the order down.
+	p.forgetPosition(st)
+	order := wire.FloodRepair{Stream: st.id}
+	sent := 0
+	for _, n := range p.cfg.PSS.Active() {
+		if st.inactiveIn.Has(n) {
+			p.sendReactivate(st, n)
+		}
+		if n != from && !st.outInactive.Has(n) {
+			p.env.Send(n, order)
+			sent++
+		}
+	}
+	if sent > 0 {
+		p.metrics.FloodRepairOrders++
+	}
+}
+
+func (p *Protocol) onDepthUpdate(from ids.NodeID, m wire.DepthUpdate) {
+	st := p.getStream(m.Stream)
+	st.info(from).depth = m.Depth
+	p.enforceParentDepth(st, from)
+}
+
+// enforceParentDepth restores the DAG invariant depth(parent) < depth(node)
+// after a parent's label moved. A parent that reached our level pushes us
+// one deeper (the §II-G same-depth rule); a parent strictly below us is
+// dropped — following it down could ping-pong forever if labels ever formed
+// a mutual dependency, while dropping always breaks it.
+func (p *Protocol) enforceParentDepth(st *stream, peer ids.NodeID) {
+	if p.cfg.Mode != ModeDAG || !st.isParent(peer) || st.depth == wire.NoDepth {
+		return
+	}
+	pi, ok := st.peers[peer]
+	if !ok || pi.depth == wire.NoDepth {
+		return
+	}
+	switch {
+	case pi.depth == st.depth:
+		p.setDepth(st, pi.depth+1)
+	case pi.depth > st.depth:
+		p.dropParent(st, peer)
+		p.sendDeactivate(st, peer, false)
+		p.acquireParents(st)
+		p.becameParentless(st, peer)
+	}
+}
+
+// setDepth moves the node to a new DAG depth and immediately updates
+// downstream children (§II-G).
+func (p *Protocol) setDepth(st *stream, d uint16) {
+	if st.depth == d {
+		return
+	}
+	st.depth = d
+	p.emit(Event{Type: EvDepthChange, Stream: st.id, Seq: uint32(d)})
+	upd := wire.DepthUpdate{Stream: st.id, Depth: d}
+	for _, n := range p.childrenOf(st) {
+		p.env.Send(n, upd)
+	}
+}
+
+// ---------------------------------------------------------------- recovery
+
+// maybeRecoverGaps requests retransmission of sequence gaps revealed by an
+// out-of-order reception, rate-limited per stream.
+func (p *Protocol) maybeRecoverGaps(st *stream, from ids.NodeID, seq uint32) {
+	lo, hi, any := st.gapsBelow(seq, 64)
+	if !any {
+		return
+	}
+	now := p.env.Now()
+	if now.Sub(st.lastRecovery) < p.cfg.RecoveryMinInterval {
+		return
+	}
+	st.lastRecovery = now
+	target := from
+	if parents := st.parentIDs(); len(parents) > 0 {
+		target = parents[0]
+	}
+	p.metrics.RecoveryRequests++
+	p.env.Send(target, wire.MsgRequest{Stream: st.id, From: lo, To: hi})
+}
+
+// requestRecent asks a newly adopted parent to retransmit the window above
+// our contiguous prefix — the §II-F "compensate message loss during the
+// parent recovery process" step.
+func (p *Protocol) requestRecent(st *stream, parent ids.NodeID) {
+	if !st.started {
+		return
+	}
+	p.metrics.RecoveryRequests++
+	p.env.Send(parent, wire.MsgRequest{
+		Stream: st.id,
+		From:   st.contigUpTo,
+		To:     st.contigUpTo + uint32(p.cfg.BufferSize),
+	})
+}
+
+// checkProgress reacts to a neighbor's piggybacked delivery progress.
+// Falling behind a neighbor means our feed missed messages: request the gap
+// from the peer that provably had them (catch-up). If on top of that no
+// parent has delivered anything for StallTimeout, the feed itself is broken
+// — most likely a structure cycle closed by racing parent switches, which
+// carries no data and is therefore invisible to the exact path check — so
+// the parents are dropped and the node re-homes (stall repair).
+func (p *Protocol) checkProgress(st *stream, peer ids.NodeID, peerUpTo uint32) {
+	if st.source || !st.started || p.cfg.Mode == ModeFlood || peerUpTo <= st.contigUpTo {
+		return
+	}
+	now := p.env.Now()
+	// Only act when the node has been idle for a while: during normal flow
+	// a receiver always trails its upstream by one propagation delay, and
+	// requesting that in-flight window would just manufacture duplicates.
+	catchupIdle := p.cfg.StallTimeout / 3
+	if now.Sub(st.lastDeliveredAt) < catchupIdle {
+		return
+	}
+	// Catch-up: pull the missing window from the neighbor reporting it.
+	if now.Sub(st.lastRecovery) >= p.cfg.RecoveryMinInterval {
+		st.lastRecovery = now
+		hi := peerUpTo
+		if max := st.contigUpTo + uint32(p.cfg.BufferSize); hi > max {
+			hi = max
+		}
+		p.metrics.RecoveryRequests++
+		p.env.Send(peer, wire.MsgRequest{Stream: st.id, From: st.contigUpTo, To: hi})
+	}
+	// Stall repair: the structure stopped feeding us while the stream
+	// demonstrably advances.
+	if len(st.parents) == 0 || now.Sub(st.lastParentDelivery) < p.cfg.StallTimeout {
+		return
+	}
+	p.metrics.StallRepairs++
+	p.emit(Event{Type: EvStallRepair, Stream: st.id, Peer: peer})
+	former := st.parentIDs()
+	for _, par := range former {
+		p.dropParent(st, par)
+		p.sendDeactivate(st, par, false)
+		// In a mutual-adoption cycle the broken parent's stale path info
+		// can look eligible; bar it for a cooldown.
+		st.cooldown[par] = now.Add(p.cfg.ReadoptCooldown)
+	}
+	if c, ok := p.bestEligibleNeighbor(st, former[0]); ok {
+		p.sendReactivate(st, c)
+		p.adoptParent(st, c)
+		p.requestRecent(st, c)
+		return
+	}
+	p.hardRepair(st, former[0])
+}
+
+func (p *Protocol) onMsgRequest(from ids.NodeID, m wire.MsgRequest) {
+	st := p.getStream(m.Stream)
+	if m.To < m.From || m.To-m.From > 256 {
+		return // bogus or abusive range
+	}
+	msg := wire.Data{Stream: st.id, Depth: st.depth}
+	if p.cfg.Mode != ModeDAG {
+		msg.Path = st.myPath
+	}
+	for seq := m.From; seq < m.To; seq++ {
+		payload, ok := st.lookup(seq)
+		if !ok {
+			continue
+		}
+		msg.Seq = seq
+		msg.Payload = payload
+		p.metrics.Retransmissions++
+		p.env.Send(from, msg)
+	}
+}

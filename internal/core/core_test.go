@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// ----------------------------------------------------------- stream state
+
+func TestStreamDeliveryTracking(t *testing.T) {
+	st := newStream(1)
+	if st.isDelivered(1) {
+		t.Error("virgin stream claims delivery")
+	}
+	st.markDelivered(3) // first ever: becomes the baseline
+	if !st.isDelivered(3) || !st.isDelivered(2) /* pre-join history */ {
+		t.Error("baseline semantics broken")
+	}
+	if st.isDelivered(4) {
+		t.Error("future seq claimed")
+	}
+	st.markDelivered(5) // gap at 4
+	if st.contigUpTo != 4 {
+		t.Errorf("contigUpTo = %d, want 4", st.contigUpTo)
+	}
+	lo, hi, any := st.gapsBelow(5, 10)
+	if !any || lo != 4 || hi != 5 {
+		t.Errorf("gaps = [%d,%d) any=%v", lo, hi, any)
+	}
+	st.markDelivered(4)
+	if st.contigUpTo != 6 {
+		t.Errorf("contigUpTo after fill = %d, want 6", st.contigUpTo)
+	}
+	if _, _, any := st.gapsBelow(6, 10); any {
+		t.Error("no gaps expected")
+	}
+}
+
+func TestQuickStreamDeliveryInvariant(t *testing.T) {
+	// Property: after any sequence of marks, every seq < contigUpTo and >=
+	// base is delivered, and sparse holds only seqs >= contigUpTo.
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := newStream(1)
+		base := uint32(r.Intn(10) + 1)
+		for i := 0; i < int(n); i++ {
+			st.markDelivered(base + uint32(r.Intn(30)))
+		}
+		if !st.started {
+			return n == 0
+		}
+		for s := st.base; s < st.contigUpTo; s++ {
+			if !st.isDelivered(s) {
+				return false
+			}
+		}
+		for s := range st.sparse {
+			if s < st.contigUpTo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferRing(t *testing.T) {
+	st := newStream(1)
+	for seq := uint32(1); seq <= 10; seq++ {
+		st.remember(seq, []byte{byte(seq)}, 4)
+	}
+	// Only the last 4 survive.
+	for seq := uint32(1); seq <= 6; seq++ {
+		if _, ok := st.lookup(seq); ok {
+			t.Errorf("seq %d should have been evicted", seq)
+		}
+	}
+	for seq := uint32(7); seq <= 10; seq++ {
+		payload, ok := st.lookup(seq)
+		if !ok || payload[0] != byte(seq) {
+			t.Errorf("seq %d missing from buffer", seq)
+		}
+	}
+}
+
+// ----------------------------------------------------------- strategies
+
+func TestStrategyOrdering(t *testing.T) {
+	now := time.Unix(1000, 0)
+	early := Candidate{Peer: 1, FirstHeard: now, RTT: 50 * time.Millisecond, Uptime: time.Hour, Degree: 5}
+	late := Candidate{Peer: 2, FirstHeard: now.Add(time.Second), RTT: 10 * time.Millisecond, Uptime: 2 * time.Hour, Degree: 1}
+
+	if !better(FirstCome{}, early, late) {
+		t.Error("first-come should prefer the earlier sender")
+	}
+	if !better(DelayAware{}, late, early) {
+		t.Error("delay-aware should prefer the lower RTT")
+	}
+	if !better(Gerontocratic{}, late, early) {
+		t.Error("gerontocratic should prefer the longer uptime")
+	}
+	if !better(LoadBalancing{}, late, early) {
+		t.Error("load-balancing should prefer the lower degree")
+	}
+}
+
+func TestStrategyUnknownValuesLose(t *testing.T) {
+	known := Candidate{Peer: 1, FirstHeard: time.Unix(1, 0), RTT: time.Second, Degree: 3}
+	unknown := Candidate{Peer: 2, Degree: -1} // zero FirstHeard, zero RTT
+	if !better(FirstCome{}, known, unknown) {
+		t.Error("never-heard candidate must lose under first-come")
+	}
+	if !better(DelayAware{}, known, unknown) {
+		t.Error("unknown RTT must lose under delay-aware")
+	}
+	if !better(LoadBalancing{}, known, unknown) {
+		t.Error("unknown degree must lose under load-balancing")
+	}
+}
+
+func TestStrategyTieBreakIsDeterministic(t *testing.T) {
+	a := Candidate{Peer: 1, RTT: time.Millisecond}
+	b := Candidate{Peer: 2, RTT: time.Millisecond}
+	if !better(DelayAware{}, a, b) || better(DelayAware{}, b, a) {
+		t.Error("ties must break toward the lower id")
+	}
+}
+
+// ----------------------------------------------------------- piggyback
+
+func TestPiggybackRoundTrip(t *testing.T) {
+	entries := []piggyStream{
+		{stream: 1, depth: 4, uptime: 77, degree: 3, upTo: 99,
+			parents: []ids.NodeID{5}, path: []ids.NodeID{1, 2, 3}},
+		{stream: 2, depth: wire.NoDepth, uptime: 0, degree: 0, upTo: 0},
+	}
+	blob := encodePiggyback(entries)
+	got, err := decodePiggyback(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d entries", len(got))
+	}
+	if got[0].depth != 4 || got[0].upTo != 99 || len(got[0].path) != 3 || got[0].parents[0] != 5 {
+		t.Errorf("entry 0 mismatch: %+v", got[0])
+	}
+	if got[1].depth != wire.NoDepth {
+		t.Errorf("entry 1 depth = %d", got[1].depth)
+	}
+}
+
+func TestPiggybackRejectsTruncation(t *testing.T) {
+	blob := encodePiggyback([]piggyStream{{stream: 1, path: []ids.NodeID{1, 2}}})
+	for cut := 1; cut < len(blob); cut++ {
+		if _, err := decodePiggyback(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestQuickPiggybackRoundTrip(t *testing.T) {
+	f := func(stream uint32, depth uint16, uptime uint32, degree uint16, upTo uint32, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		path := make([]ids.NodeID, r.Intn(10))
+		for i := range path {
+			path[i] = ids.NodeID(r.Uint64() & uint64(ids.MaxID))
+		}
+		in := []piggyStream{{
+			stream: wire.StreamID(stream), depth: depth, uptime: uptime,
+			degree: degree, upTo: upTo, path: path,
+		}}
+		out, err := decodePiggyback(encodePiggyback(in))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return out[0].stream == in[0].stream && out[0].depth == depth &&
+			out[0].uptime == uptime && out[0].degree == degree &&
+			out[0].upTo == upTo && len(out[0].path) == len(path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ----------------------------------------------------------- config
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Mode: ModeTree, Parents: 5}.withDefaults()
+	if c.Parents != 1 {
+		t.Errorf("tree must force a single parent, got %d", c.Parents)
+	}
+	c = Config{Mode: ModeDAG, Parents: 3}.withDefaults()
+	if c.Parents != 3 {
+		t.Errorf("DAG parents overridden: %d", c.Parents)
+	}
+	c = Config{Mode: ModeFlood}.withDefaults()
+	if c.Parents != 0 {
+		t.Errorf("flood mode has no parents, got %d", c.Parents)
+	}
+	if c.Strategy == nil || c.BufferSize <= 0 || c.StallTimeout <= 0 {
+		t.Error("defaults not filled")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFlood.String() != "flood" || ModeTree.String() != "tree" || ModeDAG.String() != "dag" {
+		t.Error("mode names")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Keep-alive piggyback blob (§II-F): "leveraging the keep-alive messages
+// used for monitoring the active view at the PSS level and piggyback
+// up-to-date information required by the parent selection procedure."
+//
+// Per stream we piggyback:
+//   - the DAG depth label (2 bytes),
+//   - the node's uptime in seconds and outgoing degree (strategy inputs for
+//     gerontocratic / load-balancing selection),
+//   - the node's current path from the source (tree mode), so neighbors can
+//     evaluate the §II-D eligibility condition without waiting for data.
+//
+// Layout: u8 streamCount, then per stream:
+//   u32 stream | u16 depth | u32 uptimeSec | u16 degree | u32 upTo |
+//   nodeIDs parents | nodeIDs path
+
+type piggyStream struct {
+	stream  wire.StreamID
+	depth   uint16
+	uptime  uint32
+	degree  uint16
+	upTo    uint32 // contiguous delivery progress (stall detection/catch-up)
+	parents []ids.NodeID
+	path    []ids.NodeID
+}
+
+func encodePiggyback(entries []piggyStream) []byte {
+	e := wire.Encoder{}
+	e.U8(uint8(len(entries)))
+	for _, it := range entries {
+		e.U32(uint32(it.stream))
+		e.U16(it.depth)
+		e.U32(it.uptime)
+		e.U16(it.degree)
+		e.U32(it.upTo)
+		e.NodeIDs(it.parents)
+		e.NodeIDs(it.path)
+	}
+	return e.B
+}
+
+func decodePiggyback(blob []byte) ([]piggyStream, error) {
+	d := wire.Decoder{B: blob}
+	n := int(d.U8())
+	out := make([]piggyStream, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, piggyStream{
+			stream:  wire.StreamID(d.U32()),
+			depth:   d.U16(),
+			uptime:  d.U32(),
+			degree:  d.U16(),
+			upTo:    d.U32(),
+			parents: d.NodeIDs(),
+			path:    d.NodeIDs(),
+		})
+	}
+	return out, d.Finish()
+}
+
+// PiggybackBlob encodes this node's per-stream structural state for
+// inclusion in outgoing keep-alives. Wire through
+// hyparview.Config.Piggyback.
+func (p *Protocol) PiggybackBlob() []byte {
+	if len(p.streams) == 0 {
+		return nil
+	}
+	entries := make([]piggyStream, 0, len(p.streams))
+	for _, st := range p.streams {
+		if !st.started {
+			continue
+		}
+		uptime := p.env.Now().Sub(p.startedAt)
+		entries = append(entries, piggyStream{
+			stream:  st.id,
+			depth:   st.depth,
+			uptime:  uint32(uptime / time.Second),
+			degree:  uint16(len(p.childrenOf(st))),
+			upTo:    st.contigUpTo,
+			parents: st.parentIDs(),
+			path:    st.myPath,
+		})
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	return encodePiggyback(entries)
+}
+
+// HandlePiggyback ingests a neighbor's keep-alive blob. Wire through
+// hyparview.Config.OnPiggyback.
+func (p *Protocol) HandlePiggyback(peer ids.NodeID, blob []byte) {
+	entries, err := decodePiggyback(blob)
+	if err != nil {
+		return // a malformed blob from a peer is ignored, not fatal
+	}
+	for _, it := range entries {
+		st, ok := p.streams[it.stream]
+		if !ok {
+			continue
+		}
+		pi := st.info(peer)
+		pi.depth = it.depth
+		pi.uptime = time.Duration(it.uptime) * time.Second
+		pi.degree = int(it.degree)
+		pi.pathHasMe = pathContains(it.path, p.env.ID())
+		pi.pathKnown = true
+		pi.parentIsMe = pathContains(it.parents, p.env.ID())
+		pi.at = p.env.Now()
+		// A parent whose label drifted to or below ours must be followed
+		// or dropped; fresh eligibility info may also unblock parent
+		// acquisition (a DAG node below target, a tree node mid-repair).
+		p.enforceParentDepth(st, peer)
+		p.acquireParents(st)
+		// The progress report drives catch-up and stall detection.
+		p.checkProgress(st, peer, it.upTo)
+	}
+}

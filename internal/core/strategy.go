@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Candidate is what a strategy sees about a potential parent.
+type Candidate struct {
+	Peer ids.NodeID
+	// FirstHeard is when the first data message from this peer arrived
+	// (zero if none has).
+	FirstHeard time.Time
+	// RTT is the peer sampling service's round-trip estimate (0 if
+	// unknown).
+	RTT time.Duration
+	// Uptime is the peer's self-reported uptime from keep-alive
+	// piggybacks (0 if unknown).
+	Uptime time.Duration
+	// Degree is the peer's self-reported number of outgoing links (-1 if
+	// unknown).
+	Degree int
+}
+
+// Strategy ranks candidate parents (§II-E and §IV). Lower scores win. Ties
+// are broken by node identifier, which keeps simulations deterministic.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Score rates a candidate; lower is better.
+	Score(c Candidate) float64
+}
+
+// FirstCome is strategy 1 in §II-E: the earliest heard sender wins. This is
+// the strategy used in most of the paper's evaluation.
+type FirstCome struct{}
+
+// Name implements Strategy.
+func (FirstCome) Name() string { return "first-come" }
+
+// Score implements Strategy.
+func (FirstCome) Score(c Candidate) float64 {
+	if c.FirstHeard.IsZero() {
+		return math.Inf(1) // never heard: worst
+	}
+	return float64(c.FirstHeard.UnixNano())
+}
+
+// DelayAware is strategy 2 in §II-E: the lowest-RTT sender wins, using the
+// keep-alive RTT measurements from the PSS layer.
+type DelayAware struct{}
+
+// Name implements Strategy.
+func (DelayAware) Name() string { return "delay-aware" }
+
+// Score implements Strategy.
+func (DelayAware) Score(c Candidate) float64 {
+	if c.RTT <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c.RTT)
+}
+
+// Gerontocratic is the §IV perspective strategy: prefer the longest-lived
+// candidate, on the observation that uptime predicts future availability.
+type Gerontocratic struct{}
+
+// Name implements Strategy.
+func (Gerontocratic) Name() string { return "gerontocratic" }
+
+// Score implements Strategy.
+func (Gerontocratic) Score(c Candidate) float64 {
+	return -float64(c.Uptime) // older is better
+}
+
+// LoadBalancing is the §IV dual of Gerontocratic: prefer candidates with the
+// fewest outgoing links, spreading the dissemination effort.
+type LoadBalancing struct{}
+
+// Name implements Strategy.
+func (LoadBalancing) Name() string { return "load-balancing" }
+
+// Score implements Strategy.
+func (LoadBalancing) Score(c Candidate) float64 {
+	if c.Degree < 0 {
+		return math.Inf(1)
+	}
+	return float64(c.Degree)
+}
+
+// better reports whether a beats b under s, with deterministic id
+// tie-breaking.
+func better(s Strategy, a, b Candidate) bool {
+	sa, sb := s.Score(a), s.Score(b)
+	if sa != sb {
+		return sa < sb
+	}
+	return a.Peer < b.Peer
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// peerInfo is what we last learned about a neighbor's position in a stream's
+// structure — from its data messages and from keep-alive piggybacks. Soft
+// repair (§II-F) uses this to pick an eligible replacement parent with local
+// knowledge only.
+type peerInfo struct {
+	depth     uint16 // DAG depth label; wire.NoDepth if unknown
+	pathHasMe bool   // tree: the last path seen from this peer contains us
+	pathKnown bool
+	uptime    time.Duration
+	degree    int
+	at        time.Time
+	// parentIsMe reports that the peer's last piggyback listed us among
+	// its parents — adopting it would close a direct two-node cycle.
+	parentIsMe bool
+}
+
+// bufferedMsg is one retained message for retransmission.
+type bufferedMsg struct {
+	seq     uint32
+	payload []byte
+}
+
+// stream is the per-stream protocol state of one node.
+type stream struct {
+	id     wire.StreamID
+	source bool
+	// nextSeq is the next sequence number to publish (source only).
+	nextSeq uint32
+
+	// --- reception state ---
+	started    bool                // received at least one message (or is the source)
+	contigUpTo uint32              // every seq in [base, contigUpTo) is delivered
+	base       uint32              // first seq ever seen; history below it is not recovered
+	sparse     map[uint32]struct{} // delivered seqs >= contigUpTo
+
+	// --- structure state ---
+	parents     map[ids.NodeID]time.Time // parent -> adoption time
+	inactiveIn  *ids.Set                 // inbound links we deactivated
+	outInactive *ids.Set                 // outbound links peers deactivated (or symmetric)
+	depth       uint16                   // own DAG depth label (wire.NoDepth = undefined)
+	myPath      []ids.NodeID             // path from source to us incl. us (tree)
+	firstHeard  map[ids.NodeID]time.Time // first data reception per neighbor
+	peers       map[ids.NodeID]*peerInfo // last known structural info per neighbor
+
+	// --- repair state ---
+	orphanedAt    time.Time // non-zero while disconnected from the structure
+	orphanWasHard bool
+	lastRecovery  time.Time
+	// lastParentDelivery is the last time a current parent delivered a new
+	// message; used by the stall detector.
+	lastParentDelivery time.Time
+	// lastDeliveredAt is the last time any new message was delivered; used
+	// to gate piggyback-driven catch-up on genuine idleness.
+	lastDeliveredAt time.Time
+	// lastSwitch rate-limits strategy-driven parent switches.
+	lastSwitch time.Time
+	// cooldown bars peers dropped by cycle detection or stall repair from
+	// proactive re-adoption until the stored instant.
+	cooldown map[ids.NodeID]time.Time
+	// graceParent is the previous parent during a make-before-break
+	// switch: its inbound link stays active until graceUntil so the node
+	// can revert if the new parent turns out to sit in its own subtree.
+	graceParent ids.NodeID
+	graceUntil  time.Time
+
+	// --- buffering ---
+	buffer  []bufferedMsg // ring, newest at bufHead-1
+	bufHead int
+
+	// --- construction-time tracking (Figure 13) ---
+	firstDeactivateAt time.Time
+	constructedAt     time.Time
+}
+
+func newStream(id wire.StreamID) *stream {
+	return &stream{
+		id:          id,
+		sparse:      make(map[uint32]struct{}),
+		parents:     make(map[ids.NodeID]time.Time),
+		inactiveIn:  ids.NewSet(),
+		outInactive: ids.NewSet(),
+		depth:       wire.NoDepth,
+		firstHeard:  make(map[ids.NodeID]time.Time),
+		peers:       make(map[ids.NodeID]*peerInfo),
+		cooldown:    make(map[ids.NodeID]time.Time),
+	}
+}
+
+// isDelivered reports whether seq has been delivered already.
+func (s *stream) isDelivered(seq uint32) bool {
+	if !s.started {
+		return false
+	}
+	if seq < s.base {
+		return true // pre-join history; treat as seen
+	}
+	if seq < s.contigUpTo {
+		return true
+	}
+	_, ok := s.sparse[seq]
+	return ok
+}
+
+// markDelivered records seq and advances the contiguous prefix. The first
+// ever reception sets the baseline: history before the join is not chased.
+// Idempotent: re-marking a delivered sequence changes nothing.
+func (s *stream) markDelivered(seq uint32) {
+	if !s.started {
+		s.started = true
+		s.base = seq
+		s.contigUpTo = seq
+	}
+	if s.isDelivered(seq) {
+		return
+	}
+	s.sparse[seq] = struct{}{}
+	for {
+		if _, ok := s.sparse[s.contigUpTo]; !ok {
+			break
+		}
+		delete(s.sparse, s.contigUpTo)
+		s.contigUpTo++
+	}
+}
+
+// gapsBelow lists undelivered seqs in [contigUpTo, upTo), capped at max.
+func (s *stream) gapsBelow(upTo uint32, max int) (lo, hi uint32, any bool) {
+	if !s.started || upTo <= s.contigUpTo {
+		return 0, 0, false
+	}
+	lo = s.contigUpTo
+	hi = upTo
+	if int(hi-lo) > max {
+		hi = lo + uint32(max)
+	}
+	return lo, hi, true
+}
+
+// remember stores a message for possible retransmission.
+func (s *stream) remember(seq uint32, payload []byte, cap int) {
+	msg := bufferedMsg{seq: seq, payload: payload}
+	if len(s.buffer) < cap {
+		s.buffer = append(s.buffer, msg)
+		s.bufHead = len(s.buffer) % cap
+		return
+	}
+	s.buffer[s.bufHead] = msg
+	s.bufHead = (s.bufHead + 1) % cap
+}
+
+// lookup finds a buffered message by seq.
+func (s *stream) lookup(seq uint32) ([]byte, bool) {
+	for i := range s.buffer {
+		if s.buffer[i].seq == seq {
+			return s.buffer[i].payload, true
+		}
+	}
+	return nil, false
+}
+
+// info returns (allocating if needed) the structural info record for peer.
+func (s *stream) info(peer ids.NodeID) *peerInfo {
+	pi, ok := s.peers[peer]
+	if !ok {
+		pi = &peerInfo{depth: wire.NoDepth, degree: -1}
+		s.peers[peer] = pi
+	}
+	return pi
+}
+
+// isParent reports whether peer currently feeds this stream.
+func (s *stream) isParent(peer ids.NodeID) bool {
+	_, ok := s.parents[peer]
+	return ok
+}
+
+// parentIDs returns the current parents, ascending.
+func (s *stream) parentIDs() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(s.parents))
+	for id := range s.parents {
+		out = append(out, id)
+	}
+	ids.Sort(out)
+	return out
+}
+
+// forget wipes a departed neighbor from all per-peer maps (not the parent
+// set; callers handle that for repair accounting).
+func (s *stream) forget(peer ids.NodeID) {
+	delete(s.firstHeard, peer)
+	delete(s.peers, peer)
+	delete(s.cooldown, peer)
+	s.inactiveIn.Remove(peer)
+	s.outInactive.Remove(peer)
+}
+
+// pathContains reports whether path includes id.
+func pathContains(path []ids.NodeID, id ids.NodeID) bool {
+	return ids.Contains(path, id)
+}

@@ -1,0 +1,119 @@
+package cyclon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/simnet"
+)
+
+func build(n int, seed int64, cfg Config) (*simnet.Network, []*Protocol) {
+	net := simnet.New(simnet.Options{Seed: seed})
+	protos := make([]*Protocol, n)
+	for i := 0; i < n; i++ {
+		protos[i] = New(cfg)
+		mux := node.NewMux()
+		mux.Register(protos[i], Kinds()...)
+		net.AddNode(ids.NodeID(i+1), mux)
+	}
+	for i := 1; i < n; i++ {
+		i := i
+		net.At(time.Duration(i)*20*time.Millisecond, func() {
+			protos[i].Join(ids.NodeID(net.Rand().Intn(i) + 1))
+		})
+	}
+	return net, protos
+}
+
+func TestViewsFillThroughShuffling(t *testing.T) {
+	net, protos := build(64, 1, Config{ViewSize: 8, ShuffleLen: 4, Period: time.Second})
+	net.RunUntil(2 * time.Minute)
+	for i, p := range protos {
+		if got := len(p.View()); got < 3 {
+			t.Errorf("node %d view size %d after two minutes of shuffles (needs >=3 to function)", i+1, got)
+		}
+		for _, nb := range p.View() {
+			if nb == ids.NodeID(i+1) {
+				t.Errorf("node %d has itself in its view", i+1)
+			}
+		}
+	}
+}
+
+func TestViewsStayBounded(t *testing.T) {
+	net, protos := build(64, 2, Config{ViewSize: 6, ShuffleLen: 3, Period: time.Second})
+	net.RunUntil(60 * time.Second)
+	for i, p := range protos {
+		if got := len(p.View()); got > 6 {
+			t.Errorf("node %d view %d exceeds capacity 6", i+1, got)
+		}
+	}
+}
+
+func TestViewsMixOverTime(t *testing.T) {
+	// Connectivity/mixing: the union of reachability over views must cover
+	// the network (BFS over the directed view graph).
+	net, protos := build(48, 3, Config{ViewSize: 8, ShuffleLen: 4, Period: time.Second})
+	net.RunUntil(90 * time.Second)
+	seen := map[ids.NodeID]bool{1: true}
+	queue := []ids.NodeID{1}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range protos[cur-1].View() {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(seen) != 48 {
+		t.Errorf("view graph reaches %d of 48 nodes", len(seen))
+	}
+}
+
+func TestSample(t *testing.T) {
+	net, protos := build(32, 4, DefaultConfig())
+	net.RunUntil(30 * time.Second)
+	s := protos[0].Sample(3)
+	if len(s) > 3 {
+		t.Errorf("Sample(3) returned %d", len(s))
+	}
+	uniq := map[ids.NodeID]bool{}
+	for _, id := range s {
+		if uniq[id] {
+			t.Errorf("duplicate in sample: %v", id)
+		}
+		uniq[id] = true
+	}
+}
+
+func TestDeadEntriesAgeOut(t *testing.T) {
+	net, protos := build(32, 5, Config{ViewSize: 8, ShuffleLen: 4, Period: time.Second})
+	net.RunUntil(30 * time.Second)
+	// Kill a quarter of the nodes; shuffling should flush them from most
+	// views within a few minutes (Cyclon has no failure detector, only
+	// turnover).
+	for i := 0; i < 8; i++ {
+		net.Crash(ids.NodeID(i + 10))
+	}
+	net.RunFor(4 * time.Minute)
+	stale := 0
+	entries := 0
+	for i, p := range protos {
+		if !net.Alive(ids.NodeID(i + 1)) {
+			continue
+		}
+		for _, nb := range p.View() {
+			entries++
+			if !net.Alive(nb) {
+				stale++
+			}
+		}
+	}
+	if frac := float64(stale) / float64(entries); frac > 0.3 {
+		t.Errorf("%.0f%% of view entries point at dead nodes after turnover", frac*100)
+	}
+}

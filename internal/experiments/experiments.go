@@ -1,0 +1,103 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§III). Each RunXxx function builds the corresponding workload
+// on the simulator, measures what the paper measures, and returns a result
+// that renders the same rows/series the paper reports.
+//
+// Every experiment accepts a Scale in (0,1]: 1 reproduces the paper's
+// dimensions (512 nodes, 500 messages, …); smaller values shrink the
+// workload proportionally so the benchmark suite stays fast. Shapes are
+// stable under scaling; EXPERIMENTS.md records full-scale results.
+package experiments
+
+import (
+	"time"
+
+	brisa "repro"
+	"repro/internal/stats"
+)
+
+// Scale shrinks an experiment: nodes and messages are multiplied by it.
+type Scale float64
+
+// apply scales a paper dimension, keeping a sane floor.
+func (s Scale) apply(full int, floor int) int {
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	v := int(float64(full) * float64(s))
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Stream identifies the single stream used across experiments.
+const Stream brisa.StreamID = 1
+
+// MessageInterval is the paper's injection rate: 5 messages per second.
+const MessageInterval = 200 * time.Millisecond
+
+// publish schedules count messages from the source at the paper's rate,
+// recording publish times.
+func publish(c *brisa.Cluster, source *brisa.Peer, count, payload int, at map[uint32]time.Time) {
+	for i := 0; i < count; i++ {
+		i := i
+		c.Net.After(time.Duration(i)*MessageInterval, func() {
+			seq := source.Publish(Stream, make([]byte, payload))
+			if at != nil {
+				at[seq] = c.Net.Now()
+			}
+		})
+	}
+}
+
+// runStream bootstraps a cluster, runs a stream of count messages with the
+// given payload, and returns after the network drains.
+func runStream(c *brisa.Cluster, count, payload int, drain time.Duration) *brisa.Peer {
+	c.Bootstrap()
+	source := c.Peers()[0]
+	publish(c, source, count, payload, nil)
+	c.Net.RunFor(time.Duration(count)*MessageInterval + drain)
+	return source
+}
+
+// Series is one named CDF line of a figure.
+type Series struct {
+	Name   string
+	Points []stats.CDFPoint
+}
+
+// FigureResult is a CDF-style figure: several named series.
+type FigureResult struct {
+	Name   string
+	Series []Series
+	Notes  string
+}
+
+// String renders all series as aligned text blocks.
+func (r FigureResult) String() string {
+	out := "== " + r.Name + " ==\n"
+	if r.Notes != "" {
+		out += r.Notes + "\n"
+	}
+	for _, s := range r.Series {
+		out += stats.FormatCDF(s.Name, s.Points)
+	}
+	return out
+}
+
+// TableResult is a table-style result.
+type TableResult struct {
+	Name  string
+	Table *stats.Table
+	Notes string
+}
+
+// String renders the table.
+func (r TableResult) String() string {
+	out := "== " + r.Name + " ==\n"
+	if r.Notes != "" {
+		out += r.Notes + "\n"
+	}
+	return out + r.Table.String()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	brisa "repro"
+	tagproto "repro/internal/baselines/tag"
+	"repro/internal/ids"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// RunFigure13 reproduces Figure 13: the CDF of structure construction time
+// for BRISA and TAG, on a cluster (512 nodes) and on PlanetLab (200 nodes).
+//
+// BRISA's metric: time from a node's first deactivation until all inbound
+// links except one are deactivated. TAG's metric: time from starting the
+// join traversal until the node settles its list position.
+func RunFigure13(scale Scale, seed int64) FigureResult {
+	clusterNodes := scale.apply(512, 64)
+	plNodes := scale.apply(200, 48)
+	result := FigureResult{
+		Name: "Figure 13 — structure construction time",
+		Notes: fmt.Sprintf("cluster nodes=%d, PlanetLab nodes=%d (paper: 512/200)",
+			clusterNodes, plNodes),
+	}
+
+	brisaRun := func(nodes int, latency simnet.LatencyModel) *stats.Sample {
+		c := brisa.NewCluster(brisa.ClusterConfig{
+			Nodes:   nodes,
+			Seed:    seed,
+			Latency: latency,
+			Peer:    brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		})
+		runStream(c, 25, 1024, 10*time.Second)
+		s := &stats.Sample{}
+		for _, p := range c.AlivePeers() {
+			if d, ok := p.ConstructionTime(Stream); ok {
+				s.AddDuration(d)
+			}
+		}
+		return s
+	}
+	tagRun := func(nodes int, latency simnet.LatencyModel) *stats.Sample {
+		tc := newTagCluster(nodes, seed, latency, func(self ids.NodeID) tagproto.Config {
+			return tagproto.Config{}
+		})
+		tc.stabilize(nodes)
+		s := &stats.Sample{}
+		for _, p := range tc.peers[1:] {
+			if d, ok := p.SettleTime(); ok {
+				s.AddDuration(d)
+			}
+		}
+		return s
+	}
+
+	result.Series = append(result.Series,
+		Series{Name: "Brisa, cluster", Points: brisaRun(clusterNodes, simnet.Cluster()).CDF(24)},
+		Series{Name: "Tag, cluster", Points: tagRun(clusterNodes, simnet.Cluster()).CDF(24)},
+		Series{Name: "Brisa, PlanetLab", Points: brisaRun(plNodes, simnet.PlanetLab()).CDF(24)},
+		Series{Name: "Tag, PlanetLab", Points: tagRun(plNodes, simnet.PlanetLab()).CDF(24)},
+	)
+	return result
+}
+
+// RunFigure14 reproduces Figure 14: the CDF of parent recovery delays for
+// hard repairs under 3%/min continuous churn on a 128-node network with
+// view size 4, BRISA tree vs TAG.
+func RunFigure14(scale Scale, seed int64) FigureResult {
+	nodes := scale.apply(128, 48)
+	window := time.Duration(float64(10*time.Minute) * float64(scale))
+	if window < 2*time.Minute {
+		window = 2 * time.Minute
+	}
+	result := FigureResult{
+		Name: "Figure 14 — parent recovery delays (hard repairs)",
+		Notes: fmt.Sprintf("nodes=%d, view 4, 3%%/min churn for %v (paper: 128, 10 min)",
+			nodes, window),
+	}
+
+	// BRISA: hard-repair recovery delays come out of the churn runner.
+	brisaOut := runChurn(nodes, seed, brisa.ModeTree, 3, window)
+	result.Series = append(result.Series, Series{
+		Name:   "BRISA tree",
+		Points: brisaOut.HardDelays.CDF(24),
+	})
+
+	// TAG: same churn shape on a TAG cluster; hard repairs are re-insertions
+	// through the source after the list broke.
+	tagDelays := &stats.Sample{}
+	tc := newTagCluster(nodes, seed, simnet.Cluster(), func(self ids.NodeID) tagproto.Config {
+		return tagproto.Config{
+			OnRepair: func(hard bool, d time.Duration) {
+				if hard {
+					tagDelays.AddDuration(d)
+				}
+			},
+		}
+	})
+	tc.stabilize(nodes)
+	// Continuous stream so pulls keep flowing.
+	total := int(window/MessageInterval) + 100
+	for i := 0; i < total; i++ {
+		i := i
+		tc.net.After(time.Duration(i)*MessageInterval, func() {
+			tc.peers[0].Publish(Stream, make([]byte, 1024))
+		})
+	}
+	// Churn: every 60s, fail 3% and join 3%.
+	for at := time.Duration(0); at < window; at += time.Minute {
+		at := at
+		tc.net.After(at, func() {
+			n := len(tc.net.NodeIDs())
+			k := int(float64(n)*0.03 + 0.5)
+			for i := 0; i < k; i++ {
+				tc.crashRandom()
+				tc.joinNew()
+			}
+		})
+	}
+	tc.net.RunFor(window + 30*time.Second)
+	result.Series = append(result.Series, Series{
+		Name:   "TAG",
+		Points: tagDelays.CDF(24),
+	})
+	return result
+}

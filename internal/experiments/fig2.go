@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	brisa "repro"
+	"repro/internal/stats"
+)
+
+// RunFigure2 reproduces Figure 2: the CDF over nodes of duplicates per
+// message under plain HyParView flooding, for active view sizes 4, 6, 8 and
+// 10, on a 512-node network with 500 messages.
+func RunFigure2(scale Scale, seed int64) FigureResult {
+	nodes := scale.apply(512, 48)
+	msgs := scale.apply(500, 50)
+	result := FigureResult{
+		Name: "Figure 2 — duplicates per message under flooding (HyParView)",
+		Notes: fmt.Sprintf("nodes=%d messages=%d (paper: 512/500); expansion factor 2",
+			nodes, msgs),
+	}
+	for _, view := range []int{4, 6, 8, 10} {
+		c := brisa.NewCluster(brisa.ClusterConfig{
+			Nodes: nodes,
+			Seed:  seed,
+			Peer:  brisa.Config{Mode: brisa.ModeFlood, ViewSize: view},
+		})
+		runStream(c, msgs, 1024, MessageInterval*25)
+		var sample stats.Sample
+		for _, p := range c.AlivePeers() {
+			sample.Add(float64(p.Metrics().Duplicates) / float64(msgs))
+		}
+		result.Series = append(result.Series, Series{
+			Name:   fmt.Sprintf("view size = %d", view),
+			Points: sample.CDF(24),
+		})
+	}
+	return result
+}

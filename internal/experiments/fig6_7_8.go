@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	brisa "repro"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+// structureConfigs are the four configurations of Figures 6 and 7.
+func structureConfigs() []struct {
+	name string
+	mode brisa.Mode
+	view int
+} {
+	return []struct {
+		name string
+		mode brisa.Mode
+		view int
+	}{
+		{"tree, view=4", brisa.ModeTree, 4},
+		{"tree, view=8", brisa.ModeTree, 8},
+		{"DAG, 2 parents, view=4", brisa.ModeDAG, 4},
+		{"DAG, 2 parents, view=8", brisa.ModeDAG, 8},
+	}
+}
+
+// buildStructure bootstraps a cluster with the given configuration, runs a
+// short stream to let the structure emerge and stabilize, and captures it.
+func buildStructure(nodes int, seed int64, mode brisa.Mode, view int, expansion float64) (*brisa.Cluster, *structure) {
+	c := brisa.NewCluster(brisa.ClusterConfig{
+		Nodes: nodes,
+		Seed:  seed,
+		Peer: brisa.Config{
+			Mode:            mode,
+			Parents:         2,
+			ViewSize:        view,
+			ExpansionFactor: expansion,
+		},
+	})
+	source := runStream(c, 25, 256, MessageInterval*25)
+	return c, captureStructure(c, source.ID())
+}
+
+// RunFigure6 reproduces Figure 6: the depth distribution (longest path from
+// the source) for 512 nodes under the first-come first-picked strategy.
+func RunFigure6(scale Scale, seed int64) FigureResult {
+	nodes := scale.apply(512, 64)
+	result := FigureResult{
+		Name:  "Figure 6 — depth distribution",
+		Notes: fmt.Sprintf("nodes=%d (paper: 512); first-come first-picked", nodes),
+	}
+	for _, cfg := range structureConfigs() {
+		_, s := buildStructure(nodes, seed, cfg.mode, cfg.view, 2)
+		h := stats.NewIntHistogram()
+		for _, d := range s.depths {
+			h.Add(d)
+		}
+		result.Series = append(result.Series, Series{Name: cfg.name, Points: h.CDF()})
+	}
+	return result
+}
+
+// RunFigure7 reproduces Figure 7: the degree distribution (number of
+// outgoing structure links per node) for the same configurations.
+func RunFigure7(scale Scale, seed int64) FigureResult {
+	nodes := scale.apply(512, 64)
+	result := FigureResult{
+		Name:  "Figure 7 — degree distribution",
+		Notes: fmt.Sprintf("nodes=%d (paper: 512); first-come first-picked", nodes),
+	}
+	for _, cfg := range structureConfigs() {
+		_, s := buildStructure(nodes, seed, cfg.mode, cfg.view, 2)
+		h := stats.NewIntHistogram()
+		for _, d := range s.degrees {
+			h.Add(d)
+		}
+		result.Series = append(result.Series, Series{Name: cfg.name, Points: h.CDF()})
+	}
+	return result
+}
+
+// Figure8Result carries the two DOT drawings of Figure 8.
+type Figure8Result struct {
+	Name       string
+	DotView4   string
+	DotView8   string
+	StatsView4 string
+	StatsView8 string
+}
+
+// String renders the summary stats and the DOT sources.
+func (r Figure8Result) String() string {
+	return "== " + r.Name + " ==\n" +
+		"view=4: " + r.StatsView4 +
+		"view=8: " + r.StatsView8 +
+		"\n--- DOT (view=4) ---\n" + r.DotView4 +
+		"\n--- DOT (view=8) ---\n" + r.DotView8
+}
+
+// RunFigure8 reproduces Figure 8: sample emerged trees for 100 nodes with
+// HyParView view sizes 4 and 8 and expansion factor 1, as DOT drawings.
+func RunFigure8(scale Scale, seed int64) Figure8Result {
+	nodes := scale.apply(100, 40)
+	result := Figure8Result{
+		Name: fmt.Sprintf("Figure 8 — sample tree shapes (%d nodes, expansion factor 1)", nodes),
+	}
+	for _, view := range []int{4, 8} {
+		_, s := buildStructure(nodes, seed, brisa.ModeTree, view, 1)
+		var edges []viz.Edge
+		for child, parents := range s.parents {
+			for _, par := range parents {
+				edges = append(edges, viz.Edge{Parent: par, Child: child})
+			}
+		}
+		dot := viz.DOT(fmt.Sprintf("brisa_tree_view%d", view), s.source, edges)
+		st := viz.TreeStats(s.source, edges)
+		if view == 4 {
+			result.DotView4, result.StatsView4 = dot, st
+		} else {
+			result.DotView8, result.StatsView8 = dot, st
+		}
+	}
+	return result
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	brisa "repro"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// RunFigure9 reproduces Figure 9: the distribution of routing delays on a
+// PlanetLab-like network of 150 nodes (tree, view 4, 200 × 1 KB messages)
+// for four series: direct point-to-point communication, the delay-aware
+// strategy, the first-come first-picked strategy, and plain flooding.
+//
+// Metric note (recorded in EXPERIMENTS.md): the paper reports cumulative
+// per-hop round-trip times; we report one-way source-to-node delivery
+// delays per message (median per node), with the point-to-point series as
+// the direct one-way latency. The comparison across series is the same.
+func RunFigure9(scale Scale, seed int64) FigureResult {
+	nodes := scale.apply(150, 40)
+	msgs := scale.apply(200, 40)
+	result := FigureResult{
+		Name: "Figure 9 — routing delays on PlanetLab",
+		Notes: fmt.Sprintf("nodes=%d messages=%d payload=1KB (paper: 150/200); tree view 4",
+			nodes, msgs),
+	}
+
+	run := func(mode brisa.Mode, strategy brisa.Strategy) *stats.Sample {
+		publishedAt := make(map[uint32]time.Time)
+		perNode := make(map[brisa.NodeID]*stats.Sample)
+		var c *brisa.Cluster
+		c = brisa.NewCluster(brisa.ClusterConfig{
+			Nodes:           nodes,
+			Seed:            seed,
+			Latency:         simnet.PlanetLabSites(15),
+			NodeBandwidth:   250_000,
+			ProcessingDelay: simnet.LogNormalDelay(20*time.Millisecond, 1.0),
+			PeerConfig: func(id brisa.NodeID) brisa.Config {
+				return brisa.Config{
+					Mode: mode, ViewSize: 4, Strategy: strategy,
+					OnDeliver: func(_ brisa.StreamID, seq uint32, _ []byte) {
+						if t0, ok := publishedAt[seq]; ok && int(seq) > msgs/2 {
+							s := perNode[id]
+							if s == nil {
+								s = &stats.Sample{}
+								perNode[id] = s
+							}
+							s.AddDuration(c.Net.Now().Sub(t0))
+						}
+					},
+				}
+			},
+		})
+		c.Bootstrap()
+		source := c.Peers()[0]
+		publish(c, source, msgs, 1024, publishedAt)
+		c.Net.RunFor(time.Duration(msgs)*MessageInterval + 20*time.Second)
+		agg := &stats.Sample{}
+		for _, s := range perNode {
+			agg.Add(s.Median())
+		}
+		return agg
+	}
+
+	// Point-to-point: the direct one-way latency from the source to each
+	// node, sampled from the same latency model.
+	{
+		c := brisa.NewCluster(brisa.ClusterConfig{
+			Nodes:   nodes,
+			Seed:    seed,
+			Latency: simnet.PlanetLabSites(15),
+			Peer:    brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		})
+		src := c.Peers()[0].ID()
+		direct := &stats.Sample{}
+		for _, p := range c.Peers()[1:] {
+			direct.AddDuration(c.Net.EstimateLatency(src, p.ID()))
+		}
+		result.Series = append(result.Series, Series{Name: "point-to-point", Points: direct.CDF(24)})
+	}
+
+	result.Series = append(result.Series,
+		Series{Name: "delay-aware", Points: run(brisa.ModeTree, brisa.DelayAware{}).CDF(24)},
+		Series{Name: "first-pick", Points: run(brisa.ModeTree, brisa.FirstCome{}).CDF(24)},
+		Series{Name: "flood", Points: run(brisa.ModeFlood, brisa.FirstCome{}).CDF(24)},
+	)
+	return result
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at a scale and renders its report.
+type Runner func(scale Scale, seed int64) fmt.Stringer
+
+// Registry maps experiment identifiers (as used by cmd/brisa-figures) to
+// runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":   func(s Scale, seed int64) fmt.Stringer { return RunFigure2(s, seed) },
+		"fig6":   func(s Scale, seed int64) fmt.Stringer { return RunFigure6(s, seed) },
+		"fig7":   func(s Scale, seed int64) fmt.Stringer { return RunFigure7(s, seed) },
+		"fig8":   func(s Scale, seed int64) fmt.Stringer { return RunFigure8(s, seed) },
+		"fig9":   func(s Scale, seed int64) fmt.Stringer { return RunFigure9(s, seed) },
+		"fig10":  func(s Scale, seed int64) fmt.Stringer { d, _ := RunFigures10And11(s, seed); return d },
+		"fig11":  func(s Scale, seed int64) fmt.Stringer { _, u := RunFigures10And11(s, seed); return u },
+		"table1": func(s Scale, seed int64) fmt.Stringer { return RunTable1(s, seed) },
+		"fig12":  func(s Scale, seed int64) fmt.Stringer { return RunFigure12(s, seed) },
+		"fig13":  func(s Scale, seed int64) fmt.Stringer { return RunFigure13(s, seed) },
+		"table2": func(s Scale, seed int64) fmt.Stringer { return RunTable2(s, seed) },
+		"fig14":  func(s Scale, seed int64) fmt.Stringer { return RunFigure14(s, seed) },
+	}
+}
+
+// Names returns the registered experiment ids in order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

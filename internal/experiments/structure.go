@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	brisa "repro"
+)
+
+// structure captures the emerged dissemination structure of a cluster:
+// parent links, structural depths (longest path from the source, the
+// paper's Figure 6 definition) and out-degrees (number of outgoing
+// structure links, Figure 7).
+type structure struct {
+	source  brisa.NodeID
+	parents map[brisa.NodeID][]brisa.NodeID
+	depths  map[brisa.NodeID]int
+	degrees map[brisa.NodeID]int
+}
+
+// captureStructure reads Parents() from every alive peer and derives depths
+// and degrees. Nodes on a residual cycle (possible only transiently) get no
+// depth entry.
+func captureStructure(c *brisa.Cluster, source brisa.NodeID) *structure {
+	s := &structure{
+		source:  source,
+		parents: make(map[brisa.NodeID][]brisa.NodeID),
+		depths:  make(map[brisa.NodeID]int),
+		degrees: make(map[brisa.NodeID]int),
+	}
+	for _, p := range c.AlivePeers() {
+		id := p.ID()
+		s.degrees[id] = s.degrees[id] // ensure every node has a degree entry
+		if id == source {
+			continue
+		}
+		ps := p.Parents(Stream)
+		s.parents[id] = ps
+		for _, par := range ps {
+			s.degrees[par]++
+		}
+	}
+	// Longest path from source via memoized DFS with cycle detection.
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make(map[brisa.NodeID]int)
+	var depthOf func(id brisa.NodeID) (int, bool)
+	depthOf = func(id brisa.NodeID) (int, bool) {
+		if id == source {
+			return 0, true
+		}
+		if d, ok := s.depths[id]; ok {
+			return d, true
+		}
+		if state[id] == onStack {
+			return 0, false // cycle
+		}
+		if state[id] == done {
+			return 0, false // previously found cyclic/unrooted
+		}
+		state[id] = onStack
+		best := -1
+		for _, par := range s.parents[id] {
+			if d, ok := depthOf(par); ok && d+1 > best {
+				best = d + 1
+			}
+		}
+		state[id] = done
+		if best < 0 {
+			return 0, false
+		}
+		s.depths[id] = best
+		return best, true
+	}
+	s.depths[source] = 0
+	for id := range s.parents {
+		depthOf(id)
+	}
+	return s
+}

@@ -1,0 +1,713 @@
+// Package hyparview implements the HyParView membership protocol (Leitão,
+// Pereira, Rodrigues — DSN 2007) as specified in §II-A of the BRISA paper:
+// a small symmetric *active view* of monitored TCP connections exposed to
+// the application, and a larger *passive view* refreshed by shuffles and
+// used to replace failed active entries.
+//
+// BRISA-specific behaviour reproduced here:
+//   - the expansion factor: the active view may grow to
+//     ceil(ActiveSize×ExpansionFactor); evictions only trigger passive-view
+//     promotion when the view drops below the target size;
+//   - keep-alives measure per-neighbor RTT (used by the delay-aware parent
+//     selection strategy) and carry an opaque piggyback blob for the upper
+//     layer (used by BRISA soft repair).
+package hyparview
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Config tunes the protocol. The zero value is unusable; call
+// DefaultConfig and override.
+type Config struct {
+	// ActiveSize is the target active view size (the paper's "view size").
+	ActiveSize int
+	// ExpansionFactor lets the active view grow to
+	// ceil(ActiveSize*ExpansionFactor) before forced evictions (§II-A; the
+	// paper uses 2 in the evaluation, 1 for the Figure 8 tree drawings).
+	ExpansionFactor float64
+	// PassiveSize caps the passive view.
+	PassiveSize int
+	// ARWL and PRWL are the active and passive random-walk lengths for
+	// ForwardJoin propagation.
+	ARWL, PRWL uint8
+	// ShufflePeriod is the passive-view exchange period; Ka and Kp are the
+	// active and passive sample sizes included in a shuffle; ShuffleTTL is
+	// the shuffle walk length.
+	ShufflePeriod time.Duration
+	Ka, Kp        int
+	ShuffleTTL    uint8
+	// KeepAlivePeriod is the heartbeat period on active connections;
+	// MissLimit heartbeats without an answer declare the neighbor failed.
+	KeepAlivePeriod time.Duration
+	MissLimit       int
+
+	// Callbacks into the upper layer (BRISA). All optional.
+	OnNeighborUp   func(peer ids.NodeID)
+	OnNeighborDown func(peer ids.NodeID)
+	// Piggyback, when set, supplies the opaque upper-layer state attached
+	// to each keep-alive; OnPiggyback delivers the peer's blob.
+	Piggyback   func() []byte
+	OnPiggyback func(peer ids.NodeID, blob []byte)
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation unless an experiment overrides it.
+func DefaultConfig() Config {
+	return Config{
+		ActiveSize:      4,
+		ExpansionFactor: 2,
+		PassiveSize:     24,
+		ARWL:            6,
+		PRWL:            3,
+		ShufflePeriod:   5 * time.Second,
+		Ka:              3,
+		Kp:              4,
+		ShuffleTTL:      3,
+		KeepAlivePeriod: 1 * time.Second,
+		MissLimit:       3,
+	}
+}
+
+// Metrics counts protocol activity for the evaluation harness.
+type Metrics struct {
+	JoinsHandled     uint64
+	ForwardJoins     uint64
+	Evictions        uint64
+	Promotions       uint64
+	PromotionRejects uint64
+	Shuffles         uint64
+	NeighborFailures uint64
+	KeepAlivesMissed uint64
+}
+
+type dialKind int
+
+const (
+	dialNone     dialKind = iota
+	dialJoin              // send Join when up
+	dialNeighbor          // send NeighborRequest when up (forward-join accept / promotion)
+	dialTemp              // flush queued one-shot messages, peer closes
+)
+
+type dial struct {
+	kind     dialKind
+	priority bool // for dialNeighbor
+	queued   []wire.Message
+	started  time.Time
+}
+
+type neighbor struct {
+	connected bool
+	rtt       time.Duration
+	lastSeen  time.Time
+	missed    int
+}
+
+// Protocol is one node's HyParView instance. It implements node.Proto; all
+// methods run on the node's actor loop.
+type Protocol struct {
+	node.BaseProto
+	cfg     Config
+	env     node.Env
+	active  map[ids.NodeID]*neighbor
+	passive *ids.Set
+	dials   map[ids.NodeID]*dial
+	// promotionInFlight guards against issuing a storm of parallel
+	// NeighborRequests after one failure.
+	promotionInFlight bool
+	stopped           bool
+	metrics           Metrics
+	kaTimer           node.Timer
+	shuffleTimer      node.Timer
+}
+
+// Kinds returns the wire kinds this protocol owns, for Mux registration.
+func Kinds() []wire.Kind {
+	return []wire.Kind{
+		wire.KindJoin, wire.KindForwardJoin, wire.KindDisconnect,
+		wire.KindNeighborRequest, wire.KindNeighborReply,
+		wire.KindShuffle, wire.KindShuffleReply,
+		wire.KindKeepAlive, wire.KindKeepAliveReply,
+	}
+}
+
+// New builds a Protocol with the given configuration.
+func New(cfg Config) *Protocol {
+	if cfg.ActiveSize <= 0 {
+		panic("hyparview: ActiveSize must be positive")
+	}
+	if cfg.ExpansionFactor < 1 {
+		cfg.ExpansionFactor = 1
+	}
+	return &Protocol{
+		cfg:     cfg,
+		active:  make(map[ids.NodeID]*neighbor),
+		passive: ids.NewSet(),
+		dials:   make(map[ids.NodeID]*dial),
+	}
+}
+
+// maxActive is the hard cap: target size times expansion factor.
+func (p *Protocol) maxActive() int {
+	return int(math.Ceil(float64(p.cfg.ActiveSize) * p.cfg.ExpansionFactor))
+}
+
+// Start implements node.Proto.
+func (p *Protocol) Start(env node.Env) {
+	p.env = env
+	p.scheduleKeepAlive()
+	p.scheduleShuffle()
+}
+
+// Stop implements node.Proto.
+func (p *Protocol) Stop() {
+	p.stopped = true
+	if p.kaTimer != nil {
+		p.kaTimer.Stop()
+	}
+	if p.shuffleTimer != nil {
+		p.shuffleTimer.Stop()
+	}
+}
+
+// Metrics returns a snapshot of the protocol counters.
+func (p *Protocol) Metrics() Metrics { return p.metrics }
+
+// Join bootstraps this node into the overlay via the given contact.
+func (p *Protocol) Join(contact ids.NodeID) {
+	if contact == p.env.ID() {
+		return
+	}
+	p.dials[contact] = &dial{kind: dialJoin, started: p.env.Now()}
+	p.env.Connect(contact)
+}
+
+// Active returns the connected active-view members, ascending.
+func (p *Protocol) Active() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(p.active))
+	for id, nb := range p.active {
+		if nb.connected {
+			out = append(out, id)
+		}
+	}
+	ids.Sort(out)
+	return out
+}
+
+// ActiveContains reports whether peer is a connected active neighbor.
+func (p *Protocol) ActiveContains(peer ids.NodeID) bool {
+	nb, ok := p.active[peer]
+	return ok && nb.connected
+}
+
+// Passive returns the passive view, ascending.
+func (p *Protocol) Passive() []ids.NodeID { return p.passive.Snapshot() }
+
+// RTT returns the last measured round-trip time to an active neighbor, or 0
+// if unknown.
+func (p *Protocol) RTT(peer ids.NodeID) time.Duration {
+	if nb, ok := p.active[peer]; ok {
+		return nb.rtt
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------- view ops
+
+// addActive records peer as an active neighbor whose connection is already
+// established, evicting someone if the view is at its hard cap.
+func (p *Protocol) addActive(peer ids.NodeID) {
+	if peer == p.env.ID() || peer == ids.Nil {
+		return
+	}
+	if nb, ok := p.active[peer]; ok {
+		if !nb.connected {
+			nb.connected = true
+			nb.lastSeen = p.env.Now()
+			p.notifyUp(peer)
+		}
+		return
+	}
+	for len(p.active) >= p.maxActive() {
+		p.evictRandom(peer)
+	}
+	p.passive.Remove(peer)
+	p.active[peer] = &neighbor{connected: true, lastSeen: p.env.Now()}
+	p.notifyUp(peer)
+}
+
+// startActiveDial begins adding a peer we are not connected to yet.
+func (p *Protocol) startActiveDial(peer ids.NodeID, priority bool) {
+	if peer == p.env.ID() || peer == ids.Nil {
+		return
+	}
+	if _, ok := p.active[peer]; ok {
+		return
+	}
+	if _, ok := p.dials[peer]; ok {
+		return
+	}
+	p.dials[peer] = &dial{kind: dialNeighbor, priority: priority, started: p.env.Now()}
+	p.env.Connect(peer)
+}
+
+// evictRandom drops a random connected active member to make room, telling
+// it via Disconnect (the receiver closes the connection). exclude is never
+// chosen.
+func (p *Protocol) evictRandom(exclude ids.NodeID) {
+	candidates := make([]ids.NodeID, 0, len(p.active))
+	for id := range p.active {
+		if id != exclude {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	ids.Sort(candidates) // deterministic order before random pick
+	victim := candidates[p.env.Rand().Intn(len(candidates))]
+	nb := p.active[victim]
+	delete(p.active, victim)
+	p.metrics.Evictions++
+	if nb.connected {
+		p.env.Send(victim, wire.Disconnect{})
+		p.notifyDown(victim)
+	} else {
+		// Pending handshake: just tear the connection down.
+		p.env.Close(victim)
+	}
+	p.addPassive(victim)
+}
+
+// removeActive drops peer from the active view (already-disconnected path)
+// and promotes a replacement if the view fell below target.
+func (p *Protocol) removeActive(peer ids.NodeID, addToPassive bool) {
+	nb, ok := p.active[peer]
+	if !ok {
+		return
+	}
+	delete(p.active, peer)
+	if nb.connected {
+		p.notifyDown(peer)
+	}
+	if addToPassive {
+		p.addPassive(peer)
+	}
+	p.maybePromote()
+}
+
+func (p *Protocol) addPassive(peer ids.NodeID) {
+	if peer == p.env.ID() || peer == ids.Nil {
+		return
+	}
+	if _, inActive := p.active[peer]; inActive {
+		return
+	}
+	if p.passive.Has(peer) {
+		return
+	}
+	for p.passive.Len() >= p.cfg.PassiveSize {
+		snap := p.passive.Snapshot()
+		p.passive.Remove(snap[p.env.Rand().Intn(len(snap))])
+	}
+	p.passive.Add(peer)
+}
+
+// maybePromote starts one passive-view promotion if the active view is below
+// target (the expansion-factor rule: no replacement while the view is
+// between target and target×expansion).
+func (p *Protocol) maybePromote() {
+	if p.stopped || p.promotionInFlight || len(p.active) >= p.cfg.ActiveSize {
+		return
+	}
+	candidates := p.passive.Snapshot()
+	// Filter out nodes we are already dialing.
+	filtered := candidates[:0]
+	for _, c := range candidates {
+		if _, dialing := p.dials[c]; !dialing {
+			filtered = append(filtered, c)
+		}
+	}
+	if len(filtered) == 0 {
+		return
+	}
+	pick := filtered[p.env.Rand().Intn(len(filtered))]
+	p.promotionInFlight = true
+	priority := p.activeConnectedCount() == 0
+	p.passive.Remove(pick)
+	p.dials[pick] = &dial{kind: dialNeighbor, priority: priority, started: p.env.Now()}
+	p.env.Connect(pick)
+	p.metrics.Promotions++
+}
+
+func (p *Protocol) activeConnectedCount() int {
+	n := 0
+	for _, nb := range p.active {
+		if nb.connected {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Protocol) notifyUp(peer ids.NodeID) {
+	if p.cfg.OnNeighborUp != nil {
+		p.cfg.OnNeighborUp(peer)
+	}
+}
+
+func (p *Protocol) notifyDown(peer ids.NodeID) {
+	if p.cfg.OnNeighborDown != nil {
+		p.cfg.OnNeighborDown(peer)
+	}
+}
+
+// ---------------------------------------------------------------- conn events
+
+// ConnUp implements node.Proto.
+func (p *Protocol) ConnUp(peer ids.NodeID) {
+	d, ok := p.dials[peer]
+	if !ok {
+		// Inbound connection: intent arrives as the peer's first message.
+		return
+	}
+	delete(p.dials, peer)
+	rtt := p.env.Now().Sub(d.started)
+	switch d.kind {
+	case dialJoin:
+		p.env.Send(peer, wire.Join{})
+		p.addActive(peer)
+		if nb, ok := p.active[peer]; ok {
+			nb.rtt = rtt
+		}
+	case dialNeighbor:
+		p.env.Send(peer, wire.NeighborRequest{Priority: d.priority})
+		// Membership is confirmed by NeighborReply; park the dial state in
+		// a pending neighbor entry (counted against the cap) so RTT
+		// survives. The views stay disjoint: a peer entering the active
+		// view leaves the passive one.
+		for len(p.active) >= p.maxActive() {
+			p.evictRandom(peer)
+		}
+		p.passive.Remove(peer)
+		p.active[peer] = &neighbor{connected: false, lastSeen: p.env.Now(), rtt: rtt}
+	case dialTemp:
+		for _, m := range d.queued {
+			p.env.Send(peer, m)
+		}
+		// The receiver closes temp connections once it has consumed the
+		// messages; nothing more to do here.
+	}
+}
+
+// ConnDown implements node.Proto.
+func (p *Protocol) ConnDown(peer ids.NodeID, err error) {
+	if d, ok := p.dials[peer]; ok {
+		delete(p.dials, peer)
+		if d.kind == dialNeighbor {
+			p.promotionInFlight = false
+			p.passive.Remove(peer) // it is unreachable; drop it
+			p.maybePromote()
+		}
+		return
+	}
+	if _, ok := p.active[peer]; ok {
+		p.metrics.NeighborFailures++
+		p.removeActive(peer, false) // failed: do not keep in passive
+	}
+}
+
+// ---------------------------------------------------------------- messages
+
+// Receive implements node.Proto.
+func (p *Protocol) Receive(from ids.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case wire.Join:
+		p.onJoin(from)
+	case wire.ForwardJoin:
+		p.onForwardJoin(from, msg)
+	case wire.Disconnect:
+		p.onDisconnect(from)
+	case wire.NeighborRequest:
+		p.onNeighborRequest(from, msg)
+	case wire.NeighborReply:
+		p.onNeighborReply(from, msg)
+	case wire.Shuffle:
+		p.onShuffle(from, msg)
+	case wire.ShuffleReply:
+		p.onShuffleReply(from, msg)
+	case wire.KeepAlive:
+		p.onKeepAlive(from, msg)
+	case wire.KeepAliveReply:
+		p.onKeepAliveReply(from, msg)
+	}
+}
+
+func (p *Protocol) onJoin(from ids.NodeID) {
+	p.metrics.JoinsHandled++
+	p.addActive(from)
+	fj := wire.ForwardJoin{Joiner: from, TTL: p.cfg.ARWL}
+	for _, peer := range p.Active() {
+		if peer != from {
+			p.env.Send(peer, fj)
+		}
+	}
+}
+
+func (p *Protocol) onForwardJoin(from ids.NodeID, m wire.ForwardJoin) {
+	p.metrics.ForwardJoins++
+	joiner := m.Joiner
+	if joiner == p.env.ID() {
+		return
+	}
+	if m.TTL == 0 || p.activeConnectedCount() <= 1 {
+		p.startActiveDial(joiner, true)
+		return
+	}
+	if m.TTL == p.cfg.PRWL {
+		p.addPassive(joiner)
+	}
+	// Forward the walk to a random active peer other than the sender and
+	// the joiner itself.
+	var candidates []ids.NodeID
+	for _, peer := range p.Active() {
+		if peer != from && peer != joiner {
+			candidates = append(candidates, peer)
+		}
+	}
+	if len(candidates) == 0 {
+		p.startActiveDial(joiner, true)
+		return
+	}
+	next := candidates[p.env.Rand().Intn(len(candidates))]
+	p.env.Send(next, wire.ForwardJoin{Joiner: joiner, TTL: m.TTL - 1})
+}
+
+func (p *Protocol) onDisconnect(from ids.NodeID) {
+	// The evicting side keeps the link usable until we close it, so the
+	// Disconnect itself is always delivered.
+	p.env.Close(from)
+	p.removeActive(from, true)
+}
+
+func (p *Protocol) onNeighborRequest(from ids.NodeID, m wire.NeighborRequest) {
+	accept := m.Priority || len(p.active) < p.maxActive()
+	p.env.Send(from, wire.NeighborReply{Accept: accept})
+	if accept {
+		p.addActive(from)
+	} else {
+		p.addPassive(from)
+		// The requester closes the connection on reject.
+	}
+}
+
+func (p *Protocol) onNeighborReply(from ids.NodeID, m wire.NeighborReply) {
+	p.promotionInFlight = false
+	nb, ok := p.active[from]
+	if !ok {
+		return
+	}
+	if m.Accept {
+		nb.connected = true
+		nb.lastSeen = p.env.Now()
+		p.notifyUp(from)
+	} else {
+		delete(p.active, from)
+		p.env.Close(from)
+		p.metrics.PromotionRejects++
+		p.addPassive(from) // keep it around; it was alive, just full
+		p.maybePromote()
+	}
+}
+
+// ---------------------------------------------------------------- shuffles
+
+func (p *Protocol) scheduleShuffle() {
+	if p.cfg.ShufflePeriod <= 0 {
+		return
+	}
+	// Jitter the first shuffle to avoid lock-step rounds across the network.
+	delay := p.cfg.ShufflePeriod/2 + time.Duration(p.env.Rand().Int63n(int64(p.cfg.ShufflePeriod)))
+	p.shuffleTimer = p.env.After(delay, p.shuffleTick)
+}
+
+func (p *Protocol) shuffleTick() {
+	if p.stopped {
+		return
+	}
+	defer func() {
+		p.shuffleTimer = p.env.After(p.cfg.ShufflePeriod, p.shuffleTick)
+	}()
+	active := p.Active()
+	if len(active) == 0 {
+		return
+	}
+	target := active[p.env.Rand().Intn(len(active))]
+	sample := p.shuffleSample(target)
+	p.metrics.Shuffles++
+	p.env.Send(target, wire.Shuffle{Origin: p.env.ID(), TTL: p.cfg.ShuffleTTL, Nodes: sample})
+}
+
+// shuffleSample builds self + Ka active + Kp passive, excluding the target.
+func (p *Protocol) shuffleSample(exclude ids.NodeID) []ids.NodeID {
+	sample := []ids.NodeID{p.env.ID()}
+	sample = append(sample, pickRandom(p.Active(), p.cfg.Ka, exclude, p.env)...)
+	sample = append(sample, pickRandom(p.Passive(), p.cfg.Kp, exclude, p.env)...)
+	return sample
+}
+
+func (p *Protocol) onShuffle(from ids.NodeID, m wire.Shuffle) {
+	ttl := m.TTL
+	if ttl > 0 {
+		ttl--
+	}
+	if ttl > 0 && p.activeConnectedCount() > 1 {
+		var candidates []ids.NodeID
+		for _, peer := range p.Active() {
+			if peer != from && peer != m.Origin {
+				candidates = append(candidates, peer)
+			}
+		}
+		if len(candidates) > 0 {
+			next := candidates[p.env.Rand().Intn(len(candidates))]
+			p.env.Send(next, wire.Shuffle{Origin: m.Origin, TTL: ttl, Nodes: m.Nodes})
+			return
+		}
+	}
+	// Terminal node: integrate and reply with our own passive sample.
+	reply := wire.ShuffleReply{Nodes: pickRandom(p.Passive(), len(m.Nodes), m.Origin, p.env)}
+	p.integrate(m.Nodes)
+	if m.Origin == p.env.ID() {
+		return
+	}
+	if p.env.Connected(m.Origin) {
+		p.env.Send(m.Origin, reply)
+		return
+	}
+	p.tempSend(m.Origin, reply)
+}
+
+func (p *Protocol) onShuffleReply(from ids.NodeID, m wire.ShuffleReply) {
+	p.integrate(m.Nodes)
+	// If the reply arrived on a temporary connection, close it; the remote
+	// side treats the ConnDown as expected.
+	if _, isActive := p.active[from]; !isActive {
+		if _, dialing := p.dials[from]; !dialing {
+			p.env.Close(from)
+		}
+	}
+}
+
+func (p *Protocol) integrate(nodes []ids.NodeID) {
+	for _, id := range nodes {
+		p.addPassive(id)
+	}
+}
+
+// tempSend opens a short-lived connection, flushes msgs, and relies on the
+// receiver to close it.
+func (p *Protocol) tempSend(to ids.NodeID, msgs ...wire.Message) {
+	if d, ok := p.dials[to]; ok {
+		if d.kind == dialTemp {
+			d.queued = append(d.queued, msgs...)
+		}
+		return
+	}
+	p.dials[to] = &dial{kind: dialTemp, queued: msgs, started: p.env.Now()}
+	p.env.Connect(to)
+}
+
+// ---------------------------------------------------------------- keepalive
+
+func (p *Protocol) scheduleKeepAlive() {
+	if p.cfg.KeepAlivePeriod <= 0 {
+		return
+	}
+	delay := p.cfg.KeepAlivePeriod/2 + time.Duration(p.env.Rand().Int63n(int64(p.cfg.KeepAlivePeriod)))
+	p.kaTimer = p.env.After(delay, p.keepAliveTick)
+}
+
+func (p *Protocol) keepAliveTick() {
+	if p.stopped {
+		return
+	}
+	defer func() {
+		p.kaTimer = p.env.After(p.cfg.KeepAlivePeriod, p.keepAliveTick)
+	}()
+	var blob []byte
+	if p.cfg.Piggyback != nil {
+		blob = p.cfg.Piggyback()
+	}
+	now := p.env.Now()
+	for id, nb := range p.active {
+		if !nb.connected {
+			continue
+		}
+		nb.missed++
+		if nb.missed > p.cfg.MissLimit {
+			// The transport failure detector usually beats this, but a
+			// silently wedged peer is declared dead here.
+			p.metrics.KeepAlivesMissed++
+			p.env.Close(id)
+			p.removeActive(id, false)
+			continue
+		}
+		p.env.Send(id, wire.KeepAlive{SentAt: now.UnixNano(), Piggyback: blob})
+	}
+}
+
+func (p *Protocol) onKeepAlive(from ids.NodeID, m wire.KeepAlive) {
+	if p.cfg.OnPiggyback != nil && m.Piggyback != nil {
+		p.cfg.OnPiggyback(from, m.Piggyback)
+	}
+	var blob []byte
+	if p.cfg.Piggyback != nil {
+		blob = p.cfg.Piggyback()
+	}
+	p.env.Send(from, wire.KeepAliveReply{EchoSentAt: m.SentAt, Piggyback: blob})
+	if nb, ok := p.active[from]; ok {
+		nb.lastSeen = p.env.Now()
+		nb.missed = 0
+	}
+}
+
+func (p *Protocol) onKeepAliveReply(from ids.NodeID, m wire.KeepAliveReply) {
+	if p.cfg.OnPiggyback != nil && m.Piggyback != nil {
+		p.cfg.OnPiggyback(from, m.Piggyback)
+	}
+	if nb, ok := p.active[from]; ok {
+		sample := p.env.Now().Sub(time.Unix(0, m.EchoSentAt))
+		if nb.rtt <= 0 {
+			nb.rtt = sample
+		} else {
+			// EWMA smoothing: one queued keep-alive must not make a good
+			// link look bad to the delay-aware strategy.
+			nb.rtt = (nb.rtt*3 + sample) / 4
+		}
+		nb.lastSeen = p.env.Now()
+		nb.missed = 0
+	}
+}
+
+// pickRandom returns up to n distinct random elements of s, never exclude.
+func pickRandom(s []ids.NodeID, n int, exclude ids.NodeID, env node.Env) []ids.NodeID {
+	filtered := make([]ids.NodeID, 0, len(s))
+	for _, id := range s {
+		if id != exclude {
+			filtered = append(filtered, id)
+		}
+	}
+	if n >= len(filtered) {
+		return filtered
+	}
+	env.Rand().Shuffle(len(filtered), func(i, j int) {
+		filtered[i], filtered[j] = filtered[j], filtered[i]
+	})
+	return filtered[:n]
+}

@@ -1,0 +1,153 @@
+package hyparview
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/simnet"
+)
+
+func TestDisconnectMovesToPassive(t *testing.T) {
+	c := newCluster(t, 32, 13, DefaultConfig())
+	c.bootstrap(50 * time.Millisecond)
+	c.net.RunUntil(30 * time.Second)
+	// Force enough joins through one node to cause evictions there, then
+	// verify evicted peers landed in passive views rather than vanishing.
+	totalPassive := 0
+	for _, p := range c.peers {
+		totalPassive += len(p.Passive())
+	}
+	if totalPassive == 0 {
+		t.Fatal("no passive view entries anywhere; shuffles/evictions broken")
+	}
+}
+
+func TestPassiveViewsExcludeActiveAndSelf(t *testing.T) {
+	c := newCluster(t, 48, 14, DefaultConfig())
+	c.bootstrap(50 * time.Millisecond)
+	c.net.RunUntil(60 * time.Second)
+	for id, p := range c.peers {
+		active := map[ids.NodeID]bool{}
+		for _, a := range p.Active() {
+			active[a] = true
+		}
+		for _, q := range p.Passive() {
+			if q == id {
+				t.Errorf("node %v keeps itself in its passive view", id)
+			}
+			if active[q] {
+				t.Errorf("node %v has %v in both views", id, q)
+			}
+		}
+	}
+}
+
+func TestPromotionAfterFailureUsesPassiveView(t *testing.T) {
+	cfg := DefaultConfig()
+	c := newCluster(t, 48, 15, cfg)
+	c.bootstrap(50 * time.Millisecond)
+	c.net.RunUntil(40 * time.Second)
+
+	// Pick a node, remember its views, kill one active neighbor.
+	var victim, observer ids.NodeID
+	for id, p := range c.peers {
+		if len(p.Active()) >= cfg.ActiveSize && len(p.Passive()) > 0 {
+			observer = id
+			victim = p.Active()[0]
+			break
+		}
+	}
+	if observer == 0 {
+		t.Fatal("no suitable observer")
+	}
+	c.net.Crash(victim)
+	c.net.RunFor(20 * time.Second)
+	// The expansion-factor rule: replacement happens only when the view
+	// drops below the target size.
+	if after := len(c.peers[observer].Active()); after < cfg.ActiveSize {
+		t.Errorf("active view below target after recovery window: %d < %d", after, cfg.ActiveSize)
+	}
+	for _, nb := range c.peers[observer].Active() {
+		if nb == victim {
+			t.Error("dead neighbor still in the active view")
+		}
+	}
+	// Somewhere in the network, a neighbor of the victim fell below target
+	// and promoted from its passive view.
+	promotions := uint64(0)
+	for _, p := range c.peers {
+		promotions += p.Metrics().Promotions
+	}
+	if promotions == 0 {
+		t.Error("no passive-view promotions recorded anywhere")
+	}
+}
+
+func TestGracefulShutdownInformsPeers(t *testing.T) {
+	c := newCluster(t, 24, 16, DefaultConfig())
+	c.bootstrap(50 * time.Millisecond)
+	c.net.RunUntil(20 * time.Second)
+	leaver := c.order[5]
+	c.net.Shutdown(leaver)
+	c.net.RunFor(10 * time.Second)
+	for id, p := range c.peers {
+		if !c.net.Alive(id) {
+			continue
+		}
+		for _, nb := range p.Active() {
+			if nb == leaver {
+				t.Errorf("node %v still lists the departed %v", id, leaver)
+			}
+		}
+	}
+}
+
+func TestShufflesSpreadKnowledge(t *testing.T) {
+	// Two halves bootstrapped through a single bridge node: shuffles must
+	// spread passive knowledge across the bridge over time.
+	cfg := DefaultConfig()
+	cfg.ShufflePeriod = time.Second
+	netw := simnet.New(simnet.Options{Seed: 17})
+	c := &cluster{net: netw, peers: map[ids.NodeID]*Protocol{}}
+	for i := 0; i < 21; i++ {
+		id := ids.NodeID(i + 1)
+		p := New(cfg)
+		mux := muxFor(p)
+		netw.AddNode(id, mux)
+		c.peers[id] = p
+		c.order = append(c.order, id)
+	}
+	// Nodes 2..11 join via node 1; nodes 12..21 join via node 11.
+	for i := 1; i < 11; i++ {
+		i := i
+		netw.At(time.Duration(i)*100*time.Millisecond, func() { c.peers[c.order[i]].Join(1) })
+	}
+	for i := 11; i < 21; i++ {
+		i := i
+		netw.At(time.Duration(i)*100*time.Millisecond, func() { c.peers[c.order[i]].Join(11) })
+	}
+	netw.RunUntil(2 * time.Minute)
+	// Knowledge check: someone in the first half knows someone from the
+	// second half beyond the bridge.
+	crossKnowledge := 0
+	for i := 0; i < 10; i++ {
+		p := c.peers[c.order[i]]
+		for _, known := range append(p.Active(), p.Passive()...) {
+			if known > 11 {
+				crossKnowledge++
+			}
+		}
+	}
+	if crossKnowledge == 0 {
+		t.Error("no cross-partition knowledge after two minutes of shuffles")
+	}
+}
+
+// muxFor registers the protocol on a standard mux.
+func muxFor(p *Protocol) *node.Mux {
+	mux := node.NewMux()
+	mux.Register(p, Kinds()...)
+	return mux
+}

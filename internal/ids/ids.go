@@ -1,0 +1,144 @@
+// Package ids defines node identifiers.
+//
+// The BRISA paper assumes a 48-bit unique identifier per node (an ip:port
+// pair); the metadata-size argument in §II-D (path embedding costs 7×48 bits
+// for a million-node system) depends on that width. NodeID keeps the same
+// on-the-wire width: values are encoded in 6 bytes and must therefore stay
+// below 2^48.
+package ids
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID uniquely identifies a node. The zero value is reserved and never
+// names a live node; protocols use it as "no node".
+type NodeID uint64
+
+// Nil is the reserved "no node" identifier.
+const Nil NodeID = 0
+
+// WireSize is the encoded size of a NodeID in bytes (48 bits, the paper's
+// ip:port width).
+const WireSize = 6
+
+// MaxID is the largest encodable identifier (2^48 - 1).
+const MaxID NodeID = 1<<48 - 1
+
+// String renders the identifier as the ip:port pair it would be in a real
+// deployment: the high 32 bits as a dotted quad and the low 16 bits as a
+// port. Simulation-assigned IDs are small integers, which print as
+// 0.0.0.x:port — still unique and compact in logs.
+func (id NodeID) String() string {
+	if id == Nil {
+		return "nil"
+	}
+	ip := uint32(id >> 16)
+	port := uint16(id)
+	return fmt.Sprintf("%d.%d.%d.%d:%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip), port)
+}
+
+// Valid reports whether the identifier is non-nil and encodable in 48 bits.
+func (id NodeID) Valid() bool { return id != Nil && id <= MaxID }
+
+// FromHostPort builds a NodeID from a 32-bit host and 16-bit port, mirroring
+// the paper's ip:port identifiers. Useful for the TCP transport.
+func FromHostPort(host uint32, port uint16) NodeID {
+	return NodeID(uint64(host)<<16 | uint64(port))
+}
+
+// Sort orders a slice of identifiers in place (ascending). Handy for
+// deterministic iteration over map keys in tests and logs.
+func Sort(s []NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// Contains reports whether s contains id.
+func Contains(s []NodeID, id NodeID) bool {
+	for _, v := range s {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of s, or nil if s is empty.
+func Clone(s []NodeID) []NodeID {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]NodeID, len(s))
+	copy(out, s)
+	return out
+}
+
+// Remove returns s with the first occurrence of id removed, preserving order.
+// The input slice is modified.
+func Remove(s []NodeID, id NodeID) []NodeID {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Set is a small set of node identifiers with deterministic snapshotting.
+type Set struct {
+	m map[NodeID]struct{}
+}
+
+// NewSet returns a set pre-populated with the given members.
+func NewSet(members ...NodeID) *Set {
+	s := &Set{m: make(map[NodeID]struct{}, len(members))}
+	for _, id := range members {
+		s.m[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id and reports whether it was absent.
+func (s *Set) Add(id NodeID) bool {
+	if _, ok := s.m[id]; ok {
+		return false
+	}
+	s.m[id] = struct{}{}
+	return true
+}
+
+// Remove deletes id and reports whether it was present.
+func (s *Set) Remove(id NodeID) bool {
+	if _, ok := s.m[id]; !ok {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+// Has reports membership.
+func (s *Set) Has(id NodeID) bool {
+	_, ok := s.m[id]
+	return ok
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.m) }
+
+// Snapshot returns the members in ascending order.
+func (s *Set) Snapshot() []NodeID {
+	out := make([]NodeID, 0, len(s.m))
+	for id := range s.m {
+		out = append(out, id)
+	}
+	Sort(out)
+	return out
+}
+
+// Clear removes all members.
+func (s *Set) Clear() {
+	for id := range s.m {
+		delete(s.m, id)
+	}
+}

@@ -1,0 +1,94 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestString(t *testing.T) {
+	cases := map[NodeID]string{
+		Nil:                            "nil",
+		FromHostPort(0x7F000001, 8080): "127.0.0.1:8080",
+		FromHostPort(0x0A000001, 1):    "10.0.0.1:1",
+		42:                             "0.0.0.0:42",
+	}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", uint64(id), got, want)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if Nil.Valid() {
+		t.Error("Nil must be invalid")
+	}
+	if !MaxID.Valid() {
+		t.Error("MaxID must be valid")
+	}
+	if (MaxID + 1).Valid() {
+		t.Error("MaxID+1 must be invalid (does not fit in 48 bits)")
+	}
+}
+
+func TestQuickFromHostPortRoundTrip(t *testing.T) {
+	f := func(host uint32, port uint16) bool {
+		id := FromHostPort(host, port)
+		if host != 0 || port != 0 {
+			if !id.Valid() {
+				return false
+			}
+		}
+		return uint32(uint64(id)>>16) == host && uint16(id) == port
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	s := []NodeID{3, 1, 2}
+	Sort(s)
+	if s[0] != 1 || s[2] != 3 {
+		t.Errorf("Sort: %v", s)
+	}
+	if !Contains(s, 2) || Contains(s, 9) {
+		t.Error("Contains broken")
+	}
+	s = Remove(s, 2)
+	if len(s) != 2 || Contains(s, 2) {
+		t.Errorf("Remove: %v", s)
+	}
+	s = Remove(s, 99) // absent: no-op
+	if len(s) != 2 {
+		t.Errorf("Remove absent changed slice: %v", s)
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+	c := Clone(s)
+	c[0] = 77
+	if s[0] == 77 {
+		t.Error("Clone aliases the input")
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(5, 3)
+	if !s.Add(1) || s.Add(1) {
+		t.Error("Add semantics")
+	}
+	if s.Len() != 3 || !s.Has(3) || s.Has(9) {
+		t.Error("membership")
+	}
+	if snap := s.Snapshot(); snap[0] != 1 || snap[1] != 3 || snap[2] != 5 {
+		t.Errorf("Snapshot not sorted: %v", snap)
+	}
+	if !s.Remove(3) || s.Remove(3) {
+		t.Error("Remove semantics")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("Clear")
+	}
+}

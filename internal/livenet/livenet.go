@@ -1,0 +1,466 @@
+// Package livenet runs the same protocol handlers that the simulator drives
+// — node.Handler actors — on real TCP connections with one goroutine per
+// node. It is the deployment path: cmd/brisa-node hosts one peer per
+// process, and the integration tests spin multi-peer networks on loopback.
+//
+// Identifiers are the paper's 48-bit ip:port pairs, so a NodeID *is* a
+// dialable address (ids.NodeID.String() → "a.b.c.d:port") and no external
+// address book is needed.
+//
+// Concurrency model: all Handler callbacks and timer functions run on the
+// node's single actor goroutine, exactly like on the simulator; network
+// reads/writes happen on per-connection goroutines that only communicate
+// with the actor through its mailbox.
+package livenet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	nodepkg "repro/internal/node"
+	"repro/internal/wire"
+)
+
+// maxFrame bounds a single wire frame (1 MiB covers the largest payloads
+// the experiments use, with headroom).
+const maxFrame = 1 << 20
+
+// ErrStopped is reported on sends after the node shut down.
+var ErrStopped = errors.New("livenet: node stopped")
+
+// Config configures a live node.
+type Config struct {
+	// Listen is the TCP listen address, e.g. "127.0.0.1:0". The node's
+	// identifier is derived from the bound address.
+	Listen string
+	// Handler is the protocol stack (e.g. a brisa.Peer's Handler).
+	Handler nodepkg.Handler
+	// Seed seeds the node's RNG; 0 uses the current time.
+	Seed int64
+	// Logf, when set, receives debug output.
+	Logf func(format string, args ...any)
+}
+
+// Node is one live protocol instance.
+type Node struct {
+	id       ids.NodeID
+	handler  nodepkg.Handler
+	listener net.Listener
+	mailbox  chan func()
+	rng      *rand.Rand
+	logf     func(string, ...any)
+
+	mu    sync.Mutex
+	conns map[ids.NodeID]*liveConn
+	// dialing tracks in-flight outbound dials so Connect is idempotent.
+	dialing map[ids.NodeID]bool
+	stopped bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type liveConn struct {
+	peer ids.NodeID
+	c    net.Conn
+	wmu  sync.Mutex
+	w    *bufio.Writer
+}
+
+// Start binds the listener and launches the actor loop. The returned node is
+// running; call Stop to shut it down.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("livenet: Config.Handler is required")
+	}
+	ln, err := net.Listen("tcp4", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: listen: %w", err)
+	}
+	addr := ln.Addr().(*net.TCPAddr)
+	ip4 := addr.IP.To4()
+	if ip4 == nil {
+		ln.Close()
+		return nil, fmt.Errorf("livenet: need an IPv4 listen address, got %v", addr)
+	}
+	id := ids.FromHostPort(binary.BigEndian.Uint32(ip4), uint16(addr.Port))
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	n := &Node{
+		id:       id,
+		handler:  cfg.Handler,
+		listener: ln,
+		mailbox:  make(chan func(), 4096),
+		rng:      rand.New(rand.NewSource(seed)),
+		logf:     cfg.Logf,
+		conns:    make(map[ids.NodeID]*liveConn),
+		dialing:  make(map[ids.NodeID]bool),
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.actorLoop()
+	go n.acceptLoop()
+	n.enqueue(func() { n.handler.Start(n) })
+	return n, nil
+}
+
+// ID returns the node's identifier (its ip:port).
+func (n *Node) ID() ids.NodeID { return n.id }
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.id.String() }
+
+// Stop shuts the node down: Handler.Stop runs on the actor, then all
+// connections and the listener close.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	conns := make([]*liveConn, 0, len(n.conns))
+	for _, c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	stopDone := make(chan struct{})
+	n.enqueue(func() {
+		n.handler.Stop()
+		close(stopDone)
+	})
+	select {
+	case <-stopDone:
+	case <-time.After(2 * time.Second):
+	}
+	close(n.done)
+	n.listener.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	n.wg.Wait()
+}
+
+// Call runs fn on the actor goroutine and waits for it — tests use this to
+// inspect protocol state without racing the actor.
+func (n *Node) Call(fn func()) {
+	doneCh := make(chan struct{})
+	n.enqueue(func() {
+		fn()
+		close(doneCh)
+	})
+	<-doneCh
+}
+
+// ---------------------------------------------------------------- actor env
+
+// enqueue posts work to the actor loop; drops silently after shutdown.
+func (n *Node) enqueue(fn func()) {
+	select {
+	case n.mailbox <- fn:
+	case <-n.done:
+	}
+}
+
+func (n *Node) actorLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.mailbox:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Now implements node.Env.
+func (n *Node) Now() time.Time { return time.Now() }
+
+// Rand implements node.Env.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Log implements node.Env.
+func (n *Node) Log(format string, args ...any) {
+	if n.logf != nil {
+		n.logf("[%v] "+format, append([]any{n.id}, args...)...)
+	}
+}
+
+type liveTimer struct{ t *time.Timer }
+
+func (t liveTimer) Stop() bool { return t.t.Stop() }
+
+// After implements node.Env: the callback is marshalled onto the actor.
+func (n *Node) After(d time.Duration, fn func()) nodepkg.Timer {
+	return liveTimer{t: time.AfterFunc(d, func() { n.enqueue(fn) })}
+}
+
+// Connected implements node.Env.
+func (n *Node) Connected(to ids.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.conns[to]
+	return ok
+}
+
+// Connect implements node.Env: dials the peer's ip:port asynchronously.
+func (n *Node) Connect(to ids.NodeID) {
+	n.mu.Lock()
+	if n.stopped || n.dialing[to] {
+		n.mu.Unlock()
+		return
+	}
+	if _, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return
+	}
+	n.dialing[to] = true
+	n.mu.Unlock()
+
+	go func() {
+		conn, err := net.DialTimeout("tcp4", to.String(), 3*time.Second)
+		n.mu.Lock()
+		delete(n.dialing, to)
+		stopped := n.stopped
+		n.mu.Unlock()
+		if stopped {
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if err != nil {
+			n.enqueue(func() { n.handler.ConnDown(to, err) })
+			return
+		}
+		// Identify ourselves: the hello frame carries our NodeID so the
+		// acceptor knows who dialed.
+		if err := writeHello(conn, n.id); err != nil {
+			conn.Close()
+			n.enqueue(func() { n.handler.ConnDown(to, err) })
+			return
+		}
+		n.registerConn(to, conn)
+	}()
+}
+
+// Close implements node.Env.
+func (n *Node) Close(to ids.NodeID) {
+	n.mu.Lock()
+	c, ok := n.conns[to]
+	if ok {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	if ok {
+		c.c.Close() // the reader goroutine exits; no local ConnDown
+	}
+}
+
+// Send implements node.Env: frames and writes the message; write errors
+// surface as ConnDown.
+func (n *Node) Send(to ids.NodeID, m wire.Message) {
+	n.mu.Lock()
+	c, ok := n.conns[to]
+	n.mu.Unlock()
+	if !ok {
+		return // no established connection: dropped, like a broken stream
+	}
+	frame := wire.Marshal(m)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.wmu.Lock()
+	_, err := c.w.Write(hdr[:])
+	if err == nil {
+		_, err = c.w.Write(frame)
+	}
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		n.dropConn(to, c, err)
+	}
+}
+
+// ---------------------------------------------------------------- plumbing
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			peer, err := readHello(conn)
+			if err != nil || !peer.Valid() {
+				conn.Close()
+				return
+			}
+			n.registerConn(peer, conn)
+		}()
+	}
+}
+
+// registerConn installs a connection and starts its reader. If a connection
+// to the peer already exists, the new one is dropped (first wins; the
+// protocols tolerate a failed dial).
+func (n *Node) registerConn(peer ids.NodeID, conn net.Conn) {
+	lc := &liveConn{peer: peer, c: conn, w: bufio.NewWriter(conn)}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if _, dup := n.conns[peer]; dup {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.conns[peer] = lc
+	n.mu.Unlock()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	n.enqueue(func() { n.handler.ConnUp(peer) })
+	n.wg.Add(1)
+	go n.readLoop(lc)
+}
+
+func (n *Node) readLoop(lc *liveConn) {
+	defer n.wg.Done()
+	r := bufio.NewReader(lc.c)
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			n.dropConn(lc.peer, lc, err)
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[:])
+		if size == 0 || size > maxFrame {
+			n.dropConn(lc.peer, lc, fmt.Errorf("livenet: bad frame size %d", size))
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			n.dropConn(lc.peer, lc, err)
+			return
+		}
+		msg, err := wire.Unmarshal(frame)
+		if err != nil {
+			n.dropConn(lc.peer, lc, err)
+			return
+		}
+		peer := lc.peer
+		n.enqueue(func() { n.handler.Receive(peer, msg) })
+	}
+}
+
+// dropConn removes a broken connection and reports ConnDown once.
+func (n *Node) dropConn(peer ids.NodeID, lc *liveConn, err error) {
+	n.mu.Lock()
+	cur, ok := n.conns[peer]
+	if ok && cur == lc {
+		delete(n.conns, peer)
+	} else {
+		ok = false
+	}
+	stopped := n.stopped
+	n.mu.Unlock()
+	lc.c.Close()
+	if ok && !stopped {
+		n.enqueue(func() { n.handler.ConnDown(peer, err) })
+	}
+}
+
+// writeHello sends the 6-byte dialer identifier.
+func writeHello(c net.Conn, id ids.NodeID) error {
+	e := wire.Encoder{}
+	e.NodeID(id)
+	c.SetWriteDeadline(time.Now().Add(3 * time.Second))
+	defer c.SetWriteDeadline(time.Time{})
+	_, err := c.Write(e.B)
+	return err
+}
+
+// readHello reads the dialer identifier.
+func readHello(c net.Conn) (ids.NodeID, error) {
+	buf := make([]byte, ids.WireSize)
+	c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	defer c.SetReadDeadline(time.Time{})
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return ids.Nil, err
+	}
+	d := wire.Decoder{B: buf}
+	return d.NodeID(), d.Finish()
+}
+
+var _ nodepkg.Env = (*Node)(nil)
+
+// LateHandler defers the real protocol handler. A node's identifier is only
+// known after its listener binds, yet Start requires a handler up front;
+// callers bind with a LateHandler, build the protocol stack with the bound
+// identifier, then Set the real handler. Callbacks arriving in between are
+// buffered and replayed in order.
+type LateHandler struct {
+	mu      sync.Mutex
+	inner   nodepkg.Handler
+	pending []func(h nodepkg.Handler)
+}
+
+// Set installs the real handler and replays buffered callbacks.
+func (l *LateHandler) Set(h nodepkg.Handler) {
+	l.mu.Lock()
+	l.inner = h
+	pending := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	for _, fn := range pending {
+		fn(h)
+	}
+}
+
+func (l *LateHandler) do(fn func(h nodepkg.Handler)) {
+	l.mu.Lock()
+	if l.inner == nil {
+		l.pending = append(l.pending, fn)
+		l.mu.Unlock()
+		return
+	}
+	h := l.inner
+	l.mu.Unlock()
+	fn(h)
+}
+
+// Start implements node.Handler.
+func (l *LateHandler) Start(env nodepkg.Env) { l.do(func(h nodepkg.Handler) { h.Start(env) }) }
+
+// Receive implements node.Handler.
+func (l *LateHandler) Receive(from ids.NodeID, m wire.Message) {
+	l.do(func(h nodepkg.Handler) { h.Receive(from, m) })
+}
+
+// ConnUp implements node.Handler.
+func (l *LateHandler) ConnUp(peer ids.NodeID) { l.do(func(h nodepkg.Handler) { h.ConnUp(peer) }) }
+
+// ConnDown implements node.Handler.
+func (l *LateHandler) ConnDown(peer ids.NodeID, err error) {
+	l.do(func(h nodepkg.Handler) { h.ConnDown(peer, err) })
+}
+
+// Stop implements node.Handler.
+func (l *LateHandler) Stop() { l.do(func(h nodepkg.Handler) { h.Stop() }) }

@@ -1,0 +1,116 @@
+package livenet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// startPeers launches n full BRISA peers on loopback TCP.
+func startPeers(t *testing.T, n int, cfg func(i int) brisa.Config) ([]*Node, []*brisa.Peer) {
+	t.Helper()
+	nodes := make([]*Node, 0, n)
+	peers := make([]*brisa.Peer, 0, n)
+	for i := 0; i < n; i++ {
+		ln, peer := startOne(t, cfg(i), int64(i+1))
+		nodes = append(nodes, ln)
+		peers = append(peers, peer)
+	}
+	t.Cleanup(func() {
+		for _, ln := range nodes {
+			ln.Stop()
+		}
+	})
+	return nodes, peers
+}
+
+// startOne binds a listener with a LateHandler, then builds the peer with
+// the bound identifier.
+func startOne(t *testing.T, cfg brisa.Config, seed int64) (*Node, *brisa.Peer) {
+	t.Helper()
+	var peer *brisa.Peer
+	wrapper := &LateHandler{}
+	n, err := Start(Config{Listen: "127.0.0.1:0", Handler: wrapper, Seed: seed})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	peer = brisa.NewPeer(n.ID(), cfg)
+	wrapper.Set(peer.Handler())
+	return n, peer
+}
+
+func TestLoopbackDissemination(t *testing.T) {
+	const n = 8
+	var delivered atomic.Int64
+	nodes, peers := startPeers(t, n, func(i int) brisa.Config {
+		return brisa.Config{
+			Mode: brisa.ModeTree, ViewSize: 3,
+			OnDeliver: func(brisa.StreamID, uint32, []byte) { delivered.Add(1) },
+		}
+	})
+	// Join everyone through node 0.
+	for i := 1; i < n; i++ {
+		i := i
+		nodes[i].Call(func() { peers[i].Join(nodes[0].ID()) })
+		time.Sleep(50 * time.Millisecond)
+	}
+	time.Sleep(1 * time.Second)
+
+	// Publish a short stream from node 0.
+	const msgs = 20
+	for k := 0; k < msgs; k++ {
+		nodes[0].Call(func() { peers[0].Publish(1, []byte("payload")) })
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	want := int64(msgs * (n - 1))
+	for time.Now().Before(deadline) {
+		if delivered.Load() >= want {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if got := delivered.Load(); got < want {
+		t.Fatalf("delivered %d of %d payload receptions over TCP", got, want)
+	}
+	// Every non-source peer must have exactly one parent (tree emerged over
+	// real sockets too).
+	for i := 1; i < n; i++ {
+		i := i
+		nodes[i].Call(func() {
+			if got := len(peers[i].Parents(1)); got != 1 {
+				t.Errorf("peer %d has %d parents, want 1", i, got)
+			}
+		})
+	}
+}
+
+func TestNodeStopIsClean(t *testing.T) {
+	nodes, peers := startPeers(t, 3, func(i int) brisa.Config {
+		return brisa.Config{Mode: brisa.ModeTree, ViewSize: 2}
+	})
+	for i := 1; i < 3; i++ {
+		i := i
+		nodes[i].Call(func() { peers[i].Join(nodes[0].ID()) })
+	}
+	time.Sleep(500 * time.Millisecond)
+	nodes[1].Stop()
+	// Stopping twice must be safe.
+	nodes[1].Stop()
+	time.Sleep(200 * time.Millisecond)
+	// The survivors keep running; sending to the dead node is a no-op.
+	nodes[0].Call(func() { peers[0].Publish(1, []byte("x")) })
+}
+
+func TestIDRoundTripsThroughAddr(t *testing.T) {
+	nodes, _ := startPeers(t, 1, func(i int) brisa.Config {
+		return brisa.Config{Mode: brisa.ModeTree}
+	})
+	id := nodes[0].ID()
+	if id.String() != nodes[0].Addr() {
+		t.Fatalf("id %v does not render its dial address %v", id, nodes[0].Addr())
+	}
+}

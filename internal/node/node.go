@@ -1,0 +1,173 @@
+// Package node defines the actor contract protocol implementations are
+// written against. The same Handler code runs unchanged on the deterministic
+// discrete-event simulator (internal/simnet) and on the live goroutine/TCP
+// runtime (internal/livenet).
+//
+// Concurrency model: every node is a single-threaded actor. All Handler
+// methods and all timer callbacks for one node are invoked serially by the
+// runtime, so protocol state needs no locking. Handlers must not block.
+package node
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer and reports whether it was still pending.
+	Stop() bool
+}
+
+// Env is the runtime a node lives in: identity, time, timers, and
+// connection-oriented messaging with failure detection (the paper's "opened
+// TCP connection ... with fault detection", §II-A).
+type Env interface {
+	// ID returns this node's identifier.
+	ID() ids.NodeID
+
+	// Now returns the current (virtual or wall) time.
+	Now() time.Time
+
+	// Rand returns this node's deterministic random source. Only valid to
+	// use from the node's own callbacks.
+	Rand() *rand.Rand
+
+	// After schedules fn to run on this node's actor loop after d. The
+	// returned Timer can cancel it.
+	After(d time.Duration, fn func()) Timer
+
+	// Connect opens a connection to the peer. Completion is reported via
+	// Handler.ConnUp (or ConnDown with an error if the dial fails). Opening
+	// an already-open or in-progress connection is a no-op.
+	Connect(to ids.NodeID)
+
+	// Close tears down the connection to the peer, if any. The remote side
+	// observes ConnDown; the local side gets no callback.
+	Close(to ids.NodeID)
+
+	// Send transmits a message on an established connection. Messages on a
+	// connection that is not (yet or anymore) established are dropped, as
+	// they would be on a broken TCP stream; the failure eventually surfaces
+	// as ConnDown.
+	Send(to ids.NodeID, m wire.Message)
+
+	// Connected reports whether a connection to the peer is established.
+	Connected(to ids.NodeID) bool
+
+	// Log writes a debug line tagged with the node and current time.
+	Log(format string, args ...any)
+}
+
+// Handler is the protocol side of a node.
+type Handler interface {
+	// Start runs once when the node boots, before any other callback.
+	Start(env Env)
+
+	// Receive delivers one message from an established connection.
+	Receive(from ids.NodeID, m wire.Message)
+
+	// ConnUp reports that a connection (initiated by either side) is
+	// established.
+	ConnUp(peer ids.NodeID)
+
+	// ConnDown reports that the connection to peer was lost: the peer
+	// closed it, crashed (detected by the transport's failure detector), or
+	// an outgoing dial failed.
+	ConnDown(peer ids.NodeID, err error)
+
+	// Stop runs when the node is shut down cleanly. Crash-killed nodes do
+	// not get a Stop.
+	Stop()
+}
+
+// Proto is a sub-protocol that a Mux dispatches to. It mirrors Handler but
+// receives only its own kinds.
+type Proto interface {
+	Start(env Env)
+	Receive(from ids.NodeID, m wire.Message)
+	ConnUp(peer ids.NodeID)
+	ConnDown(peer ids.NodeID, err error)
+	Stop()
+}
+
+// BaseProto provides no-op implementations of the Proto callbacks so small
+// protocols only implement what they need.
+type BaseProto struct{}
+
+// Start implements Proto.
+func (BaseProto) Start(Env) {}
+
+// Receive implements Proto.
+func (BaseProto) Receive(ids.NodeID, wire.Message) {}
+
+// ConnUp implements Proto.
+func (BaseProto) ConnUp(ids.NodeID) {}
+
+// ConnDown implements Proto.
+func (BaseProto) ConnDown(ids.NodeID, error) {}
+
+// Stop implements Proto.
+func (BaseProto) Stop() {}
+
+// Mux is a Handler that routes messages to sub-protocols by wire kind and
+// fans connection events out to all of them. Registration order fixes the
+// order of Start/ConnUp/ConnDown/Stop fan-out (lower layers first).
+type Mux struct {
+	protos []Proto
+	byKind map[wire.Kind]Proto
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux {
+	return &Mux{byKind: make(map[wire.Kind]Proto)}
+}
+
+// Register adds a sub-protocol and the kinds it owns.
+func (m *Mux) Register(p Proto, kinds ...wire.Kind) {
+	m.protos = append(m.protos, p)
+	for _, k := range kinds {
+		if _, dup := m.byKind[k]; dup {
+			panic("node: kind registered twice: " + k.String())
+		}
+		m.byKind[k] = p
+	}
+}
+
+// Start implements Handler.
+func (m *Mux) Start(env Env) {
+	for _, p := range m.protos {
+		p.Start(env)
+	}
+}
+
+// Receive implements Handler.
+func (m *Mux) Receive(from ids.NodeID, msg wire.Message) {
+	if p, ok := m.byKind[msg.Kind()]; ok {
+		p.Receive(from, msg)
+	}
+}
+
+// ConnUp implements Handler.
+func (m *Mux) ConnUp(peer ids.NodeID) {
+	for _, p := range m.protos {
+		p.ConnUp(peer)
+	}
+}
+
+// ConnDown implements Handler.
+func (m *Mux) ConnDown(peer ids.NodeID, err error) {
+	for _, p := range m.protos {
+		p.ConnDown(peer, err)
+	}
+}
+
+// Stop implements Handler.
+func (m *Mux) Stop() {
+	for i := len(m.protos) - 1; i >= 0; i-- {
+		m.protos[i].Stop()
+	}
+}

@@ -1,0 +1,90 @@
+package node
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// recorder logs which callbacks fired.
+type recorder struct {
+	BaseProto
+	name string
+	log  *[]string
+}
+
+func (r *recorder) Start(Env) { *r.log = append(*r.log, r.name+":start") }
+func (r *recorder) Stop()     { *r.log = append(*r.log, r.name+":stop") }
+func (r *recorder) ConnUp(p ids.NodeID) {
+	*r.log = append(*r.log, r.name+":up")
+}
+func (r *recorder) ConnDown(p ids.NodeID, err error) {
+	*r.log = append(*r.log, r.name+":down")
+}
+func (r *recorder) Receive(from ids.NodeID, m wire.Message) {
+	*r.log = append(*r.log, r.name+":"+m.Kind().String())
+}
+
+func TestMuxRoutesByKind(t *testing.T) {
+	var log []string
+	mux := NewMux()
+	a := &recorder{name: "a", log: &log}
+	b := &recorder{name: "b", log: &log}
+	mux.Register(a, wire.KindJoin)
+	mux.Register(b, wire.KindData)
+
+	mux.Receive(1, wire.Join{})
+	mux.Receive(1, wire.Data{})
+	mux.Receive(1, wire.Rumor{}) // unowned kind: dropped silently
+
+	want := []string{"a:Join", "b:Data"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func TestMuxFanOutOrder(t *testing.T) {
+	var log []string
+	mux := NewMux()
+	mux.Register(&recorder{name: "lower", log: &log}, wire.KindJoin)
+	mux.Register(&recorder{name: "upper", log: &log}, wire.KindData)
+
+	mux.Start(nil)
+	mux.ConnUp(1)
+	mux.ConnDown(1, errors.New("x"))
+	mux.Stop()
+
+	want := []string{
+		"lower:start", "upper:start",
+		"lower:up", "upper:up",
+		"lower:down", "upper:down",
+		"upper:stop", "lower:stop", // Stop runs in reverse order
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func TestMuxPanicsOnDuplicateKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate kind registration")
+		}
+	}()
+	var log []string
+	mux := NewMux()
+	mux.Register(&recorder{name: "a", log: &log}, wire.KindJoin)
+	mux.Register(&recorder{name: "b", log: &log}, wire.KindJoin)
+}

@@ -1,0 +1,615 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It stands in for the paper's two testbeds (a 512-node cluster deployment
+// and a 200-node PlanetLab slice): every node is a single-threaded actor
+// (node.Handler) driven by a virtual clock, connections behave like the
+// paper's monitored TCP links (FIFO per direction, failure detection after a
+// configurable delay), and per-node bandwidth is accounted from the real
+// encoded size of every message.
+//
+// Determinism: all randomness flows from Options.Seed, and simultaneous
+// events are ordered by scheduling sequence number, so a run is a pure
+// function of (seed, workload). Structural tests rely on this.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Errors surfaced through Handler.ConnDown.
+var (
+	ErrPeerCrashed = errors.New("simnet: peer failure detected")
+	ErrPeerClosed  = errors.New("simnet: peer closed connection")
+	ErrDialFailed  = errors.New("simnet: dial failed")
+)
+
+// Phase labels a bandwidth-accounting period. The §III-D comparison splits
+// traffic into stabilization (bootstrap) and dissemination.
+type Phase int
+
+// Accounting phases.
+const (
+	PhaseStabilization Phase = iota
+	PhaseDissemination
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseStabilization:
+		return "stabilization"
+	case PhaseDissemination:
+		return "dissemination"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Usage is one node's byte and message counters, split by phase and by
+// control vs payload class (wire.Kind.IsControl).
+type Usage struct {
+	UpBytes      [numPhases][2]uint64 // [phase][0=control,1=payload]
+	DownBytes    [numPhases][2]uint64
+	UpMessages   [numPhases]uint64
+	DownMessages [numPhases]uint64
+}
+
+// TotalUp returns all bytes sent across phases and classes.
+func (u Usage) TotalUp() uint64 {
+	var t uint64
+	for p := 0; p < int(numPhases); p++ {
+		t += u.UpBytes[p][0] + u.UpBytes[p][1]
+	}
+	return t
+}
+
+// TotalDown returns all bytes received across phases and classes.
+func (u Usage) TotalDown() uint64 {
+	var t uint64
+	for p := 0; p < int(numPhases); p++ {
+		t += u.DownBytes[p][0] + u.DownBytes[p][1]
+	}
+	return t
+}
+
+// Options configures a Network.
+type Options struct {
+	// Seed drives all randomness (latency sampling, node RNGs).
+	Seed int64
+	// Latency models per-pair one-way delay. Defaults to Cluster().
+	Latency LatencyModel
+	// DetectDelay is how long after a crash the peers' failure detectors
+	// fire (the paper's keep-alive/TCP detection, §II-F). Default 200ms.
+	DetectDelay time.Duration
+	// Bandwidth is the per-link throughput in bytes/second used to charge
+	// serialization delay on top of propagation latency. 0 means infinite
+	// (delay is latency only). Default 0.
+	Bandwidth int64
+	// NodeBandwidth is the per-node shared egress throughput in
+	// bytes/second: all of a node's outgoing messages serialize through
+	// one uplink, so a flood to many neighbors queues. This models the
+	// contention that distorts first-arrival order on real testbeds
+	// (PlanetLab). 0 means infinite. Default 0.
+	NodeBandwidth int64
+	// ProcessingDelay, when set, is sampled per delivered message as the
+	// receiver's CPU service time; deliveries at one node are serialized
+	// through that CPU. This models the paper's testbeds (hundreds of
+	// prototype processes sharing hosts): nodes that receive many copies
+	// — flooding, high-fanout gossip — queue behind their own processing,
+	// and first-arrival order becomes noisy under load. Nil disables it.
+	ProcessingDelay func(r *rand.Rand) time.Duration
+	// Logf, when set, receives debug lines from env.Log.
+	Logf func(format string, args ...any)
+}
+
+// epoch is the virtual time origin. An arbitrary fixed instant.
+var epoch = time.Unix(1_000_000_000, 0)
+
+// event is one scheduled callback.
+type event struct {
+	at   time.Time
+	seq  uint64
+	fn   func()
+	dead *bool // when non-nil and true at fire time, the event is skipped
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// connKey normalizes an unordered node pair.
+type connKey struct{ lo, hi ids.NodeID }
+
+func keyOf(a, b ids.NodeID) connKey {
+	if a > b {
+		a, b = b, a
+	}
+	return connKey{a, b}
+}
+
+// conn tracks one connection between two nodes.
+type conn struct {
+	a, b         ids.NodeID
+	aUp, bUp     bool // each endpoint's view of "established"
+	closed       bool
+	lastDeliverA time.Time // FIFO floor for messages delivered to a
+	lastDeliverB time.Time // FIFO floor for messages delivered to b
+}
+
+func (c *conn) up(id ids.NodeID) bool {
+	if id == c.a {
+		return c.aUp
+	}
+	return c.bUp
+}
+
+func (c *conn) setUp(id ids.NodeID, v bool) {
+	if id == c.a {
+		c.aUp = v
+	} else {
+		c.bUp = v
+	}
+}
+
+// simNode is the per-node runtime state.
+type simNode struct {
+	id           ids.NodeID
+	handler      node.Handler
+	env          *env
+	alive        bool
+	dead         bool // pointer target for event skipping; inverse of alive
+	usage        Usage
+	bootAt       time.Time
+	egressFreeAt time.Time // when the shared uplink next becomes idle
+	cpuFreeAt    time.Time // when the receive path next becomes idle
+}
+
+// Network is the simulator instance.
+type Network struct {
+	opts    Options
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	nodes   map[ids.NodeID]*simNode
+	order   []ids.NodeID // insertion order, for deterministic iteration
+	conns   map[connKey]*conn
+	phase   Phase
+	latency LatencyModel
+
+	// Tap, when set, observes every delivered message (for tests/debug).
+	Tap func(from, to ids.NodeID, m wire.Message)
+}
+
+// New builds a simulator.
+func New(opts Options) *Network {
+	if opts.Latency == nil {
+		opts.Latency = Cluster()
+	}
+	if opts.DetectDelay == 0 {
+		opts.DetectDelay = 200 * time.Millisecond
+	}
+	n := &Network{
+		opts:    opts,
+		now:     epoch,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		nodes:   make(map[ids.NodeID]*simNode),
+		conns:   make(map[connKey]*conn),
+		latency: opts.Latency,
+	}
+	return n
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// Since returns the duration elapsed since the virtual epoch.
+func (n *Network) Since() time.Duration { return n.now.Sub(epoch) }
+
+// Epoch returns the virtual time origin.
+func Epoch() time.Time { return epoch }
+
+// Rand returns the network-level RNG for workload decisions (node choice,
+// churn victims). Protocol code must use its node env's RNG instead.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// SetPhase switches the bandwidth-accounting phase.
+func (n *Network) SetPhase(p Phase) { n.phase = p }
+
+// schedule enqueues fn at time at; dead, when non-nil, cancels the event if
+// *dead at fire time.
+func (n *Network) schedule(at time.Time, dead *bool, fn func()) *event {
+	if at.Before(n.now) {
+		at = n.now
+	}
+	n.seq++
+	ev := &event{at: at, seq: n.seq, fn: fn, dead: dead}
+	heap.Push(&n.queue, ev)
+	return ev
+}
+
+// After schedules an experiment-level callback (not tied to a node's life).
+func (n *Network) After(d time.Duration, fn func()) {
+	n.schedule(n.now.Add(d), nil, fn)
+}
+
+// At schedules an experiment-level callback at an absolute offset from the
+// epoch.
+func (n *Network) At(offset time.Duration, fn func()) {
+	n.schedule(epoch.Add(offset), nil, fn)
+}
+
+// Step executes the next event. It reports false when the queue is empty.
+func (n *Network) Step() bool {
+	for n.queue.Len() > 0 {
+		ev := heap.Pop(&n.queue).(*event)
+		if ev.fn == nil {
+			continue // cancelled timer
+		}
+		n.now = ev.at
+		if ev.dead != nil && *ev.dead {
+			continue
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events with timestamps <= the epoch offset and then
+// advances the clock to exactly that offset.
+func (n *Network) RunUntil(offset time.Duration) {
+	deadline := epoch.Add(offset)
+	for n.queue.Len() > 0 && !n.queue[0].at.After(deadline) {
+		n.Step()
+	}
+	if n.now.Before(deadline) {
+		n.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (n *Network) RunFor(d time.Duration) { n.RunUntil(n.now.Add(d).Sub(epoch)) }
+
+// Drain runs events until the queue is empty or maxEvents is hit (guarding
+// against periodic timers keeping the queue alive forever). It returns the
+// number of events executed.
+func (n *Network) Drain(maxEvents int) int {
+	count := 0
+	for count < maxEvents && n.Step() {
+		count++
+	}
+	return count
+}
+
+// AddNode boots a node with the given handler. Start runs as an event at the
+// current virtual time.
+func (n *Network) AddNode(id ids.NodeID, h node.Handler) {
+	if !id.Valid() {
+		panic(fmt.Sprintf("simnet: invalid node id %d", uint64(id)))
+	}
+	if _, exists := n.nodes[id]; exists {
+		panic(fmt.Sprintf("simnet: duplicate node %v", id))
+	}
+	sn := &simNode{id: id, handler: h, alive: true, bootAt: n.now}
+	sn.env = &env{net: n, node: sn, rng: rand.New(rand.NewSource(n.rng.Int63()))}
+	n.nodes[id] = sn
+	n.order = append(n.order, id)
+	n.schedule(n.now, &sn.dead, func() { h.Start(sn.env) })
+}
+
+// Crash kills a node without warning. Its peers' failure detectors fire
+// after DetectDelay; in-flight messages to and from it are lost.
+func (n *Network) Crash(id ids.NodeID) {
+	sn, ok := n.nodes[id]
+	if !ok || !sn.alive {
+		return
+	}
+	sn.alive = false
+	sn.dead = true
+	n.dropConnsOf(sn, ErrPeerCrashed, n.opts.DetectDelay)
+}
+
+// Shutdown stops a node gracefully: Stop runs, connections close, and peers
+// observe an orderly ConnDown after one network latency.
+func (n *Network) Shutdown(id ids.NodeID) {
+	sn, ok := n.nodes[id]
+	if !ok || !sn.alive {
+		return
+	}
+	sn.handler.Stop()
+	sn.alive = false
+	sn.dead = true
+	n.dropConnsOf(sn, ErrPeerClosed, 0)
+}
+
+func (n *Network) dropConnsOf(sn *simNode, cause error, extraDelay time.Duration) {
+	for key, c := range n.conns {
+		if key.lo != sn.id && key.hi != sn.id {
+			continue
+		}
+		peerID := key.lo
+		if peerID == sn.id {
+			peerID = key.hi
+		}
+		peer := n.nodes[peerID]
+		c.closed = true
+		delete(n.conns, key)
+		if peer == nil || !peer.alive || !c.up(peerID) {
+			continue
+		}
+		delay := n.sampleLatency(sn.id, peerID) + extraDelay
+		downed := sn.id
+		n.schedule(n.now.Add(delay), &peer.dead, func() {
+			peer.handler.ConnDown(downed, cause)
+		})
+	}
+}
+
+// Alive reports whether the node exists and has not crashed or shut down.
+func (n *Network) Alive(id ids.NodeID) bool {
+	sn, ok := n.nodes[id]
+	return ok && sn.alive
+}
+
+// NodeIDs returns all alive nodes in insertion order.
+func (n *Network) NodeIDs() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(n.order))
+	for _, id := range n.order {
+		if n.nodes[id].alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Usage returns a node's traffic counters. Counters survive crashes so
+// experiments can still read them.
+func (n *Network) Usage(id ids.NodeID) Usage {
+	if sn, ok := n.nodes[id]; ok {
+		return sn.usage
+	}
+	return Usage{}
+}
+
+// ResetUsage zeroes all traffic counters (e.g., between experiment phases
+// that must be measured independently).
+func (n *Network) ResetUsage() {
+	for _, sn := range n.nodes {
+		sn.usage = Usage{}
+	}
+}
+
+// PendingEvents returns the number of queued events (for tests).
+func (n *Network) PendingEvents() int { return n.queue.Len() }
+
+// EstimateLatency samples the latency model for a pair — experiment
+// harnesses use it for "direct point-to-point" baselines (Figure 9).
+func (n *Network) EstimateLatency(from, to ids.NodeID) time.Duration {
+	return n.sampleLatency(from, to)
+}
+
+func (n *Network) sampleLatency(from, to ids.NodeID) time.Duration {
+	d := n.latency.Sample(from, to, n.rng)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func classOf(m wire.Message) int {
+	if m.Kind().IsControl() {
+		return 0
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------- node env
+
+type env struct {
+	net  *Network
+	node *simNode
+	rng  *rand.Rand
+}
+
+func (e *env) ID() ids.NodeID   { return e.node.id }
+func (e *env) Now() time.Time   { return e.net.now }
+func (e *env) Rand() *rand.Rand { return e.rng }
+
+func (e *env) Log(format string, args ...any) {
+	if e.net.opts.Logf != nil {
+		prefix := fmt.Sprintf("[%8.3fs %v] ", e.net.Since().Seconds(), e.node.id)
+		e.net.opts.Logf(prefix+format, args...)
+	}
+}
+
+type simTimer struct {
+	ev *event
+}
+
+func (t *simTimer) Stop() bool {
+	if t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil // the queue skips nil-fn events
+	return false
+}
+
+func (e *env) After(d time.Duration, fn func()) node.Timer {
+	ev := e.net.schedule(e.net.now.Add(d), &e.node.dead, fn)
+	return &simTimer{ev: ev}
+}
+
+func (e *env) Connect(to ids.NodeID) {
+	net := e.net
+	if !e.node.alive {
+		return
+	}
+	key := keyOf(e.node.id, to)
+	if c, ok := net.conns[key]; ok && !c.closed {
+		return // already open or dialing
+	}
+	self := e.node
+	peer, ok := net.nodes[to]
+	if !ok || !peer.alive || to == e.node.id {
+		// Dial fails after a timeout-ish delay.
+		net.schedule(net.now.Add(net.opts.DetectDelay), &self.dead, func() {
+			self.handler.ConnDown(to, ErrDialFailed)
+		})
+		return
+	}
+	c := &conn{a: key.lo, b: key.hi}
+	net.conns[key] = c
+	oneWay := net.sampleLatency(self.id, to)
+	// SYN reaches the peer after one latency; the dialer's side is up after
+	// a full round trip.
+	net.schedule(net.now.Add(oneWay), &peer.dead, func() {
+		if c.closed {
+			return
+		}
+		c.setUp(to, true)
+		peer.handler.ConnUp(self.id)
+	})
+	net.schedule(net.now.Add(2*oneWay), &self.dead, func() {
+		if c.closed {
+			return
+		}
+		if !net.Alive(to) {
+			// Peer died during the handshake; surface a failed dial.
+			self.handler.ConnDown(to, ErrDialFailed)
+			return
+		}
+		c.setUp(self.id, true)
+		self.handler.ConnUp(to)
+	})
+}
+
+func (e *env) Close(to ids.NodeID) {
+	net := e.net
+	key := keyOf(e.node.id, to)
+	c, ok := net.conns[key]
+	if !ok || c.closed {
+		return
+	}
+	c.closed = true
+	delete(net.conns, key)
+	peer, ok := net.nodes[to]
+	if !ok || !peer.alive || !c.up(to) {
+		return
+	}
+	delay := net.sampleLatency(e.node.id, to)
+	self := e.node.id
+	net.schedule(net.now.Add(delay), &peer.dead, func() {
+		peer.handler.ConnDown(self, ErrPeerClosed)
+	})
+}
+
+func (e *env) Connected(to ids.NodeID) bool {
+	c, ok := e.net.conns[keyOf(e.node.id, to)]
+	return ok && !c.closed && c.up(e.node.id)
+}
+
+func (e *env) Send(to ids.NodeID, m wire.Message) {
+	net := e.net
+	self := e.node
+	if !self.alive {
+		return
+	}
+	key := keyOf(self.id, to)
+	c, ok := net.conns[key]
+	if !ok || c.closed || !c.up(self.id) {
+		return // no established connection: bytes go nowhere
+	}
+	size := m.WireSize()
+	phase := net.phase
+	cls := classOf(m)
+	self.usage.UpBytes[phase][cls] += uint64(size)
+	self.usage.UpMessages[phase]++
+
+	peer, ok := net.nodes[to]
+	if !ok || !peer.alive {
+		return // will surface as ConnDown via the crash path
+	}
+	// Departure: the node's shared uplink serializes all outgoing bytes.
+	depart := net.now
+	if net.opts.NodeBandwidth > 0 {
+		if self.egressFreeAt.After(depart) {
+			depart = self.egressFreeAt
+		}
+		depart = depart.Add(time.Duration(int64(size) * int64(time.Second) / net.opts.NodeBandwidth))
+		self.egressFreeAt = depart
+	}
+	delay := net.sampleLatency(self.id, to)
+	if net.opts.Bandwidth > 0 {
+		delay += time.Duration(int64(size) * int64(time.Second) / net.opts.Bandwidth)
+	}
+	arrive := depart.Add(delay)
+	if net.opts.ProcessingDelay != nil {
+		// The receiver's CPU serializes message handling: service starts
+		// when both the message has arrived and the CPU is idle.
+		if peer.cpuFreeAt.After(arrive) {
+			arrive = peer.cpuFreeAt
+		}
+		if d := net.opts.ProcessingDelay(net.rng); d > 0 {
+			arrive = arrive.Add(d)
+		}
+		peer.cpuFreeAt = arrive
+	}
+	// Enforce per-direction FIFO, like a TCP stream.
+	var floor *time.Time
+	if to == c.a {
+		floor = &c.lastDeliverA
+	} else {
+		floor = &c.lastDeliverB
+	}
+	if arrive.Before(*floor) {
+		arrive = *floor
+	}
+	*floor = arrive
+	from := self.id
+	net.schedule(arrive, &peer.dead, func() {
+		if c.closed || !c.up(to) {
+			return
+		}
+		peer.usage.DownBytes[phase][cls] += uint64(size)
+		peer.usage.DownMessages[phase]++
+		if net.Tap != nil {
+			net.Tap(from, to, m)
+		}
+		peer.handler.Receive(from, m)
+	})
+}
+
+var _ node.Env = (*env)(nil)
+
+// SortedNodeIDs returns all alive node ids in ascending order (test helper).
+func (n *Network) SortedNodeIDs() []ids.NodeID {
+	out := n.NodeIDs()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

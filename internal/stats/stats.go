@@ -1,0 +1,259 @@
+// Package stats provides the small statistics toolkit the evaluation
+// harness uses: percentile summaries, CDF series (the paper plots CDFs for
+// most figures), and online moments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is a mutable collection of float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Min returns the smallest observation (0 if empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.xs {
+		sum += v
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	if n == 1 || p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return s.xs[n-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Summary is the five-number summary used by the paper's stacked-percentile
+// bars (Figures 10–11): 5th, 25th, 50th, 75th and 90th percentiles.
+type Summary struct {
+	N                      int
+	Mean                   float64
+	P5, P25, P50, P75, P90 float64
+	Min, Max               float64
+}
+
+// Summarize computes the five-number summary.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:    s.Len(),
+		Mean: s.Mean(),
+		P5:   s.Percentile(5),
+		P25:  s.Percentile(25),
+		P50:  s.Percentile(50),
+		P75:  s.Percentile(75),
+		P90:  s.Percentile(90),
+		Min:  s.Min(),
+		Max:  s.Max(),
+	}
+}
+
+// String renders the summary compactly.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p5=%.4g p25=%.4g p50=%.4g p75=%.4g p90=%.4g",
+		sm.N, sm.Mean, sm.P5, sm.P25, sm.P50, sm.P75, sm.P90)
+}
+
+// CDFPoint is one point of a cumulative distribution: Pct percent of
+// observations are <= Value.
+type CDFPoint struct {
+	Value float64
+	Pct   float64
+}
+
+// CDF returns up to points evenly spaced CDF points (plus the max), suitable
+// for plotting the paper's CDF figures.
+func (s *Sample) CDF(points int) []CDFPoint {
+	n := len(s.xs)
+	if n == 0 {
+		return nil
+	}
+	s.sort()
+	if points <= 1 || n == 1 {
+		return []CDFPoint{{Value: s.xs[n-1], Pct: 100}}
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i * (n - 1)) / (points - 1)
+		out = append(out, CDFPoint{
+			Value: s.xs[idx],
+			Pct:   100 * float64(idx+1) / float64(n),
+		})
+	}
+	return out
+}
+
+// FractionAtOrBelow returns the percentage of observations <= v.
+func (s *Sample) FractionAtOrBelow(v float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	idx := sort.SearchFloat64s(s.xs, math.Nextafter(v, math.Inf(1)))
+	return 100 * float64(idx) / float64(len(s.xs))
+}
+
+// IntHistogram counts integer observations (depth and degree figures).
+type IntHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add counts one observation.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// CDF returns (value, cumulative %) pairs in ascending value order — the
+// exact series of the paper's depth/degree CDFs (Figures 6 and 7).
+func (h *IntHistogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	values := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	out := make([]CDFPoint, 0, len(values))
+	cum := 0
+	for _, v := range values {
+		cum += h.counts[v]
+		out = append(out, CDFPoint{Value: float64(v), Pct: 100 * float64(cum) / float64(h.total)})
+	}
+	return out
+}
+
+// FormatCDF renders a CDF as aligned two-column text.
+func FormatCDF(name string, points []CDFPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", name)
+	fmt.Fprintf(&b, "%12s %8s\n", "value", "%<=")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12.5g %8.2f\n", p.Value, p.Pct)
+	}
+	return b.String()
+}
+
+// Table renders aligned rows for the paper's tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPercentilesOnKnownData(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 50.5}, {100, 100}, {25, 25.75}, {90, 90.1},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got < c.want-0.5 || got > c.want+0.5 {
+			t.Errorf("P%.0f = %g, want ~%g", c.p, got, c.want)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if got := s.Mean(); got != 50.5 {
+		t.Errorf("mean = %g, want 50.5", got)
+	}
+}
+
+func TestEmptySampleIsSafe(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestQuickPercentileBounds(t *testing.T) {
+	// Property: any percentile lies within [min, max], and percentiles are
+	// monotone in p.
+	f := func(seed int64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		var s Sample
+		for i := 0; i < int(n); i++ {
+			s.Add(r.NormFloat64() * 100)
+		}
+		prev := s.Min()
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < s.Min() || v > s.Max() || v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFIsMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(r.ExpFloat64())
+	}
+	points := s.CDF(32)
+	if len(points) == 0 {
+		t.Fatal("no CDF points")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Value < points[i-1].Value || points[i].Pct < points[i-1].Pct {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, points[i-1], points[i])
+		}
+	}
+	if last := points[len(points)-1]; last.Pct != 100 {
+		t.Errorf("CDF should end at 100%%, got %.2f", last.Pct)
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.FractionAtOrBelow(5); got != 50 {
+		t.Errorf("FractionAtOrBelow(5) = %g, want 50", got)
+	}
+	if got := s.FractionAtOrBelow(0); got != 0 {
+		t.Errorf("FractionAtOrBelow(0) = %g, want 0", got)
+	}
+	if got := s.FractionAtOrBelow(10); got != 100 {
+		t.Errorf("FractionAtOrBelow(10) = %g, want 100", got)
+	}
+}
+
+func TestIntHistogramCDF(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{0, 0, 1, 1, 1, 2, 5} {
+		h.Add(v)
+	}
+	points := h.CDF()
+	want := []struct {
+		v   float64
+		pct float64
+	}{
+		{0, 2.0 / 7 * 100}, {1, 5.0 / 7 * 100}, {2, 6.0 / 7 * 100}, {5, 100},
+	}
+	if len(points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(points), len(want))
+	}
+	for i, w := range want {
+		if points[i].Value != w.v || points[i].Pct < w.pct-0.01 || points[i].Pct > w.pct+0.01 {
+			t.Errorf("point %d = %+v, want {%g %g}", i, points[i], w.v, w.pct)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	sm := s.Summarize()
+	if sm.N != 100 || sm.P50 != 50.5 {
+		t.Errorf("summary: %+v", sm)
+	}
+	if !strings.Contains(sm.String(), "p50=50.5") {
+		t.Errorf("summary string: %s", sm.String())
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Errorf("duration stored as %g seconds, want 1.5", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "22222")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All rows share the same column start for the second field.
+	idx := strings.Index(lines[0], "value")
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("row not two fields: %q", line)
+		}
+		if pos := strings.Index(line, fields[1]); pos != idx {
+			t.Errorf("misaligned column in %q: %d != %d", line, pos, idx)
+		}
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	out := FormatCDF("series", []CDFPoint{{Value: 1.5, Pct: 50}, {Value: 2, Pct: 100}})
+	if !strings.Contains(out, "# series") || !strings.Contains(out, "100.00") {
+		t.Errorf("unexpected format:\n%s", out)
+	}
+}
+
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewIntHistogram()
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		points := h.CDF()
+		if h.Total() != len(vals) {
+			return false
+		}
+		if len(vals) == 0 {
+			return points == nil
+		}
+		// Values ascending and final pct 100.
+		if !sort.SliceIsSorted(points, func(i, j int) bool { return points[i].Value < points[j].Value }) {
+			return false
+		}
+		return points[len(points)-1].Pct == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

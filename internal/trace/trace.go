@@ -1,0 +1,358 @@
+// Package trace implements the churn description language of Splay's churn
+// module, used verbatim by the paper's robustness evaluation (Listing 1):
+//
+//	from 1s to 512s join 512
+//	at 1000s set replacement ratio to 100%
+//	from 1000s to 1600s const churn 5% each 60s
+//	at 1600s stop
+//
+// A parsed Script is replayed against any Target (the simulated cluster in
+// our experiments) through a Scheduler (virtual time in the simulator).
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind discriminates directives.
+type Kind int
+
+// Directive kinds.
+const (
+	// KindJoin: "from A to B join N" — N staggered joins across [A,B].
+	KindJoin Kind = iota
+	// KindSetReplacement: "at T set replacement ratio to P%".
+	KindSetReplacement
+	// KindConstChurn: "from A to B const churn P% each D" — every D within
+	// [A,B], fail P% of the population and join P%×ratio fresh nodes.
+	KindConstChurn
+	// KindStop: "at T stop".
+	KindStop
+)
+
+// Directive is one parsed line.
+type Directive struct {
+	Kind     Kind
+	From, To time.Duration // KindJoin, KindConstChurn
+	At       time.Duration // KindSetReplacement, KindStop
+	Count    int           // KindJoin
+	Percent  float64       // KindSetReplacement, KindConstChurn
+	Each     time.Duration // KindConstChurn
+}
+
+// Script is a parsed churn trace.
+type Script struct {
+	Directives []Directive
+}
+
+// Parse reads a churn script. Lines are independent; '#' starts a comment;
+// blank lines are skipped.
+func Parse(src string) (*Script, error) {
+	s := &Script{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		d, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
+		}
+		s.Directives = append(s.Directives, d)
+	}
+	return s, nil
+}
+
+// MustParse is Parse for static scripts; it panics on error.
+func MustParse(src string) *Script {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// tokenizer: splits into lowercase fields, gluing unit suffixes to their
+// numbers is unnecessary because parseDuration/parsePercent accept both
+// "60s" and "60 s" forms (the paper's listing uses spaced units).
+type tokens struct {
+	fields []string
+	pos    int
+}
+
+func (t *tokens) next() (string, error) {
+	if t.pos >= len(t.fields) {
+		return "", fmt.Errorf("unexpected end of line")
+	}
+	f := t.fields[t.pos]
+	t.pos++
+	return f, nil
+}
+
+func (t *tokens) peek() string {
+	if t.pos >= len(t.fields) {
+		return ""
+	}
+	return t.fields[t.pos]
+}
+
+func (t *tokens) expect(word string) error {
+	f, err := t.next()
+	if err != nil {
+		return err
+	}
+	if f != word {
+		return fmt.Errorf("expected %q, got %q", word, f)
+	}
+	return nil
+}
+
+// duration reads "<number>" followed by a unit in the same or next token.
+func (t *tokens) duration() (time.Duration, error) {
+	f, err := t.next()
+	if err != nil {
+		return 0, err
+	}
+	num, unit := splitUnit(f)
+	if unit == "" {
+		unit = t.peek()
+		switch unit {
+		case "s", "ms", "m", "h":
+			t.pos++
+		default:
+			unit = "s" // bare number defaults to seconds
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", f)
+	}
+	switch unit {
+	case "ms":
+		return time.Duration(v * float64(time.Millisecond)), nil
+	case "s":
+		return time.Duration(v * float64(time.Second)), nil
+	case "m":
+		return time.Duration(v * float64(time.Minute)), nil
+	case "h":
+		return time.Duration(v * float64(time.Hour)), nil
+	}
+	return 0, fmt.Errorf("bad duration unit %q", unit)
+}
+
+// percent reads "<number>%" or "<number> %".
+func (t *tokens) percent() (float64, error) {
+	f, err := t.next()
+	if err != nil {
+		return 0, err
+	}
+	num := strings.TrimSuffix(f, "%")
+	if num == f && t.peek() == "%" {
+		t.pos++
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad percentage %q", f)
+	}
+	return v, nil
+}
+
+func (t *tokens) integer() (int, error) {
+	f, err := t.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(f)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", f)
+	}
+	return v, nil
+}
+
+// splitUnit separates a trailing unit from a number: "60s" -> ("60", "s").
+func splitUnit(f string) (num, unit string) {
+	i := len(f)
+	for i > 0 {
+		c := f[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	return f[:i], f[i:]
+}
+
+func parseLine(line string) (Directive, error) {
+	t := &tokens{fields: strings.Fields(strings.ToLower(line))}
+	head, err := t.next()
+	if err != nil {
+		return Directive{}, err
+	}
+	switch head {
+	case "from":
+		from, err := t.duration()
+		if err != nil {
+			return Directive{}, err
+		}
+		if err := t.expect("to"); err != nil {
+			return Directive{}, err
+		}
+		to, err := t.duration()
+		if err != nil {
+			return Directive{}, err
+		}
+		if to < from {
+			return Directive{}, fmt.Errorf("interval ends (%v) before it starts (%v)", to, from)
+		}
+		verb, err := t.next()
+		if err != nil {
+			return Directive{}, err
+		}
+		switch verb {
+		case "join":
+			n, err := t.integer()
+			if err != nil {
+				return Directive{}, err
+			}
+			return Directive{Kind: KindJoin, From: from, To: to, Count: n}, nil
+		case "const":
+			if err := t.expect("churn"); err != nil {
+				return Directive{}, err
+			}
+			pct, err := t.percent()
+			if err != nil {
+				return Directive{}, err
+			}
+			if err := t.expect("each"); err != nil {
+				return Directive{}, err
+			}
+			each, err := t.duration()
+			if err != nil {
+				return Directive{}, err
+			}
+			if each <= 0 {
+				return Directive{}, fmt.Errorf("churn interval must be positive")
+			}
+			return Directive{Kind: KindConstChurn, From: from, To: to, Percent: pct, Each: each}, nil
+		}
+		return Directive{}, fmt.Errorf("unknown verb %q after interval", verb)
+
+	case "at":
+		at, err := t.duration()
+		if err != nil {
+			return Directive{}, err
+		}
+		verb, err := t.next()
+		if err != nil {
+			return Directive{}, err
+		}
+		switch verb {
+		case "stop":
+			return Directive{Kind: KindStop, At: at}, nil
+		case "set":
+			// "set replacement ratio to P%" (also accepts the underscored
+			// spelling in the paper's listing).
+			w, err := t.next()
+			if err != nil {
+				return Directive{}, err
+			}
+			if w == "replacement" {
+				if err := t.expect("ratio"); err != nil {
+					return Directive{}, err
+				}
+			} else if w != "replacement_ratio" && w != "replacementratio" {
+				return Directive{}, fmt.Errorf("unknown setting %q", w)
+			}
+			if err := t.expect("to"); err != nil {
+				return Directive{}, err
+			}
+			pct, err := t.percent()
+			if err != nil {
+				return Directive{}, err
+			}
+			return Directive{Kind: KindSetReplacement, At: at, Percent: pct}, nil
+		}
+		return Directive{}, fmt.Errorf("unknown verb %q after instant", verb)
+	}
+	return Directive{}, fmt.Errorf("unknown directive %q", head)
+}
+
+// Target is what a replayed script manipulates.
+type Target interface {
+	// Join adds one fresh node to the system.
+	Join()
+	// Fail kills one random node.
+	Fail()
+	// Size returns the current population.
+	Size() int
+	// Stop ends the experiment.
+	Stop()
+}
+
+// Scheduler defers work to an absolute offset from the experiment origin.
+type Scheduler interface {
+	At(offset time.Duration, fn func())
+}
+
+// Replay schedules every directive of the script against the target. The
+// replacement ratio starts at 100% unless the script sets it.
+func (s *Script) Replay(sched Scheduler, target Target) {
+	ratio := 1.0
+	for _, d := range s.Directives {
+		d := d
+		switch d.Kind {
+		case KindJoin:
+			span := d.To - d.From
+			for i := 0; i < d.Count; i++ {
+				var at time.Duration
+				if d.Count > 1 {
+					at = d.From + span*time.Duration(i)/time.Duration(d.Count-1)
+				} else {
+					at = d.From
+				}
+				sched.At(at, target.Join)
+			}
+		case KindSetReplacement:
+			sched.At(d.At, func() { ratio = d.Percent / 100 })
+		case KindConstChurn:
+			for at := d.From; at < d.To; at += d.Each {
+				sched.At(at, func() {
+					// X% of the current population fails and
+					// ratio×X% fresh nodes join, spread across the
+					// interval in alternating order so the population
+					// stays steady rather than sawtoothing.
+					n := target.Size()
+					kills := int(float64(n)*d.Percent/100 + 0.5)
+					joins := int(float64(kills)*ratio + 0.5)
+					for i := 0; i < kills || i < joins; i++ {
+						if i < kills {
+							target.Fail()
+						}
+						if i < joins {
+							target.Join()
+						}
+					}
+				})
+			}
+		case KindStop:
+			sched.At(d.At, target.Stop)
+		}
+	}
+}
+
+// PaperChurnScript builds the exact Listing 1 script for n nodes and churn
+// rate x%% per minute.
+func PaperChurnScript(n int, x float64) *Script {
+	src := fmt.Sprintf(`from 1 s to %d s join %d
+at 1000 s set replacement ratio to 100%%
+from 1000 s to 1600 s const churn %g%% each 60 s
+at 1600 s stop`, n, n, x)
+	return MustParse(src)
+}

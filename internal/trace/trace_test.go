@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePaperListing(t *testing.T) {
+	// Listing 1, verbatim shape (N=512, X=5).
+	src := `from 1 s to 512 s join 512
+at 1000 s set replacement ratio to 100%
+from 1000 s to 1600 s const churn 5% each 60 s
+at 1600 s stop`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Directives) != 4 {
+		t.Fatalf("got %d directives, want 4", len(s.Directives))
+	}
+	d := s.Directives
+	if d[0].Kind != KindJoin || d[0].From != time.Second || d[0].To != 512*time.Second || d[0].Count != 512 {
+		t.Errorf("join directive mismatch: %+v", d[0])
+	}
+	if d[1].Kind != KindSetReplacement || d[1].At != 1000*time.Second || d[1].Percent != 100 {
+		t.Errorf("replacement directive mismatch: %+v", d[1])
+	}
+	if d[2].Kind != KindConstChurn || d[2].Percent != 5 || d[2].Each != time.Minute {
+		t.Errorf("churn directive mismatch: %+v", d[2])
+	}
+	if d[3].Kind != KindStop || d[3].At != 1600*time.Second {
+		t.Errorf("stop directive mismatch: %+v", d[3])
+	}
+}
+
+func TestParseCompactUnits(t *testing.T) {
+	s, err := Parse("from 1s to 512s join 512\nfrom 0s to 300s const churn 3% each 60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Directives) != 2 {
+		t.Fatalf("got %d directives", len(s.Directives))
+	}
+	if s.Directives[1].Each != time.Minute {
+		t.Errorf("each = %v, want 1m", s.Directives[1].Each)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	s, err := Parse("# header comment\n\nat 10s stop # trailing comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Directives) != 1 || s.Directives[0].Kind != KindStop {
+		t.Fatalf("unexpected directives: %+v", s.Directives)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"jump 10s",                              // unknown head
+		"from 10s to 5s join 3",                 // interval backwards
+		"from 1s to 2s dance 5",                 // unknown verb
+		"at 5s set volume to 11%",               // unknown setting
+		"from 0s to 10s const churn 5% each",    // missing duration
+		"from 0s to 10s const churn 5% each 0s", // zero interval
+		"at 1s",                                 // missing verb
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("Parse(%q) error lacks line info: %v", src, err)
+		}
+	}
+}
+
+// fakeTarget records churn operations with timestamps from a fake scheduler.
+type fakeTarget struct {
+	joins, fails int
+	size         int
+	stopped      bool
+}
+
+func (f *fakeTarget) Join()     { f.joins++; f.size++ }
+func (f *fakeTarget) Fail()     { f.fails++; f.size-- }
+func (f *fakeTarget) Size() int { return f.size }
+func (f *fakeTarget) Stop()     { f.stopped = true }
+
+// fakeSched executes callbacks immediately in schedule order.
+type fakeSched struct {
+	events []struct {
+		at time.Duration
+		fn func()
+	}
+}
+
+func (s *fakeSched) At(offset time.Duration, fn func()) {
+	s.events = append(s.events, struct {
+		at time.Duration
+		fn func()
+	}{offset, fn})
+}
+
+func (s *fakeSched) run() {
+	// Stable sort by time keeps scheduling order for equal instants.
+	for i := 1; i < len(s.events); i++ {
+		for j := i; j > 0 && s.events[j].at < s.events[j-1].at; j-- {
+			s.events[j], s.events[j-1] = s.events[j-1], s.events[j]
+		}
+	}
+	for _, e := range s.events {
+		e.fn()
+	}
+}
+
+func TestReplayJoinSpreadsEvenly(t *testing.T) {
+	s := MustParse("from 0s to 90s join 10")
+	sched := &fakeSched{}
+	target := &fakeTarget{}
+	s.Replay(sched, target)
+	if len(sched.events) != 10 {
+		t.Fatalf("scheduled %d events, want 10", len(sched.events))
+	}
+	if sched.events[0].at != 0 || sched.events[9].at != 90*time.Second {
+		t.Errorf("joins not spread across the interval: first=%v last=%v",
+			sched.events[0].at, sched.events[9].at)
+	}
+	sched.run()
+	if target.joins != 10 {
+		t.Errorf("joins = %d, want 10", target.joins)
+	}
+}
+
+func TestReplayChurnRespectsRateAndRatio(t *testing.T) {
+	s := MustParse(`at 0s set replacement ratio to 100%
+from 0s to 180s const churn 10% each 60s`)
+	sched := &fakeSched{}
+	target := &fakeTarget{size: 100}
+	s.Replay(sched, target)
+	sched.run()
+	// Three windows of 10% on a stable population of 100: 30 fails, 30
+	// joins (ratio 100% keeps the population constant).
+	if target.fails != 30 || target.joins != 30 {
+		t.Errorf("fails=%d joins=%d, want 30/30", target.fails, target.joins)
+	}
+	if target.size != 100 {
+		t.Errorf("population drifted to %d", target.size)
+	}
+}
+
+func TestReplayZeroReplacementShrinks(t *testing.T) {
+	s := MustParse(`at 0s set replacement ratio to 0%
+from 0s to 120s const churn 10% each 60s`)
+	sched := &fakeSched{}
+	target := &fakeTarget{size: 100}
+	s.Replay(sched, target)
+	sched.run()
+	if target.joins != 0 {
+		t.Errorf("joins = %d, want 0", target.joins)
+	}
+	if target.fails != 19 { // 10 from 100, then 9 from 90
+		t.Errorf("fails = %d, want 19", target.fails)
+	}
+}
+
+func TestPaperChurnScript(t *testing.T) {
+	s := PaperChurnScript(128, 3)
+	if len(s.Directives) != 4 {
+		t.Fatalf("got %d directives", len(s.Directives))
+	}
+	if s.Directives[0].Count != 128 || s.Directives[2].Percent != 3 {
+		t.Errorf("parameters not threaded: %+v", s.Directives)
+	}
+}

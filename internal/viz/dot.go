@@ -1,0 +1,78 @@
+// Package viz renders emerged dissemination structures as Graphviz DOT, the
+// format behind the paper's Figure 8 tree drawings.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+)
+
+// Edge is one directed structure link (parent -> child).
+type Edge struct {
+	Parent, Child ids.NodeID
+}
+
+// DOT renders a set of parent->child edges rooted at source. Node labels use
+// the numeric identifier, like the paper's figures label nodes with their
+// port numbers.
+func DOT(name string, source ids.NodeID, edges []Edge) string {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Parent != edges[j].Parent {
+			return edges[i].Parent < edges[j].Parent
+		}
+		return edges[i].Child < edges[j].Child
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontsize=9, height=0.2, width=0.4];\n")
+	fmt.Fprintf(&b, "  n%d [style=filled, fillcolor=lightgrey];\n", uint64(source))
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", uint64(e.Parent), uint64(e.Child))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TreeStats summarizes a structure for quick textual inspection alongside
+// the drawing: per-depth node counts.
+func TreeStats(source ids.NodeID, edges []Edge) string {
+	children := make(map[ids.NodeID][]ids.NodeID)
+	for _, e := range edges {
+		children[e.Parent] = append(children[e.Parent], e.Child)
+	}
+	depthCount := map[int]int{0: 1}
+	type item struct {
+		id    ids.NodeID
+		depth int
+	}
+	queue := []item{{source, 0}}
+	seen := map[ids.NodeID]bool{source: true}
+	maxDepth := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, c := range children[cur.id] {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			d := cur.depth + 1
+			depthCount[d]++
+			if d > maxDepth {
+				maxDepth = d
+			}
+			queue = append(queue, item{c, d})
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d maxDepth=%d per-depth:", len(seen), maxDepth)
+	for d := 0; d <= maxDepth; d++ {
+		fmt.Fprintf(&b, " %d:%d", d, depthCount[d])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

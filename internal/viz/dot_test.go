@@ -1,0 +1,63 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func sampleEdges() []Edge {
+	return []Edge{
+		{Parent: 1, Child: 2},
+		{Parent: 1, Child: 3},
+		{Parent: 2, Child: 4},
+		{Parent: 3, Child: 5},
+		{Parent: 3, Child: 6},
+	}
+}
+
+func TestDOTStructure(t *testing.T) {
+	out := DOT("test", 1, sampleEdges())
+	if !strings.HasPrefix(out, `digraph "test" {`) || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("not a digraph:\n%s", out)
+	}
+	for _, want := range []string{"n1 -> n2;", "n3 -> n6;", "n1 [style=filled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "->"); got != 5 {
+		t.Errorf("edge count = %d, want 5", got)
+	}
+}
+
+func TestDOTIsDeterministic(t *testing.T) {
+	e1 := sampleEdges()
+	e2 := []Edge{e1[4], e1[2], e1[0], e1[3], e1[1]} // shuffled
+	if DOT("x", 1, e1) != DOT("x", 1, e2) {
+		t.Error("edge order changes the output")
+	}
+}
+
+func TestTreeStats(t *testing.T) {
+	out := TreeStats(1, sampleEdges())
+	if !strings.Contains(out, "nodes=6") || !strings.Contains(out, "maxDepth=2") {
+		t.Errorf("stats: %s", out)
+	}
+	// Depth histogram: 1 root, 2 at depth 1, 3 at depth 2.
+	for _, want := range []string{"0:1", "1:2", "2:3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %s", want, out)
+		}
+	}
+}
+
+func TestTreeStatsIgnoresCycles(t *testing.T) {
+	edges := append(sampleEdges(), Edge{Parent: 4, Child: 1}) // back-edge
+	out := TreeStats(1, edges)
+	if !strings.Contains(out, "nodes=6") {
+		t.Errorf("cycle changed node count: %s", out)
+	}
+	_ = ids.Nil
+}

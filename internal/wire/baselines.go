@@ -1,0 +1,406 @@
+package wire
+
+import "repro/internal/ids"
+
+// Messages for the three §III-D baseline systems.
+
+// ---------------------------------------------------------------- SimpleGossip
+
+// Rumor is a push rumor-mongering message (infect-and-die, fanout ln N).
+type Rumor struct {
+	Stream  StreamID
+	Seq     uint32
+	Payload []byte
+}
+
+// Kind implements Message.
+func (Rumor) Kind() Kind { return KindRumor }
+
+// AppendTo implements Message.
+func (m Rumor) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.U32(uint32(m.Stream))
+	e.U32(m.Seq)
+	e.Bytes(m.Payload)
+	return e.B
+}
+
+// WireSize implements Message.
+func (m Rumor) WireSize() int { return 1 + szU32 + szU32 + szBytes(m.Payload) }
+
+// AntiEntropyRequest is the periodic pull that guarantees completeness: the
+// sender summarizes its delivered state (a contiguous prefix up to UpTo plus
+// an explicit list of missing sequence numbers below it).
+type AntiEntropyRequest struct {
+	Stream  StreamID
+	UpTo    uint32 // delivered every seq < UpTo except those in Missing
+	Missing []uint32
+}
+
+// Kind implements Message.
+func (AntiEntropyRequest) Kind() Kind { return KindAntiEntropyRequest }
+
+// AppendTo implements Message.
+func (m AntiEntropyRequest) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.U32(uint32(m.Stream))
+	e.U32(m.UpTo)
+	e.U16(uint16(len(m.Missing)))
+	for _, s := range m.Missing {
+		e.U32(s)
+	}
+	return e.B
+}
+
+// WireSize implements Message.
+func (m AntiEntropyRequest) WireSize() int {
+	return 1 + szU32 + szU32 + szU16 + len(m.Missing)*szU32
+}
+
+// StreamItem is one (seq, payload) pair carried by recovery replies.
+type StreamItem struct {
+	Seq     uint32
+	Payload []byte
+}
+
+func appendItems(e *Encoder, items []StreamItem) {
+	e.U16(uint16(len(items)))
+	for _, it := range items {
+		e.U32(it.Seq)
+		e.Bytes(it.Payload)
+	}
+}
+
+func decodeItems(d *Decoder) []StreamItem {
+	n := int(d.U16())
+	if d.Err != nil || n == 0 {
+		return nil
+	}
+	if n > maxSliceLen {
+		d.Err = ErrTooLong
+		return nil
+	}
+	out := make([]StreamItem, n)
+	for i := range out {
+		out[i] = StreamItem{Seq: d.U32(), Payload: cloneBytes(d.Bytes())}
+	}
+	return out
+}
+
+func szItems(items []StreamItem) int {
+	n := szU16
+	for _, it := range items {
+		n += szU32 + szBytes(it.Payload)
+	}
+	return n
+}
+
+// AntiEntropyReply returns the messages the requester was missing.
+type AntiEntropyReply struct {
+	Stream StreamID
+	Items  []StreamItem
+}
+
+// Kind implements Message.
+func (AntiEntropyReply) Kind() Kind { return KindAntiEntropyReply }
+
+// AppendTo implements Message.
+func (m AntiEntropyReply) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.U32(uint32(m.Stream))
+	appendItems(&e, m.Items)
+	return e.B
+}
+
+// WireSize implements Message.
+func (m AntiEntropyReply) WireSize() int { return 1 + szU32 + szItems(m.Items) }
+
+// ---------------------------------------------------------------- SimpleTree
+
+// CoordJoin asks the centralized coordinator for a parent assignment.
+type CoordJoin struct{}
+
+// Kind implements Message.
+func (CoordJoin) Kind() Kind { return KindCoordJoin }
+
+// AppendTo implements Message.
+func (CoordJoin) AppendTo(b []byte) []byte { return b }
+
+// WireSize implements Message.
+func (CoordJoin) WireSize() int { return 1 }
+
+// CoordAssign is the coordinator's answer: connect to Parent (a node that
+// joined earlier, which guarantees acyclicity).
+type CoordAssign struct {
+	Parent ids.NodeID
+}
+
+// Kind implements Message.
+func (CoordAssign) Kind() Kind { return KindCoordAssign }
+
+// AppendTo implements Message.
+func (m CoordAssign) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.NodeID(m.Parent)
+	return e.B
+}
+
+// WireSize implements Message.
+func (CoordAssign) WireSize() int { return 1 + szID }
+
+// TreeData pushes one stream message down the SimpleTree.
+type TreeData struct {
+	Stream  StreamID
+	Seq     uint32
+	Payload []byte
+}
+
+// Kind implements Message.
+func (TreeData) Kind() Kind { return KindTreeData }
+
+// AppendTo implements Message.
+func (m TreeData) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.U32(uint32(m.Stream))
+	e.U32(m.Seq)
+	e.Bytes(m.Payload)
+	return e.B
+}
+
+// WireSize implements Message.
+func (m TreeData) WireSize() int { return 1 + szU32 + szU32 + szBytes(m.Payload) }
+
+// ---------------------------------------------------------------- TAG
+
+// TagJoinRequest asks the stream source for the current list tail so the
+// joiner can start its backward traversal.
+type TagJoinRequest struct{}
+
+// Kind implements Message.
+func (TagJoinRequest) Kind() Kind { return KindTagJoinRequest }
+
+// AppendTo implements Message.
+func (TagJoinRequest) AppendTo(b []byte) []byte { return b }
+
+// WireSize implements Message.
+func (TagJoinRequest) WireSize() int { return 1 }
+
+// TagWalk is one step of the backward traversal: the joiner asks the target
+// whether it can accept a new child; the target answers with TagJoinAccept
+// (accept or redirect to its predecessor) and the joiner collects random
+// gossip partners along the way.
+type TagWalk struct {
+	Joiner ids.NodeID
+}
+
+// Kind implements Message.
+func (TagWalk) Kind() Kind { return KindTagWalk }
+
+// AppendTo implements Message.
+func (m TagWalk) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.NodeID(m.Joiner)
+	return e.B
+}
+
+// WireSize implements Message.
+func (TagWalk) WireSize() int { return 1 + szID }
+
+// TagJoinAccept answers a TagWalk. If Accept, the sender becomes the joiner's
+// tree parent and list predecessor; Pred/Pred2 carry the sender's own
+// predecessors so the joiner can maintain 2-hop list info. If !Accept, the
+// joiner continues the traversal at Pred.
+type TagJoinAccept struct {
+	Accept bool
+	Pred   ids.NodeID
+	Pred2  ids.NodeID
+}
+
+// Kind implements Message.
+func (TagJoinAccept) Kind() Kind { return KindTagJoinAccept }
+
+// AppendTo implements Message.
+func (m TagJoinAccept) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.Bool(m.Accept)
+	e.NodeID(m.Pred)
+	e.NodeID(m.Pred2)
+	return e.B
+}
+
+// WireSize implements Message.
+func (TagJoinAccept) WireSize() int { return 1 + szBool + szID + szID }
+
+// TagLinkUpdate refreshes a neighbor's 2-hop predecessor/successor knowledge
+// after joins and failures.
+type TagLinkUpdate struct {
+	Pred  ids.NodeID
+	Pred2 ids.NodeID
+	Succ  ids.NodeID
+	Succ2 ids.NodeID
+}
+
+// Kind implements Message.
+func (TagLinkUpdate) Kind() Kind { return KindTagLinkUpdate }
+
+// AppendTo implements Message.
+func (m TagLinkUpdate) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.NodeID(m.Pred)
+	e.NodeID(m.Pred2)
+	e.NodeID(m.Succ)
+	e.NodeID(m.Succ2)
+	return e.B
+}
+
+// WireSize implements Message.
+func (TagLinkUpdate) WireSize() int { return 1 + 4*szID }
+
+// TagPull periodically asks the parent and gossip partners for messages the
+// sender has not yet received (TAG is pull-based, §III-D(c)).
+type TagPull struct {
+	Stream  StreamID
+	UpTo    uint32
+	Missing []uint32
+}
+
+// Kind implements Message.
+func (TagPull) Kind() Kind { return KindTagPull }
+
+// AppendTo implements Message.
+func (m TagPull) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.U32(uint32(m.Stream))
+	e.U32(m.UpTo)
+	e.U16(uint16(len(m.Missing)))
+	for _, s := range m.Missing {
+		e.U32(s)
+	}
+	return e.B
+}
+
+// WireSize implements Message.
+func (m TagPull) WireSize() int { return 1 + szU32 + szU32 + szU16 + len(m.Missing)*szU32 }
+
+// TagPullReply returns the pulled messages.
+type TagPullReply struct {
+	Stream StreamID
+	Items  []StreamItem
+}
+
+// Kind implements Message.
+func (TagPullReply) Kind() Kind { return KindTagPullReply }
+
+// AppendTo implements Message.
+func (m TagPullReply) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.U32(uint32(m.Stream))
+	appendItems(&e, m.Items)
+	return e.B
+}
+
+// WireSize implements Message.
+func (m TagPullReply) WireSize() int { return 1 + szU32 + szItems(m.Items) }
+
+// TagAnnounce advertises the sender's highest contiguous sequence number to
+// children and gossip partners so they know what to pull.
+type TagAnnounce struct {
+	Stream StreamID
+	UpTo   uint32
+}
+
+// Kind implements Message.
+func (TagAnnounce) Kind() Kind { return KindTagAnnounce }
+
+// AppendTo implements Message.
+func (m TagAnnounce) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	e.U32(uint32(m.Stream))
+	e.U32(m.UpTo)
+	return e.B
+}
+
+// WireSize implements Message.
+func (TagAnnounce) WireSize() int { return 1 + szU32 + szU32 }
+
+func init() {
+	register(KindRumor, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := Rumor{Stream: StreamID(d.U32()), Seq: d.U32(), Payload: cloneBytes(d.Bytes())}
+		return m, d.Finish()
+	})
+	register(KindAntiEntropyRequest, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := AntiEntropyRequest{Stream: StreamID(d.U32()), UpTo: d.U32(), Missing: decodeU32s(&d)}
+		return m, d.Finish()
+	})
+	register(KindAntiEntropyReply, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := AntiEntropyReply{Stream: StreamID(d.U32()), Items: decodeItems(&d)}
+		return m, d.Finish()
+	})
+	register(KindCoordJoin, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		return CoordJoin{}, d.Finish()
+	})
+	register(KindCoordAssign, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := CoordAssign{Parent: d.NodeID()}
+		return m, d.Finish()
+	})
+	register(KindTreeData, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := TreeData{Stream: StreamID(d.U32()), Seq: d.U32(), Payload: cloneBytes(d.Bytes())}
+		return m, d.Finish()
+	})
+	register(KindTagJoinRequest, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		return TagJoinRequest{}, d.Finish()
+	})
+	register(KindTagWalk, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := TagWalk{Joiner: d.NodeID()}
+		return m, d.Finish()
+	})
+	register(KindTagJoinAccept, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := TagJoinAccept{Accept: d.Bool(), Pred: d.NodeID(), Pred2: d.NodeID()}
+		return m, d.Finish()
+	})
+	register(KindTagLinkUpdate, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := TagLinkUpdate{Pred: d.NodeID(), Pred2: d.NodeID(), Succ: d.NodeID(), Succ2: d.NodeID()}
+		return m, d.Finish()
+	})
+	register(KindTagPull, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := TagPull{Stream: StreamID(d.U32()), UpTo: d.U32(), Missing: decodeU32s(&d)}
+		return m, d.Finish()
+	})
+	register(KindTagPullReply, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := TagPullReply{Stream: StreamID(d.U32()), Items: decodeItems(&d)}
+		return m, d.Finish()
+	})
+	register(KindTagAnnounce, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := TagAnnounce{Stream: StreamID(d.U32()), UpTo: d.U32()}
+		return m, d.Finish()
+	})
+}
+
+func decodeU32s(d *Decoder) []uint32 {
+	n := int(d.U16())
+	if d.Err != nil || n == 0 {
+		return nil
+	}
+	if n > maxSliceLen {
+		d.Err = ErrTooLong
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.U32()
+	}
+	return out
+}

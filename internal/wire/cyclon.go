@@ -1,0 +1,87 @@
+package wire
+
+import "repro/internal/ids"
+
+// Cyclon messages (Voulgaris et al., JNSM 2005): the proactive PSS used by
+// the SimpleGossip baseline (§III-D(a)).
+
+// CyclonEntry is one view entry: a peer descriptor with an age counter.
+type CyclonEntry struct {
+	Node ids.NodeID
+	Age  uint16
+}
+
+const szCyclonEntry = szID + szU16
+
+func appendCyclonEntries(e *Encoder, entries []CyclonEntry) {
+	e.U16(uint16(len(entries)))
+	for _, it := range entries {
+		e.NodeID(it.Node)
+		e.U16(it.Age)
+	}
+}
+
+func decodeCyclonEntries(d *Decoder) []CyclonEntry {
+	n := int(d.U16())
+	if d.Err != nil || n == 0 {
+		return nil
+	}
+	if n > maxSliceLen {
+		d.Err = ErrTooLong
+		return nil
+	}
+	out := make([]CyclonEntry, n)
+	for i := range out {
+		out[i] = CyclonEntry{Node: d.NodeID(), Age: d.U16()}
+	}
+	return out
+}
+
+// CyclonShuffle initiates a view exchange with the sender's oldest neighbor.
+type CyclonShuffle struct {
+	Entries []CyclonEntry
+}
+
+// Kind implements Message.
+func (CyclonShuffle) Kind() Kind { return KindCyclonShuffle }
+
+// AppendTo implements Message.
+func (m CyclonShuffle) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	appendCyclonEntries(&e, m.Entries)
+	return e.B
+}
+
+// WireSize implements Message.
+func (m CyclonShuffle) WireSize() int { return 1 + szU16 + len(m.Entries)*szCyclonEntry }
+
+// CyclonShuffleReply answers a CyclonShuffle with the receiver's sample.
+type CyclonShuffleReply struct {
+	Entries []CyclonEntry
+}
+
+// Kind implements Message.
+func (CyclonShuffleReply) Kind() Kind { return KindCyclonShuffleReply }
+
+// AppendTo implements Message.
+func (m CyclonShuffleReply) AppendTo(b []byte) []byte {
+	e := Encoder{B: b}
+	appendCyclonEntries(&e, m.Entries)
+	return e.B
+}
+
+// WireSize implements Message.
+func (m CyclonShuffleReply) WireSize() int { return 1 + szU16 + len(m.Entries)*szCyclonEntry }
+
+func init() {
+	register(KindCyclonShuffle, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := CyclonShuffle{Entries: decodeCyclonEntries(&d)}
+		return m, d.Finish()
+	})
+	register(KindCyclonShuffleReply, func(body []byte) (Message, error) {
+		d := Decoder{B: body}
+		m := CyclonShuffleReply{Entries: decodeCyclonEntries(&d)}
+		return m, d.Finish()
+	})
+}

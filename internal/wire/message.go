@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// Kind identifies a message type on the wire. Kinds are grouped in ranges by
+// protocol so a node-level router can dispatch a whole range to one handler.
+type Kind uint8
+
+// Kind ranges. Keep ranges stable: the simulator classifies bytes into
+// control vs payload traffic by kind.
+const (
+	// HyParView (peer sampling service): 1–15.
+	KindJoin Kind = 1 + iota
+	KindForwardJoin
+	KindDisconnect
+	KindNeighborRequest
+	KindNeighborReply
+	KindShuffle
+	KindShuffleReply
+	KindKeepAlive
+	KindKeepAliveReply
+)
+
+const (
+	// BRISA: 16–31.
+	KindData Kind = 16 + iota
+	KindDeactivate
+	KindReactivate
+	KindFloodRepair
+	KindDepthUpdate
+	KindMsgRequest
+)
+
+const (
+	// Cyclon: 32–39.
+	KindCyclonShuffle Kind = 32 + iota
+	KindCyclonShuffleReply
+)
+
+const (
+	// SimpleGossip: 40–47.
+	KindRumor Kind = 40 + iota
+	KindAntiEntropyRequest
+	KindAntiEntropyReply
+)
+
+const (
+	// SimpleTree: 48–55.
+	KindCoordJoin Kind = 48 + iota
+	KindCoordAssign
+	KindTreeData
+)
+
+const (
+	// TAG: 56–71.
+	KindTagJoinRequest Kind = 56 + iota
+	KindTagWalk
+	KindTagJoinAccept
+	KindTagLinkUpdate
+	KindTagPull
+	KindTagPullReply
+	KindTagAnnounce
+)
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	if name, ok := kindNames[k]; ok {
+		return name
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var kindNames = map[Kind]string{
+	KindJoin:               "Join",
+	KindForwardJoin:        "ForwardJoin",
+	KindDisconnect:         "Disconnect",
+	KindNeighborRequest:    "NeighborRequest",
+	KindNeighborReply:      "NeighborReply",
+	KindShuffle:            "Shuffle",
+	KindShuffleReply:       "ShuffleReply",
+	KindKeepAlive:          "KeepAlive",
+	KindKeepAliveReply:     "KeepAliveReply",
+	KindData:               "Data",
+	KindDeactivate:         "Deactivate",
+	KindReactivate:         "Reactivate",
+	KindFloodRepair:        "FloodRepair",
+	KindDepthUpdate:        "DepthUpdate",
+	KindMsgRequest:         "MsgRequest",
+	KindCyclonShuffle:      "CyclonShuffle",
+	KindCyclonShuffleReply: "CyclonShuffleReply",
+	KindRumor:              "Rumor",
+	KindAntiEntropyRequest: "AntiEntropyRequest",
+	KindAntiEntropyReply:   "AntiEntropyReply",
+	KindCoordJoin:          "CoordJoin",
+	KindCoordAssign:        "CoordAssign",
+	KindTreeData:           "TreeData",
+	KindTagJoinRequest:     "TagJoinRequest",
+	KindTagWalk:            "TagWalk",
+	KindTagJoinAccept:      "TagJoinAccept",
+	KindTagLinkUpdate:      "TagLinkUpdate",
+	KindTagPull:            "TagPull",
+	KindTagPullReply:       "TagPullReply",
+	KindTagAnnounce:        "TagAnnounce",
+}
+
+// IsControl reports whether the kind carries protocol control information
+// rather than application payload. Payload kinds are charged to the
+// "dissemination payload" bandwidth class by the simulator; everything else
+// is overhead.
+func (k Kind) IsControl() bool {
+	switch k {
+	case KindData, KindRumor, KindAntiEntropyReply, KindTreeData, KindTagPullReply:
+		return false
+	}
+	return true
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Kind returns the wire discriminator.
+	Kind() Kind
+	// AppendTo appends the message body (without the kind byte) to b.
+	AppendTo(b []byte) []byte
+	// WireSize returns the encoded size of the body plus the kind byte,
+	// computed arithmetically (no allocation). Invariant, checked by tests:
+	// WireSize() == 1+len(AppendTo(nil)).
+	WireSize() int
+}
+
+// Marshal encodes a message as kind byte + body.
+func Marshal(m Message) []byte {
+	b := make([]byte, 0, m.WireSize())
+	b = append(b, byte(m.Kind()))
+	return m.AppendTo(b)
+}
+
+// Unmarshal decodes a frame produced by Marshal.
+func Unmarshal(frame []byte) (Message, error) {
+	if len(frame) == 0 {
+		return nil, ErrTruncated
+	}
+	kind := Kind(frame[0])
+	body := frame[1:]
+	ctor, ok := decoders[kind]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown kind %d", kind)
+	}
+	return ctor(body)
+}
+
+type decodeFunc func(body []byte) (Message, error)
+
+var decoders = map[Kind]decodeFunc{}
+
+// register installs the decoder for a kind; called from init funcs of the
+// per-protocol files. Panics on duplicates since that is a programming error.
+func register(k Kind, fn decodeFunc) {
+	if _, dup := decoders[k]; dup {
+		panic(fmt.Sprintf("wire: duplicate decoder for %v", k))
+	}
+	decoders[k] = fn
+}

@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+// allMessages returns one representative of every message type with
+// non-trivial field values.
+func allMessages() []Message {
+	path := []ids.NodeID{1, 2, 3}
+	return []Message{
+		Join{},
+		ForwardJoin{Joiner: 42, TTL: 6},
+		Disconnect{},
+		NeighborRequest{Priority: true},
+		NeighborReply{Accept: true},
+		Shuffle{Origin: 7, TTL: 3, Nodes: path},
+		ShuffleReply{Nodes: path},
+		KeepAlive{SentAt: 123456789, Piggyback: []byte{1, 2, 3}},
+		KeepAliveReply{EchoSentAt: 987654321, Piggyback: []byte{9}},
+		Data{Stream: 1, Seq: 77, Depth: 4, Path: path, Payload: []byte("payload")},
+		Deactivate{Stream: 1, Symmetric: true},
+		Reactivate{Stream: 2},
+		FloodRepair{Stream: 3},
+		DepthUpdate{Stream: 4, Depth: 9},
+		MsgRequest{Stream: 5, From: 10, To: 20},
+		CyclonShuffle{Entries: []CyclonEntry{{Node: 1, Age: 2}, {Node: 3, Age: 4}}},
+		CyclonShuffleReply{Entries: []CyclonEntry{{Node: 5, Age: 6}}},
+		Rumor{Stream: 6, Seq: 8, Payload: []byte("rumor")},
+		AntiEntropyRequest{Stream: 7, UpTo: 100, Missing: []uint32{3, 5, 9}},
+		AntiEntropyReply{Stream: 8, Items: []StreamItem{{Seq: 1, Payload: []byte("a")}, {Seq: 2, Payload: nil}}},
+		CoordJoin{},
+		CoordAssign{Parent: 77},
+		TreeData{Stream: 9, Seq: 10, Payload: []byte("tree")},
+		TagJoinRequest{},
+		TagWalk{Joiner: 11},
+		TagJoinAccept{Accept: true, Pred: 12, Pred2: 13},
+		TagLinkUpdate{Pred: 1, Pred2: 2, Succ: 3, Succ2: 4},
+		TagPull{Stream: 10, UpTo: 50, Missing: []uint32{44}},
+		TagPullReply{Stream: 11, Items: []StreamItem{{Seq: 4, Payload: []byte("x")}}},
+		TagAnnounce{Stream: 12, UpTo: 60},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	for _, m := range allMessages() {
+		frame := Marshal(m)
+		got, err := Unmarshal(frame)
+		if err != nil {
+			t.Errorf("%v: unmarshal: %v", m.Kind(), err)
+			continue
+		}
+		// Normalize nil vs empty slices before comparing.
+		if !reflect.DeepEqual(normalize(m), normalize(got)) {
+			t.Errorf("%v: round trip mismatch:\n  sent %#v\n  got  %#v", m.Kind(), m, got)
+		}
+	}
+}
+
+// normalize re-encodes for comparison (empty slice vs nil).
+func normalize(m Message) string { return string(Marshal(m)) }
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	for _, m := range allMessages() {
+		if got, want := m.WireSize(), len(Marshal(m)); got != want {
+			t.Errorf("%v: WireSize() = %d, encoded size = %d", m.Kind(), got, want)
+		}
+	}
+}
+
+func TestKindsAreUniqueAndNamed(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, m := range allMessages() {
+		k := m.Kind()
+		if seen[k] {
+			t.Errorf("kind %v used by two messages", k)
+		}
+		seen[k] = true
+		if k.String() == "" || k.String()[0] == 'k' {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0xFF},           // unknown kind
+		{byte(KindData)}, // truncated body
+		{byte(KindData), 1, 2, 3},
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("Unmarshal(%v) succeeded, want error", c)
+		}
+	}
+	// Trailing bytes are an error too.
+	frame := Marshal(Deactivate{Stream: 1})
+	if _, err := Unmarshal(append(frame, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestDataPathMetadataCost(t *testing.T) {
+	// The paper's §II-D argument: a 7-hop path costs 7×48 bits = 42 bytes
+	// of metadata. Verify the encoding matches that accounting exactly.
+	with := Data{Stream: 1, Seq: 1, Path: make([]ids.NodeID, 7)}.WireSize()
+	without := Data{Stream: 1, Seq: 1}.WireSize()
+	if got, want := with-without, 7*ids.WireSize; got != want {
+		t.Errorf("7-hop path costs %d bytes, want %d", got, want)
+	}
+}
+
+// quick-check generators for property tests.
+
+func randomIDs(r *rand.Rand, n int) []ids.NodeID {
+	out := make([]ids.NodeID, r.Intn(n))
+	for i := range out {
+		out[i] = ids.NodeID(r.Uint64() & uint64(ids.MaxID))
+	}
+	return out
+}
+
+func TestQuickDataRoundTrip(t *testing.T) {
+	f := func(stream uint32, seq uint32, depth uint16, pathSeed int64, payload []byte) bool {
+		r := rand.New(rand.NewSource(pathSeed))
+		m := Data{
+			Stream:  StreamID(stream),
+			Seq:     seq,
+			Depth:   depth,
+			Path:    randomIDs(r, 20),
+			Payload: payload,
+		}
+		frame := Marshal(m)
+		if len(frame) != m.WireSize() {
+			return false
+		}
+		got, err := Unmarshal(frame)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(Marshal(got), frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickShuffleRoundTrip(t *testing.T) {
+	f := func(origin uint64, ttl uint8, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Shuffle{
+			Origin: ids.NodeID(origin & uint64(ids.MaxID)),
+			TTL:    ttl,
+			Nodes:  randomIDs(r, 30),
+		}
+		frame := Marshal(m)
+		got, err := Unmarshal(frame)
+		return err == nil && bytes.Equal(Marshal(got), frame) && len(frame) == m.WireSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	// Random byte soup must never panic the decoder — it may only error.
+	f := func(body []byte) bool {
+		for k := 0; k < 72; k++ {
+			frame := append([]byte{byte(k)}, body...)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("kind %d panicked on %v: %v", k, body, r)
+					}
+				}()
+				Unmarshal(frame) //nolint:errcheck
+			}()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlClassification(t *testing.T) {
+	// Payload-bearing kinds are the ones charged as dissemination payload.
+	payloadKinds := map[Kind]bool{
+		KindData: true, KindRumor: true, KindAntiEntropyReply: true,
+		KindTreeData: true, KindTagPullReply: true,
+	}
+	for _, m := range allMessages() {
+		if got, want := !m.Kind().IsControl(), payloadKinds[m.Kind()]; got != want {
+			t.Errorf("%v: IsControl() = %v, want %v", m.Kind(), !got, !want)
+		}
+	}
+}
