@@ -1,0 +1,120 @@
+package brisa_test
+
+// Constructor and configuration validation: the public constructors return
+// errors instead of panicking or silently correcting contradictory input.
+
+import (
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	bad := []brisa.ClusterConfig{
+		{},          // Nodes missing
+		{Nodes: -4}, // negative size
+		{Nodes: 8, JoinInterval: -time.Second},
+		{Nodes: 8, StabilizeTime: -time.Second},
+		{Nodes: 8, NodeBandwidth: -1},
+		{Nodes: 8, LinkBandwidth: -1},
+		{Nodes: 8, Peer: brisa.Config{Mode: brisa.Mode(99)}},
+		{Nodes: 8, Peer: brisa.Config{Mode: brisa.ModeTree, Parents: 2}},
+		{Nodes: 8, Peer: brisa.Config{Mode: brisa.ModeFlood, Parents: 1}},
+		{Nodes: 8, Peer: brisa.Config{ViewSize: -1}},
+		{Nodes: 8, Peer: brisa.Config{ExpansionFactor: 0.5}},
+	}
+	for i, cfg := range bad {
+		if c, err := brisa.NewCluster(cfg); err == nil {
+			t.Errorf("case %d: NewCluster(%+v) = %v, want error", i, cfg, c)
+		}
+	}
+	// A PeerConfig-derived invalid configuration surfaces at build time too.
+	if _, err := brisa.NewCluster(brisa.ClusterConfig{
+		Nodes:      4,
+		PeerConfig: func(brisa.NodeID) brisa.Config { return brisa.Config{Parents: -1} },
+	}); err == nil {
+		t.Error("NewCluster accepted an invalid PeerConfig-derived configuration")
+	}
+}
+
+func TestNewPeerValidation(t *testing.T) {
+	if _, err := brisa.NewPeer(0, brisa.Config{}); err == nil {
+		t.Error("NewPeer accepted the nil identifier")
+	}
+	if _, err := brisa.NewPeer(1, brisa.Config{Parents: -1}); err == nil {
+		t.Error("NewPeer accepted Parents=-1")
+	}
+	p, err := brisa.NewPeer(1, brisa.Config{Mode: brisa.ModeDAG})
+	if err != nil {
+		t.Fatalf("NewPeer: %v", err)
+	}
+	if p.ID() != 1 {
+		t.Errorf("peer id = %v, want 1", p.ID())
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := brisa.Listen("256.0.0.1:99999", brisa.Config{}); err == nil {
+		t.Error("Listen accepted an unparseable address")
+	}
+	// A bad peer configuration must not leak the bound listener: the same
+	// address stays bindable right after the failure.
+	n, err := brisa.Listen("127.0.0.1:0", brisa.Config{})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := n.Addr()
+	n.Close()
+	if _, err := brisa.Listen(addr, brisa.Config{ViewSize: -1}); err == nil {
+		t.Fatal("Listen accepted ViewSize=-1")
+	}
+	n2, err := brisa.Listen(addr, brisa.Config{})
+	if err != nil {
+		t.Fatalf("re-Listen on %s after failed Listen: %v", addr, err)
+	}
+	n2.Close()
+}
+
+func TestParseNodeID(t *testing.T) {
+	id, err := brisa.ParseNodeID("10.1.2.3:7001")
+	if err != nil {
+		t.Fatalf("ParseNodeID: %v", err)
+	}
+	if got := id.String(); got != "10.1.2.3:7001" {
+		t.Errorf("round trip: %q", got)
+	}
+	for _, bad := range []string{"", "10.1.2.3", "[::1]:80", "10.1.2.3:99999"} {
+		if _, err := brisa.ParseNodeID(bad); err == nil {
+			t.Errorf("ParseNodeID(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSimulatedSubscription(t *testing.T) {
+	// Subscriptions work on the simulator exactly as on live TCP.
+	c := newTestCluster(t, brisa.ClusterConfig{
+		Nodes: 16,
+		Seed:  11,
+		Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+	})
+	c.Bootstrap()
+	source := c.Peers()[0]
+	leaf := c.Peers()[5]
+	sub := leaf.Subscribe(3)
+	defer sub.Cancel()
+	const msgs = 10
+	publishStream(c, source, 3, msgs, 200*time.Millisecond, 8)
+	c.Net.RunFor(msgs*200*time.Millisecond + 5*time.Second)
+
+	for want := uint32(1); want <= msgs; want++ {
+		select {
+		case m := <-sub.C():
+			if m.Seq != want {
+				t.Fatalf("got seq %d, want %d", m.Seq, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for seq %d", want)
+		}
+	}
+}

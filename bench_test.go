@@ -13,7 +13,7 @@ import (
 	"time"
 
 	brisa "repro"
-	"repro/internal/experiments"
+	"repro/experiments"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 )
@@ -161,7 +161,7 @@ func benchTreeRunFull(b *testing.B, seed int64, mutate func(*brisa.Config)) (dup
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	c := brisa.NewCluster(brisa.ClusterConfig{Nodes: 96, Seed: seed, Peer: cfg})
+	c := newTestCluster(b, brisa.ClusterConfig{Nodes: 96, Seed: seed, Peer: cfg})
 	c.Bootstrap()
 	source := c.Peers()[0]
 	const msgs = 50
@@ -252,7 +252,7 @@ func BenchmarkAblationCyclePrevention(b *testing.B) {
 		if mode == brisa.ModeDAG {
 			cfg.Parents = 1
 		}
-		c := brisa.NewCluster(brisa.ClusterConfig{Nodes: 96, Seed: seed, Peer: cfg})
+		c := newTestCluster(b, brisa.ClusterConfig{Nodes: 96, Seed: seed, Peer: cfg})
 		c.Bootstrap()
 		c.Net.ResetUsage()
 		c.Net.SetPhase(simnet.PhaseDissemination)
@@ -284,7 +284,7 @@ func BenchmarkAblationCyclePrevention(b *testing.B) {
 // experiments pay.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		c := brisa.NewCluster(brisa.ClusterConfig{
+		c := newTestCluster(b, brisa.ClusterConfig{
 			Nodes: 512,
 			Seed:  int64(i + 1),
 			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},

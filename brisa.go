@@ -4,20 +4,41 @@
 //
 // A Peer bundles the two protocol layers — the HyParView peer sampling
 // service and the BRISA dissemination core — wired together (membership
-// callbacks, keep-alive piggybacks). The same Peer runs on the deterministic
-// simulator (Cluster, package internal/simnet) or on the live goroutine/TCP
-// runtime (internal/livenet).
+// callbacks, keep-alive piggybacks). The same Peer runs unchanged on two
+// runtimes, both reachable without importing internal packages:
+//
+//   - the deterministic discrete-event simulator: NewCluster assembles N
+//     peers on a virtual network for experiments and tests;
+//   - real TCP sockets: Listen binds an address, derives the 48-bit ip:port
+//     node identifier from it, and returns a live Node.
+//
+// Delivered payloads are consumed per stream through Peer.Subscribe, which
+// works identically on both runtimes; the lower-level Config.OnDeliver
+// callback remains available for instrumentation.
 //
 // Quickstart (simulated):
 //
-//	cluster := brisa.NewCluster(brisa.ClusterConfig{Nodes: 64})
+//	cluster, err := brisa.NewCluster(brisa.ClusterConfig{Nodes: 64})
+//	if err != nil { ... }
 //	cluster.Bootstrap()
 //	source := cluster.Peers()[0]
+//	sub := source.Subscribe(1)
 //	cluster.Net.After(0, func() { source.Publish(1, []byte("hello")) })
 //	cluster.Net.RunFor(5 * time.Second)
+//	msg := <-sub.C() // Message{Stream: 1, Seq: 1, Payload: "hello"}
+//
+// Quickstart (live TCP):
+//
+//	node, err := brisa.Listen("127.0.0.1:0", brisa.Config{Mode: brisa.ModeTree})
+//	if err != nil { ... }
+//	defer node.Close()
+//	if err := node.Join("10.0.0.1:7001"); err != nil { ... }
+//	sub := node.Subscribe(1)
+//	for msg := range sub.C() { ... }
 package brisa
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -82,7 +103,9 @@ type (
 
 // Config assembles one peer.
 type Config struct {
-	// Mode is the dissemination structure (default ModeTree).
+	// Mode is the dissemination structure. The zero value is ModeFlood
+	// (plain epidemic flooding, no structure emergence); set ModeTree or
+	// ModeDAG for the paper's main configurations.
 	Mode Mode
 	// Parents is the DAG parent target (default 2 in ModeDAG).
 	Parents int
@@ -109,6 +132,36 @@ type Config struct {
 	DisableSymmetricDeactivation bool
 }
 
+// Validate checks the configuration for values that cannot be defaulted
+// away. Zero values mean "use the documented default"; negative or otherwise
+// contradictory values are errors rather than silently corrected.
+func (c Config) Validate() error {
+	switch c.Mode {
+	case ModeFlood, ModeTree, ModeDAG:
+	default:
+		return fmt.Errorf("brisa: unknown Mode %d", int(c.Mode))
+	}
+	if c.Parents < 0 {
+		return fmt.Errorf("brisa: Parents must not be negative, got %d", c.Parents)
+	}
+	if c.Mode == ModeTree && c.Parents > 1 {
+		return fmt.Errorf("brisa: ModeTree keeps a single parent, got Parents=%d (use ModeDAG)", c.Parents)
+	}
+	if c.Mode == ModeFlood && c.Parents > 0 {
+		return fmt.Errorf("brisa: ModeFlood emerges no structure, got Parents=%d", c.Parents)
+	}
+	if c.ViewSize < 0 {
+		return fmt.Errorf("brisa: ViewSize must not be negative, got %d", c.ViewSize)
+	}
+	if c.ExpansionFactor < 0 {
+		return fmt.Errorf("brisa: ExpansionFactor must not be negative, got %g", c.ExpansionFactor)
+	}
+	if c.ExpansionFactor > 0 && c.ExpansionFactor < 1 {
+		return fmt.Errorf("brisa: ExpansionFactor below 1 would shrink the active view, got %g", c.ExpansionFactor)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Mode == ModeDAG && c.Parents <= 0 {
 		c.Parents = 2
@@ -125,17 +178,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ParseNodeID converts an "a.b.c.d:port" address into the 48-bit node
+// identifier it is in a live deployment — the inverse of NodeID.String.
+func ParseNodeID(s string) (NodeID, error) {
+	return ids.Parse(s)
+}
+
 // Peer is one assembled protocol stack: HyParView + BRISA on a shared actor.
 type Peer struct {
 	id    NodeID
 	pss   *hyparview.Protocol
 	brisa *core.Protocol
 	mux   *node.Mux
+	subs  subscriptionSet
 }
 
-// NewPeer assembles a peer. Register Handler() with a runtime (simnet or
-// livenet) under the same id.
-func NewPeer(id NodeID, cfg Config) *Peer {
+// NewPeer assembles a peer, or reports why the configuration is invalid.
+// Register Handler() with a runtime (simnet or livenet) under the same id —
+// or use NewCluster/Listen, which do all of this.
+func NewPeer(id NodeID, cfg Config) (*Peer, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("brisa: invalid peer id %v", id)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 
 	hvCfg := hyparview.DefaultConfig()
@@ -177,7 +244,7 @@ func NewPeer(id NodeID, cfg Config) *Peer {
 	mux := node.NewMux()
 	mux.Register(pss, hyparview.Kinds()...)
 	mux.Register(bp, core.Kinds()...)
-	return &Peer{id: id, pss: pss, brisa: bp, mux: mux}
+	return &Peer{id: id, pss: pss, brisa: bp, mux: mux}, nil
 }
 
 // ID returns the peer's identifier.

@@ -20,7 +20,7 @@ func publishStream(c *brisa.Cluster, source *brisa.Peer, stream brisa.StreamID, 
 }
 
 func TestTreeCompleteness(t *testing.T) {
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 64,
 		Seed:  1,
 		Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
@@ -38,7 +38,7 @@ func TestTreeCompleteness(t *testing.T) {
 }
 
 func TestTreeEliminatesDuplicates(t *testing.T) {
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 128,
 		Seed:  2,
 		Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
@@ -105,7 +105,7 @@ func treeShape(t *testing.T, c *brisa.Cluster, source brisa.NodeID, stream brisa
 }
 
 func TestTreeStructureIsSpanningAndAcyclic(t *testing.T) {
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 100,
 		Seed:  3,
 		Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
@@ -118,7 +118,7 @@ func TestTreeStructureIsSpanningAndAcyclic(t *testing.T) {
 }
 
 func TestDAGStructure(t *testing.T) {
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 100,
 		Seed:  4,
 		Peer:  brisa.Config{Mode: brisa.ModeDAG, Parents: 2, ViewSize: 8},
@@ -167,7 +167,7 @@ func TestDAGStructure(t *testing.T) {
 }
 
 func TestChurnRecovery(t *testing.T) {
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 128,
 		Seed:  5,
 		Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
@@ -211,7 +211,7 @@ func TestChurnRecovery(t *testing.T) {
 
 func TestFloodModeDuplicatesGrowWithViewSize(t *testing.T) {
 	dups := func(view int) float64 {
-		c := brisa.NewCluster(brisa.ClusterConfig{
+		c := newTestCluster(t, brisa.ClusterConfig{
 			Nodes: 96,
 			Seed:  6,
 			Peer:  brisa.Config{Mode: brisa.ModeFlood, ViewSize: view},
@@ -245,7 +245,7 @@ func TestDelayAwareReducesRoutingDelay(t *testing.T) {
 		var delays []time.Duration
 		publishedAt := make(map[uint32]time.Time)
 		var c *brisa.Cluster
-		c = brisa.NewCluster(brisa.ClusterConfig{
+		c = newTestCluster(t, brisa.ClusterConfig{
 			Nodes:           150,
 			Seed:            7,
 			Latency:         simnet.PlanetLabSites(15),

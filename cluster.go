@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // ClusterConfig describes a simulated deployment.
@@ -21,8 +22,8 @@ type ClusterConfig struct {
 	PeerConfig func(id NodeID) Config
 	// Seed drives all simulation randomness (default 1).
 	Seed int64
-	// Latency is the network latency model (default simnet.Cluster()).
-	Latency simnet.LatencyModel
+	// Latency is the network latency model (default ClusterLatency()).
+	Latency LatencyModel
 	// JoinInterval staggers the bootstrap joins (default 50ms). The
 	// paper's traces join one node per second; experiments compress this.
 	JoinInterval time.Duration
@@ -54,20 +55,49 @@ type Cluster struct {
 	next  uint64
 }
 
-// NewCluster builds the peers and registers them with a fresh simulator.
-// Nodes are not joined to each other yet; call Bootstrap (or schedule joins
-// manually for custom traces).
-func NewCluster(cfg ClusterConfig) *Cluster {
+// Validate checks the configuration. Zero values mean "use the documented
+// default"; negative values are errors rather than silently corrected.
+func (cfg ClusterConfig) Validate() error {
 	if cfg.Nodes <= 0 {
-		panic("brisa: ClusterConfig.Nodes must be positive")
+		return fmt.Errorf("brisa: ClusterConfig.Nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.JoinInterval < 0 {
+		return fmt.Errorf("brisa: ClusterConfig.JoinInterval must not be negative, got %v", cfg.JoinInterval)
+	}
+	if cfg.StabilizeTime < 0 {
+		return fmt.Errorf("brisa: ClusterConfig.StabilizeTime must not be negative, got %v", cfg.StabilizeTime)
+	}
+	if cfg.DetectDelay < 0 {
+		return fmt.Errorf("brisa: ClusterConfig.DetectDelay must not be negative, got %v", cfg.DetectDelay)
+	}
+	if cfg.NodeBandwidth < 0 {
+		return fmt.Errorf("brisa: ClusterConfig.NodeBandwidth must not be negative, got %d", cfg.NodeBandwidth)
+	}
+	if cfg.LinkBandwidth < 0 {
+		return fmt.Errorf("brisa: ClusterConfig.LinkBandwidth must not be negative, got %d", cfg.LinkBandwidth)
+	}
+	if cfg.PeerConfig == nil {
+		if err := cfg.Peer.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewCluster builds the peers and registers them with a fresh simulator, or
+// reports why the configuration is invalid. Nodes are not joined to each
+// other yet; call Bootstrap (or schedule joins manually for custom traces).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	if cfg.JoinInterval <= 0 {
+	if cfg.JoinInterval == 0 {
 		cfg.JoinInterval = 50 * time.Millisecond
 	}
-	if cfg.StabilizeTime <= 0 {
+	if cfg.StabilizeTime == 0 {
 		cfg.StabilizeTime = 15 * time.Second
 	}
 	c := &Cluster{
@@ -83,9 +113,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		peers: make(map[NodeID]*Peer),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		c.addPeer()
+		if _, err := c.addPeer(); err != nil {
+			return nil, err
+		}
 	}
-	return c
+	return c, nil
 }
 
 func (c *Cluster) peerConfig(id NodeID) Config {
@@ -95,14 +127,18 @@ func (c *Cluster) peerConfig(id NodeID) Config {
 	return c.cfg.Peer
 }
 
-func (c *Cluster) addPeer() *Peer {
+func (c *Cluster) addPeer() (*Peer, error) {
 	c.next++
 	id := NodeID(c.next)
-	p := NewPeer(id, c.peerConfig(id))
+	p, err := NewPeer(id, c.peerConfig(id))
+	if err != nil {
+		c.next--
+		return nil, err
+	}
 	c.peers[id] = p
 	c.Net.AddNode(id, p.Handler())
 	c.order = append(c.order, id)
-	return p
+	return p, nil
 }
 
 // Bootstrap joins every peer to a random earlier peer, one per
@@ -145,9 +181,13 @@ func (c *Cluster) AlivePeers() []*Peer {
 func (c *Cluster) Peer(id NodeID) *Peer { return c.peers[id] }
 
 // JoinNew adds a brand-new peer and joins it via a random alive member (the
-// churn "join" primitive). It returns the new peer.
-func (c *Cluster) JoinNew() *Peer {
-	p := c.addPeer()
+// churn "join" primitive). It returns the new peer. The only error source is
+// an invalid PeerConfig-derived configuration.
+func (c *Cluster) JoinNew() (*Peer, error) {
+	p, err := c.addPeer()
+	if err != nil {
+		return nil, err
+	}
 	alive := c.Net.NodeIDs()
 	// Exclude the newborn itself from contact candidates.
 	candidates := alive[:0]
@@ -171,7 +211,7 @@ func (c *Cluster) JoinNew() *Peer {
 		// overlay accepts it (what a deployment's bootstrap loop does).
 		c.retryJoin(p, 5)
 	}
-	return p
+	return p, nil
 }
 
 func (c *Cluster) retryJoin(p *Peer, attempts int) {
@@ -219,6 +259,51 @@ func (c *Cluster) CrashRandom(exclude ...NodeID) NodeID {
 	c.Net.Crash(victim)
 	return victim
 }
+
+// RunChurnScript schedules a churn trace in the paper's Listing 1 syntax
+// (Splay's churn language) against the cluster, with offsets relative to the
+// current virtual time:
+//
+//	from 0s to 300s const churn 3% each 60s
+//	at 1000s set replacement ratio to 100%
+//
+// Nodes in protect (e.g. the stream source) are never chosen as failure
+// victims. The directives are only scheduled; advance the simulation
+// (Net.RunFor) to replay them. A replay-time join panics if PeerConfig
+// derives an invalid configuration for a churned-in node — that is a bug in
+// the caller's PeerConfig, and silently skipping the join would shrink the
+// population the script specifies.
+func (c *Cluster) RunChurnScript(script string, protect ...NodeID) error {
+	parsed, err := trace.Parse(script)
+	if err != nil {
+		return err
+	}
+	parsed.Replay(churnScheduler{c}, &churnTarget{c: c, protect: protect})
+	return nil
+}
+
+// churnScheduler adapts the cluster's virtual clock to the trace replayer,
+// anchoring script offsets at the current virtual time.
+type churnScheduler struct{ c *Cluster }
+
+func (s churnScheduler) At(offset time.Duration, fn func()) {
+	s.c.Net.At(s.c.Net.Since()+offset, fn)
+}
+
+// churnTarget adapts the cluster's churn primitives to the trace replayer.
+type churnTarget struct {
+	c       *Cluster
+	protect []NodeID
+}
+
+func (t *churnTarget) Join() {
+	if _, err := t.c.JoinNew(); err != nil {
+		panic("brisa: churn join: " + err.Error())
+	}
+}
+func (t *churnTarget) Fail()     { t.c.CrashRandom(t.protect...) }
+func (t *churnTarget) Size() int { return len(t.c.Net.NodeIDs()) }
+func (t *churnTarget) Stop()     {}
 
 // String summarizes the cluster state.
 func (c *Cluster) String() string {

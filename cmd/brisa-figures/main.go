@@ -19,7 +19,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/experiments"
 )
 
 func main() {

@@ -16,12 +16,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	brisa "repro"
-	"repro/internal/ids"
-	"repro/internal/livenet"
 )
 
 func main() {
@@ -30,6 +29,7 @@ func main() {
 		join    = flag.String("join", "", "ip:port of an existing node to join through")
 		mode    = flag.String("mode", "tree", "structure: tree | dag")
 		view    = flag.Int("view", 4, "HyParView active view size")
+		stream  = flag.Uint("stream", 1, "stream identifier")
 		publish = flag.Int("publish", 0, "number of messages to publish (0 = receive only)")
 		rate    = flag.Float64("rate", 5, "publish rate, messages/second")
 		payload = flag.Int("payload", 1024, "payload bytes")
@@ -41,33 +41,31 @@ func main() {
 	if *mode == "dag" {
 		m = brisa.ModeDAG
 	}
+	sid := brisa.StreamID(*stream)
 
-	wrapper := &livenet.LateHandler{}
-	node, err := livenet.Start(livenet.Config{Listen: *listen, Handler: wrapper})
+	node, err := brisa.Listen(*listen, brisa.Config{Mode: m, ViewSize: *view})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer node.Stop()
-
-	delivered := 0
-	peer := brisa.NewPeer(node.ID(), brisa.Config{
-		Mode: m, ViewSize: *view,
-		OnDeliver: func(stream brisa.StreamID, seq uint32, payload []byte) {
-			delivered++
-			if *verbose {
-				log.Printf("delivered stream=%d seq=%d (%d bytes)", stream, seq, len(payload))
-			}
-		},
-	})
-	wrapper.Set(peer.Handler())
+	defer node.Close()
 	log.Printf("node %s up (%s, view %d)", node.Addr(), m, *view)
 
+	// Count (and optionally log) deliveries through a stream subscription.
+	var delivered atomic.Int64
+	sub := node.Subscribe(sid)
+	go func() {
+		for msg := range sub.C() {
+			delivered.Add(1)
+			if *verbose {
+				log.Printf("delivered stream=%d seq=%d (%d bytes)", msg.Stream, msg.Seq, len(msg.Payload))
+			}
+		}
+	}()
+
 	if *join != "" {
-		contact, err := parseAddr(*join)
-		if err != nil {
+		if err := node.Join(*join); err != nil {
 			log.Fatalf("bad -join address: %v", err)
 		}
-		node.Call(func() { peer.Join(contact) })
 		log.Printf("joining via %s", *join)
 	}
 
@@ -77,7 +75,7 @@ func main() {
 			time.Sleep(2 * time.Second)
 			interval := time.Duration(float64(time.Second) / *rate)
 			for i := 0; i < *publish; i++ {
-				node.Call(func() { peer.Publish(1, make([]byte, *payload)) })
+				node.Publish(sid, make([]byte, *payload))
 				time.Sleep(interval)
 			}
 			log.Printf("published %d messages", *publish)
@@ -87,18 +85,6 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	node.Call(func() {
-		fmt.Printf("delivered=%d neighbors=%v parents=%v children=%v\n",
-			delivered, peer.Neighbors(), peer.Parents(1), peer.Children(1))
-	})
-}
-
-// parseAddr converts "a.b.c.d:port" into the 48-bit node identifier.
-func parseAddr(s string) (ids.NodeID, error) {
-	var a, b, c, d, port int
-	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d:%d", &a, &b, &c, &d, &port); err != nil {
-		return ids.Nil, err
-	}
-	host := uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
-	return ids.FromHostPort(host, uint16(port)), nil
+	fmt.Printf("delivered=%d neighbors=%v parents=%v children=%v\n",
+		delivered.Load(), node.Neighbors(), node.Parents(sid), node.Children(sid))
 }

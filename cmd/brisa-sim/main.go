@@ -15,8 +15,6 @@ import (
 	"time"
 
 	brisa "repro"
-	"repro/internal/simnet"
-	"repro/internal/trace"
 )
 
 func main() {
@@ -62,16 +60,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	var latency simnet.LatencyModel
+	var latency brisa.LatencyModel
 	if *planet {
-		latency = simnet.PlanetLab()
+		latency = brisa.PlanetLab()
 	}
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	peerCfg := brisa.Config{Mode: m, ViewSize: *view, Strategy: strat}
+	if m == brisa.ModeDAG {
+		peerCfg.Parents = *parents
+	}
+	c, err := brisa.NewCluster(brisa.ClusterConfig{
 		Nodes:   *nodes,
 		Seed:    *seed,
 		Latency: latency,
-		Peer:    brisa.Config{Mode: m, Parents: *parents, ViewSize: *view, Strategy: strat},
+		Peer:    peerCfg,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	fmt.Printf("bootstrapping %d nodes (view %d, %s, %s)...\n", *nodes, *view, m, strat.Name())
 	c.Bootstrap()
 
@@ -85,12 +91,10 @@ func main() {
 	}
 
 	if *churn != "" {
-		script, err := trace.Parse(*churn)
-		if err != nil {
+		if err := c.RunChurnScript(*churn, source.ID()); err != nil {
 			fmt.Fprintf(os.Stderr, "churn script: %v\n", err)
 			os.Exit(2)
 		}
-		script.Replay(schedAdapter{c}, &target{c: c, protect: source.ID()})
 	}
 
 	c.Net.RunFor(time.Duration(*messages)*interval + 30*time.Second)
@@ -115,19 +119,3 @@ func main() {
 	fmt.Printf("orphan events:      %d (soft repairs %d, hard repairs %d)\n",
 		metrics.Orphans, metrics.SoftRepairs, metrics.HardRepairs)
 }
-
-type schedAdapter struct{ c *brisa.Cluster }
-
-func (s schedAdapter) At(offset time.Duration, fn func()) {
-	s.c.Net.At(s.c.Net.Since()+offset, fn)
-}
-
-type target struct {
-	c       *brisa.Cluster
-	protect brisa.NodeID
-}
-
-func (t *target) Join()     { t.c.JoinNew() }
-func (t *target) Fail()     { t.c.CrashRandom(t.protect) }
-func (t *target) Size() int { return len(t.c.Net.NodeIDs()) }
-func (t *target) Stop()     {}

@@ -7,10 +7,10 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	brisa "repro"
-	"repro/internal/simnet"
 )
 
 const (
@@ -20,11 +20,14 @@ const (
 )
 
 func run(mode brisa.Mode) (totalMB float64, complete int, elapsed time.Duration) {
-	cluster := brisa.NewCluster(brisa.ClusterConfig{
+	cluster, err := brisa.NewCluster(brisa.ClusterConfig{
 		Nodes: machines,
 		Seed:  99,
 		Peer:  brisa.Config{Mode: mode, ViewSize: 4},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster.Bootstrap()
 	cluster.Net.ResetUsage()
 	source := cluster.Peers()[0]
@@ -60,5 +63,4 @@ func main() {
 	fmt.Printf("%-14s %12.1f %9d/%d %10v\n", "BRISA tree", treeMB, treeDone, machines, treeT.Round(time.Millisecond))
 	fmt.Printf("%-14s %12.1f %9d/%d %10v\n", "flooding", floodMB, floodDone, machines, floodT.Round(time.Millisecond))
 	fmt.Printf("\nBRISA moves %.1fx less data than flooding for the same update.\n", floodMB/treeMB)
-	_ = simnet.Cluster // keep the latency model import explicit for readers
 }

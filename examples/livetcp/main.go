@@ -1,16 +1,18 @@
 // Livetcp: the same protocol stack on real TCP sockets — ten peers on
 // loopback, one process. Demonstrates that the library is not
-// simulator-bound: brisa.Peer runs unchanged on internal/livenet.
+// simulator-bound: brisa.Listen runs the same Peer on real connections, and
+// the public API (Listen, Join, Subscribe, Publish) never touches an
+// internal package.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	brisa "repro"
-	"repro/internal/livenet"
 )
 
 func main() {
@@ -18,59 +20,71 @@ func main() {
 		peers    = 10
 		messages = 30
 	)
-	var delivered atomic.Int64
 
-	nodes := make([]*livenet.Node, 0, peers)
-	stacks := make([]*brisa.Peer, 0, peers)
+	nodes := make([]*brisa.Node, 0, peers)
 	for i := 0; i < peers; i++ {
-		wrapper := &livenet.LateHandler{}
-		n, err := livenet.Start(livenet.Config{Listen: "127.0.0.1:0", Handler: wrapper, Seed: int64(i + 1)})
+		n, err := brisa.Listen("127.0.0.1:0", brisa.Config{Mode: brisa.ModeTree, ViewSize: 3})
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := brisa.NewPeer(n.ID(), brisa.Config{
-			Mode: brisa.ModeTree, ViewSize: 3,
-			OnDeliver: func(brisa.StreamID, uint32, []byte) { delivered.Add(1) },
-		})
-		wrapper.Set(p.Handler())
 		nodes = append(nodes, n)
-		stacks = append(stacks, p)
 	}
 	defer func() {
 		for _, n := range nodes {
-			n.Stop()
+			n.Close()
 		}
 	}()
 	fmt.Printf("started %d peers on loopback; bootstrap node is %s\n", peers, nodes[0].Addr())
 
-	// Everyone joins through the first node.
+	// Every non-source peer consumes the stream through a subscription.
+	// Counters are atomics: on the timeout path below, main reads them
+	// while the subscriber goroutines may still be delivering.
+	var wg sync.WaitGroup
+	received := make([]atomic.Int64, peers)
 	for i := 1; i < peers; i++ {
 		i := i
-		nodes[i].Call(func() { stacks[i].Join(nodes[0].ID()) })
+		sub := nodes[i].Subscribe(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range sub.C() {
+				if received[i].Add(1) == messages {
+					sub.Cancel()
+				}
+			}
+		}()
+	}
+
+	// Everyone joins through the first node, by address.
+	for i := 1; i < peers; i++ {
+		if err := nodes[i].Join(nodes[0].Addr()); err != nil {
+			log.Fatal(err)
+		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	time.Sleep(1 * time.Second)
 
 	// Publish a stream from the bootstrap node.
 	for k := 0; k < messages; k++ {
-		nodes[0].Call(func() { stacks[0].Publish(1, []byte("live payload")) })
+		nodes[0].Publish(1, []byte("live payload"))
 		time.Sleep(30 * time.Millisecond)
 	}
 
-	// Wait for full delivery.
-	want := int64(messages * (peers - 1))
-	deadline := time.Now().Add(10 * time.Second)
-	for delivered.Load() < want && time.Now().Before(deadline) {
-		time.Sleep(100 * time.Millisecond)
+	// Wait for every subscriber to see the full stream (bounded).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
 	}
-	fmt.Printf("delivered %d/%d payloads over real TCP\n", delivered.Load(), want)
+	var total int64
+	for i := range received {
+		total += received[i].Load()
+	}
+	fmt.Printf("delivered %d/%d payloads over real TCP\n", total, messages*(peers-1))
 
 	// Print the emerged tree.
-	for i, n := range nodes {
-		i, n := i, n
-		n.Call(func() {
-			fmt.Printf("  %s parents=%v children=%v\n",
-				n.Addr(), stacks[i].Parents(1), stacks[i].Children(1))
-		})
+	for _, n := range nodes {
+		fmt.Printf("  %s parents=%v children=%v\n", n.Addr(), n.Parents(1), n.Children(1))
 	}
 }

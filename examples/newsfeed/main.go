@@ -7,10 +7,10 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	brisa "repro"
-	"repro/internal/simnet"
 )
 
 func main() {
@@ -21,10 +21,10 @@ func main() {
 	)
 
 	var repaired, orphaned int
-	cluster := brisa.NewCluster(brisa.ClusterConfig{
+	cluster, err := brisa.NewCluster(brisa.ClusterConfig{
 		Nodes:   subscribers,
 		Seed:    2026,
-		Latency: simnet.PlanetLabSites(15),
+		Latency: brisa.PlanetLabSites(15),
 		Peer: brisa.Config{
 			Mode:     brisa.ModeDAG,
 			Parents:  2,
@@ -39,6 +39,9 @@ func main() {
 			},
 		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster.Bootstrap()
 	agency := cluster.Peers()[0] // the news source
 
@@ -53,7 +56,9 @@ func main() {
 		at := at
 		cluster.Net.After(at, func() {
 			if victim := cluster.CrashRandom(agency.ID()); victim != 0 {
-				cluster.JoinNew()
+				if _, err := cluster.JoinNew(); err != nil {
+					log.Fatal(err)
+				}
 			}
 		})
 	}

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	brisa "repro"
@@ -14,12 +15,21 @@ func main() {
 	// Build and bootstrap a simulated cluster of 64 peers with the paper's
 	// default configuration (tree mode, HyParView view size 4, first-come
 	// first-picked parent selection).
-	cluster := brisa.NewCluster(brisa.ClusterConfig{
+	cluster, err := brisa.NewCluster(brisa.ClusterConfig{
 		Nodes: 64,
 		Seed:  7,
 		Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster.Bootstrap()
+
+	// Subscriptions consume a stream's content; they work the same on the
+	// simulator and on live TCP nodes.
+	observer := cluster.Peers()[10]
+	sub := observer.Subscribe(1)
+	defer sub.Cancel()
 
 	// Any peer can source a stream; the first message floods the overlay
 	// and the dissemination tree emerges from it.
@@ -28,8 +38,7 @@ func main() {
 	for i := 0; i < messages; i++ {
 		i := i
 		cluster.Net.After(time.Duration(i)*200*time.Millisecond, func() {
-			seq := source.Publish(1, []byte(fmt.Sprintf("update #%d", i)))
-			_ = seq
+			source.Publish(1, []byte(fmt.Sprintf("update #%d", i)))
 		})
 	}
 	cluster.Net.RunFor(messages*200*time.Millisecond + 5*time.Second)
@@ -50,8 +59,9 @@ func main() {
 	fmt.Printf("duplicates: %d total — all during tree emergence; steady state has none\n", dups)
 	fmt.Printf("tree depths (hops from source -> node count): %v\n", depths)
 
-	// Show one peer's view of the structure.
-	p := cluster.Peers()[10]
+	// Show one peer's view of the structure and its subscribed content.
+	first := <-sub.C()
 	fmt.Printf("\npeer %v:\n  neighbors: %v\n  parent:    %v\n  children:  %v\n",
-		p.ID(), p.Neighbors(), p.Parents(1), p.Children(1))
+		observer.ID(), observer.Neighbors(), observer.Parents(1), observer.Children(1))
+	fmt.Printf("  first subscribed message: seq=%d %q\n", first.Seq, first.Payload)
 }

@@ -34,6 +34,28 @@ func (s Scale) apply(full int, floor int) int {
 // Stream identifies the single stream used across experiments.
 const Stream brisa.StreamID = 1
 
+// mustCluster builds a cluster from a configuration the harness controls; a
+// validation error here is a programming bug in the experiment, not an
+// operator input, so it panics instead of threading errors through every
+// RunXxx signature.
+func mustCluster(cfg brisa.ClusterConfig) *brisa.Cluster {
+	c, err := brisa.NewCluster(cfg)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return c
+}
+
+// dagParents returns the parent target for configurations that sweep over
+// modes: only ModeDAG takes an explicit parent count (the validated public
+// Config rejects it elsewhere).
+func dagParents(mode brisa.Mode, parents int) int {
+	if mode == brisa.ModeDAG {
+		return parents
+	}
+	return 0
+}
+
 // MessageInterval is the paper's injection rate: 5 messages per second.
 const MessageInterval = 200 * time.Millisecond
 

@@ -39,10 +39,10 @@ func (r BandwidthResult) String() string {
 // runBandwidth measures per-node download and upload rates (KB/s) during
 // dissemination for one configuration and payload size.
 func runBandwidth(nodes, msgs, payload int, seed int64, mode brisa.Mode, view int) (down, up stats.Summary) {
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := mustCluster(brisa.ClusterConfig{
 		Nodes: nodes,
 		Seed:  seed,
-		Peer:  brisa.Config{Mode: mode, Parents: 2, ViewSize: view},
+		Peer:  brisa.Config{Mode: mode, Parents: dagParents(mode, 2), ViewSize: view},
 	})
 	c.Bootstrap()
 	source := c.Peers()[0]

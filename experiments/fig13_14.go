@@ -27,7 +27,7 @@ func RunFigure13(scale Scale, seed int64) FigureResult {
 	}
 
 	brisaRun := func(nodes int, latency simnet.LatencyModel) *stats.Sample {
-		c := brisa.NewCluster(brisa.ClusterConfig{
+		c := mustCluster(brisa.ClusterConfig{
 			Nodes:   nodes,
 			Seed:    seed,
 			Latency: latency,

@@ -19,7 +19,7 @@ func RunFigure2(scale Scale, seed int64) FigureResult {
 			nodes, msgs),
 	}
 	for _, view := range []int{4, 6, 8, 10} {
-		c := brisa.NewCluster(brisa.ClusterConfig{
+		c := mustCluster(brisa.ClusterConfig{
 			Nodes: nodes,
 			Seed:  seed,
 			Peer:  brisa.Config{Mode: brisa.ModeFlood, ViewSize: view},

@@ -29,12 +29,12 @@ func structureConfigs() []struct {
 // buildStructure bootstraps a cluster with the given configuration, runs a
 // short stream to let the structure emerge and stabilize, and captures it.
 func buildStructure(nodes int, seed int64, mode brisa.Mode, view int, expansion float64) (*brisa.Cluster, *structure) {
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := mustCluster(brisa.ClusterConfig{
 		Nodes: nodes,
 		Seed:  seed,
 		Peer: brisa.Config{
 			Mode:            mode,
-			Parents:         2,
+			Parents:         dagParents(mode, 2),
 			ViewSize:        view,
 			ExpansionFactor: expansion,
 		},

@@ -31,7 +31,7 @@ func RunFigure9(scale Scale, seed int64) FigureResult {
 		publishedAt := make(map[uint32]time.Time)
 		perNode := make(map[brisa.NodeID]*stats.Sample)
 		var c *brisa.Cluster
-		c = brisa.NewCluster(brisa.ClusterConfig{
+		c = mustCluster(brisa.ClusterConfig{
 			Nodes:           nodes,
 			Seed:            seed,
 			Latency:         simnet.PlanetLabSites(15),
@@ -67,7 +67,7 @@ func RunFigure9(scale Scale, seed int64) FigureResult {
 	// Point-to-point: the direct one-way latency from the source to each
 	// node, sampled from the same latency model.
 	{
-		c := brisa.NewCluster(brisa.ClusterConfig{
+		c := mustCluster(brisa.ClusterConfig{
 			Nodes:   nodes,
 			Seed:    seed,
 			Latency: simnet.PlanetLabSites(15),

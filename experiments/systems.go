@@ -129,7 +129,7 @@ func phaseMB(net *simnet.Network, nodes []ids.NodeID, phase simnet.Phase) float6
 func runSystemBrisa(p sysParams) sysResult {
 	tr := newDeliveryTracker()
 	var c *brisa.Cluster
-	c = brisa.NewCluster(brisa.ClusterConfig{
+	c = mustCluster(brisa.ClusterConfig{
 		Nodes:           p.Nodes,
 		Seed:            p.Seed,
 		Latency:         p.Latency,

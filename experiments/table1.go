@@ -48,11 +48,11 @@ type churnOutcome struct {
 // "const churn rate% each 60s" for the window, measuring repair behaviour.
 func runChurn(nodes int, seed int64, mode brisa.Mode, ratePct float64, window time.Duration) churnOutcome {
 	hardDelays := &stats.Sample{}
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := mustCluster(brisa.ClusterConfig{
 		Nodes: nodes,
 		Seed:  seed,
 		Peer: brisa.Config{
-			Mode: mode, Parents: 2, ViewSize: 4,
+			Mode: mode, Parents: dagParents(mode, 2), ViewSize: 4,
 			OnEvent: func(ev brisa.Event) {
 				if ev.Type == brisa.EvRepaired && ev.Hard {
 					hardDelays.AddDuration(ev.Dur)

@@ -1,0 +1,28 @@
+package brisa_test
+
+import (
+	"testing"
+
+	brisa "repro"
+)
+
+// newTestCluster builds a cluster or fails the test: the test configurations
+// are static, so a constructor error is always a bug in the test itself.
+func newTestCluster(tb testing.TB, cfg brisa.ClusterConfig) *brisa.Cluster {
+	tb.Helper()
+	c, err := brisa.NewCluster(cfg)
+	if err != nil {
+		tb.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+// joinNew adds a fresh peer to the cluster or fails the test.
+func joinNew(tb testing.TB, c *brisa.Cluster) *brisa.Peer {
+	tb.Helper()
+	p, err := c.JoinNew()
+	if err != nil {
+		tb.Fatalf("JoinNew: %v", err)
+	}
+	return p
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/ids"
@@ -20,6 +21,14 @@ type Protocol struct {
 	metrics   Metrics
 	startedAt time.Time
 	stopped   bool
+
+	// Per-stream delivery subscribers. Unlike the rest of the protocol
+	// state this registry is mutex-guarded: SubscribeFn and its cancel run
+	// on arbitrary goroutines on the live runtime, while fan-out runs on
+	// the actor.
+	subMu   sync.Mutex
+	subs    map[wire.StreamID]map[uint64]func(seq uint32, payload []byte)
+	nextSub uint64
 }
 
 // New builds a Protocol. cfg.PSS must be set.
@@ -163,6 +172,58 @@ func (p *Protocol) emit(ev Event) {
 	}
 }
 
+// ---------------------------------------------------------------- fan-out
+
+// SubscribeFn registers a per-stream delivery listener and returns its
+// cancel function. Listeners receive every delivery of the stream — local
+// publishes included — in delivery order, after Config.OnDeliver. Safe to
+// call from any goroutine; cancel is idempotent.
+func (p *Protocol) SubscribeFn(stream wire.StreamID, fn func(seq uint32, payload []byte)) (cancel func()) {
+	p.subMu.Lock()
+	if p.subs == nil {
+		p.subs = make(map[wire.StreamID]map[uint64]func(uint32, []byte))
+	}
+	m, ok := p.subs[stream]
+	if !ok {
+		m = make(map[uint64]func(uint32, []byte))
+		p.subs[stream] = m
+	}
+	tok := p.nextSub
+	p.nextSub++
+	m[tok] = fn
+	p.subMu.Unlock()
+	return func() {
+		p.subMu.Lock()
+		if m, ok := p.subs[stream]; ok {
+			delete(m, tok)
+			if len(m) == 0 {
+				delete(p.subs, stream)
+			}
+		}
+		p.subMu.Unlock()
+	}
+}
+
+// fanout hands one delivery to the stream's subscribers. Unlike the
+// OnDeliver instrumentation callback — which fires only for receptions —
+// fan-out also covers local publishes, so a subscription observes the
+// stream's full content regardless of which node sources it.
+func (p *Protocol) fanout(stream wire.StreamID, seq uint32, payload []byte) {
+	p.subMu.Lock()
+	m := p.subs[stream]
+	var fns []func(uint32, []byte)
+	if len(m) > 0 {
+		fns = make([]func(uint32, []byte), 0, len(m))
+		for _, fn := range m {
+			fns = append(fns, fn)
+		}
+	}
+	p.subMu.Unlock()
+	for _, fn := range fns {
+		fn(seq, payload)
+	}
+}
+
 // ---------------------------------------------------------------- publish
 
 // Publish injects the next message of a stream this node sources. The first
@@ -183,6 +244,7 @@ func (p *Protocol) Publish(id wire.StreamID, payload []byte) uint32 {
 	st.remember(seq, payload, p.cfg.BufferSize)
 	p.metrics.Delivered++
 	p.emit(Event{Type: EvDeliver, Stream: id, Seq: seq})
+	p.fanout(id, seq, payload)
 	p.relay(st, ids.Nil, seq, payload)
 	return seq
 }
@@ -261,6 +323,7 @@ func (p *Protocol) onData(from ids.NodeID, m wire.Data) {
 	if p.cfg.OnDeliver != nil {
 		p.cfg.OnDeliver(st.id, m.Seq, m.Payload)
 	}
+	p.fanout(st.id, m.Seq, m.Payload)
 	if !st.orphanedAt.IsZero() {
 		p.emit(Event{
 			Type: EvRepaired, Stream: st.id, Peer: from,

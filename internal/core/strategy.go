@@ -57,10 +57,21 @@ func (DelayAware) Name() string { return "delay-aware" }
 
 // Score implements Strategy.
 func (DelayAware) Score(c Candidate) float64 {
-	if c.RTT <= 0 {
-		return math.Inf(1)
+	if c.RTT > 0 {
+		return float64(c.RTT)
 	}
-	return float64(c.RTT)
+	// RTT unknown: no keep-alive measurement has completed yet (a fresh
+	// link, or piggybacks disabled). Fall back to first-heard order instead
+	// of scoring all unmeasured candidates identically at +Inf — an Inf tie
+	// degrades parent choice to the arbitrary node-id tie-break, which on
+	// wide-area latency maps picks pathologically distant parents. Epoch
+	// nanoseconds dwarf any real RTT, so measured candidates always beat
+	// unmeasured ones, and the relative switch hysteresis (a fraction of a
+	// huge score) keeps unmeasured candidates from displacing each other.
+	if c.FirstHeard.IsZero() {
+		return math.Inf(1) // never heard at all: worst
+	}
+	return float64(c.FirstHeard.UnixNano())
 }
 
 // Gerontocratic is the §IV perspective strategy: prefer the longest-lived

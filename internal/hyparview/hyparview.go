@@ -645,7 +645,16 @@ func (p *Protocol) keepAliveTick() {
 		blob = p.cfg.Piggyback()
 	}
 	now := p.env.Now()
-	for id, nb := range p.active {
+	// Iterate in sorted order, not map order: each Send draws from the
+	// shared RNG stream (latency sampling on the simulator), so the send
+	// order must be identical across runs for a seed to reproduce a run.
+	members := make([]ids.NodeID, 0, len(p.active))
+	for id := range p.active {
+		members = append(members, id)
+	}
+	ids.Sort(members)
+	for _, id := range members {
+		nb := p.active[id]
 		if !nb.connected {
 			continue
 		}

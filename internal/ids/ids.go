@@ -9,7 +9,9 @@ package ids
 
 import (
 	"fmt"
+	"net"
 	"sort"
+	"strconv"
 )
 
 // NodeID uniquely identifies a node. The zero value is reserved and never
@@ -46,6 +48,33 @@ func (id NodeID) Valid() bool { return id != Nil && id <= MaxID }
 // the paper's ip:port identifiers. Useful for the TCP transport.
 func FromHostPort(host uint32, port uint16) NodeID {
 	return NodeID(uint64(host)<<16 | uint64(port))
+}
+
+// Parse converts an "a.b.c.d:port" address into the 48-bit identifier it is
+// in a live deployment — the inverse of NodeID.String. Only IPv4 addresses
+// fit the paper's 48-bit identifier width.
+func Parse(s string) (NodeID, error) {
+	host, portStr, err := net.SplitHostPort(s)
+	if err != nil {
+		return Nil, fmt.Errorf("ids: parse %q: %w", s, err)
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return Nil, fmt.Errorf("ids: parse %q: not an IP address", s)
+	}
+	ip4 := ip.To4()
+	if ip4 == nil {
+		return Nil, fmt.Errorf("ids: parse %q: need an IPv4 address (identifiers are 48-bit ip:port)", s)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return Nil, fmt.Errorf("ids: parse %q: bad port: %w", s, err)
+	}
+	id := FromHostPort(uint32(ip4[0])<<24|uint32(ip4[1])<<16|uint32(ip4[2])<<8|uint32(ip4[3]), uint16(port))
+	if !id.Valid() {
+		return Nil, fmt.Errorf("ids: parse %q: the zero address is reserved", s)
+	}
+	return id, nil
 }
 
 // Sort orders a slice of identifiers in place (ascending). Handy for

@@ -31,6 +31,37 @@ func TestValid(t *testing.T) {
 	}
 }
 
+func TestParse(t *testing.T) {
+	good := map[string]NodeID{
+		"127.0.0.1:8080":        FromHostPort(0x7F000001, 8080),
+		"10.0.0.1:1":            FromHostPort(0x0A000001, 1),
+		"255.255.255.255:65535": MaxID,
+	}
+	for in, want := range good {
+		got, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", in, got, want)
+		}
+		// Round trip: a parsed identifier renders back to its input.
+		if got.String() != in {
+			t.Errorf("Parse(%q).String() = %q", in, got.String())
+		}
+	}
+	bad := []string{
+		"", "127.0.0.1", "127.0.0.1:", "127.0.0.1:70000", "127.0.0.1:-1",
+		"nonsense:80", "[::1]:80", "0.0.0.0:0", "127.0.0.1:80:90",
+	}
+	for _, in := range bad {
+		if id, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, id)
+		}
+	}
+}
+
 func TestQuickFromHostPortRoundTrip(t *testing.T) {
 	f := func(host uint32, port uint16) bool {
 		id := FromHostPort(host, port)

@@ -41,7 +41,9 @@ type Config struct {
 	// Listen is the TCP listen address, e.g. "127.0.0.1:0". The node's
 	// identifier is derived from the bound address.
 	Listen string
-	// Handler is the protocol stack (e.g. a brisa.Peer's Handler).
+	// Handler is the protocol stack (e.g. a brisa.Peer's Handler). Required
+	// by Start; ignored by Listen, whose callers pass the handler to Run
+	// once the bound identifier is known.
 	Handler nodepkg.Handler
 	// Seed seeds the node's RNG; 0 uses the current time.
 	Seed int64
@@ -62,6 +64,7 @@ type Node struct {
 	conns map[ids.NodeID]*liveConn
 	// dialing tracks in-flight outbound dials so Connect is idempotent.
 	dialing map[ids.NodeID]bool
+	running bool
 	stopped bool
 
 	done chan struct{}
@@ -75,12 +78,13 @@ type liveConn struct {
 	w    *bufio.Writer
 }
 
-// Start binds the listener and launches the actor loop. The returned node is
-// running; call Stop to shut it down.
-func Start(cfg Config) (*Node, error) {
-	if cfg.Handler == nil {
-		return nil, errors.New("livenet: Config.Handler is required")
-	}
+// Listen binds the TCP listener and derives the node's identifier from the
+// bound address, without starting the runtime. This is the first half of the
+// two-phase assembly that lets a caller build a protocol stack which needs
+// the identifier (a brisa.Peer) before any callback can fire: Listen → read
+// ID() → assemble the stack → Run. A node that never Runs only holds the
+// listener; Stop releases it.
+func Listen(cfg Config) (*Node, error) {
 	ln, err := net.Listen("tcp4", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen: %w", err)
@@ -96,9 +100,8 @@ func Start(cfg Config) (*Node, error) {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	n := &Node{
+	return &Node{
 		id:       id,
-		handler:  cfg.Handler,
 		listener: ln,
 		mailbox:  make(chan func(), 4096),
 		rng:      rand.New(rand.NewSource(seed)),
@@ -106,11 +109,50 @@ func Start(cfg Config) (*Node, error) {
 		conns:    make(map[ids.NodeID]*liveConn),
 		dialing:  make(map[ids.NodeID]bool),
 		done:     make(chan struct{}),
+	}, nil
+}
+
+// Run installs the protocol handler and launches the actor and accept loops.
+// It may be called once, after Listen; the returned node is then running
+// until Stop.
+func (n *Node) Run(h nodepkg.Handler) error {
+	if h == nil {
+		return errors.New("livenet: Run requires a handler")
 	}
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	if n.running {
+		n.mu.Unlock()
+		return errors.New("livenet: node already running")
+	}
+	n.running = true
+	n.handler = h
+	n.mu.Unlock()
 	n.wg.Add(2)
 	go n.actorLoop()
 	go n.acceptLoop()
 	n.enqueue(func() { n.handler.Start(n) })
+	return nil
+}
+
+// Start binds the listener and launches the actor loop in one step, for
+// handlers that do not need the bound identifier up front. The returned node
+// is running; call Stop to shut it down.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("livenet: Config.Handler is required")
+	}
+	n, err := Listen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Run(cfg.Handler); err != nil {
+		n.Stop()
+		return nil, err
+	}
 	return n, nil
 }
 
@@ -121,7 +163,8 @@ func (n *Node) ID() ids.NodeID { return n.id }
 func (n *Node) Addr() string { return n.id.String() }
 
 // Stop shuts the node down: Handler.Stop runs on the actor, then all
-// connections and the listener close.
+// connections and the listener close. Stopping a node that never Ran just
+// releases its listener. Stop is idempotent.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	if n.stopped {
@@ -129,20 +172,23 @@ func (n *Node) Stop() {
 		return
 	}
 	n.stopped = true
+	running := n.running
 	conns := make([]*liveConn, 0, len(n.conns))
 	for _, c := range n.conns {
 		conns = append(conns, c)
 	}
 	n.mu.Unlock()
 
-	stopDone := make(chan struct{})
-	n.enqueue(func() {
-		n.handler.Stop()
-		close(stopDone)
-	})
-	select {
-	case <-stopDone:
-	case <-time.After(2 * time.Second):
+	if running {
+		stopDone := make(chan struct{})
+		n.enqueue(func() {
+			n.handler.Stop()
+			close(stopDone)
+		})
+		select {
+		case <-stopDone:
+		case <-time.After(2 * time.Second):
+		}
 	}
 	close(n.done)
 	n.listener.Close()
@@ -152,15 +198,19 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// Call runs fn on the actor goroutine and waits for it — tests use this to
-// inspect protocol state without racing the actor.
+// Call runs fn on the actor goroutine and waits for it — callers use this to
+// inspect protocol state without racing the actor. After Stop, Call returns
+// without guaranteeing fn ran.
 func (n *Node) Call(fn func()) {
 	doneCh := make(chan struct{})
 	n.enqueue(func() {
 		fn()
 		close(doneCh)
 	})
-	<-doneCh
+	select {
+	case <-doneCh:
+	case <-n.done:
+	}
 }
 
 // ---------------------------------------------------------------- actor env
@@ -410,57 +460,3 @@ func readHello(c net.Conn) (ids.NodeID, error) {
 }
 
 var _ nodepkg.Env = (*Node)(nil)
-
-// LateHandler defers the real protocol handler. A node's identifier is only
-// known after its listener binds, yet Start requires a handler up front;
-// callers bind with a LateHandler, build the protocol stack with the bound
-// identifier, then Set the real handler. Callbacks arriving in between are
-// buffered and replayed in order.
-type LateHandler struct {
-	mu      sync.Mutex
-	inner   nodepkg.Handler
-	pending []func(h nodepkg.Handler)
-}
-
-// Set installs the real handler and replays buffered callbacks.
-func (l *LateHandler) Set(h nodepkg.Handler) {
-	l.mu.Lock()
-	l.inner = h
-	pending := l.pending
-	l.pending = nil
-	l.mu.Unlock()
-	for _, fn := range pending {
-		fn(h)
-	}
-}
-
-func (l *LateHandler) do(fn func(h nodepkg.Handler)) {
-	l.mu.Lock()
-	if l.inner == nil {
-		l.pending = append(l.pending, fn)
-		l.mu.Unlock()
-		return
-	}
-	h := l.inner
-	l.mu.Unlock()
-	fn(h)
-}
-
-// Start implements node.Handler.
-func (l *LateHandler) Start(env nodepkg.Env) { l.do(func(h nodepkg.Handler) { h.Start(env) }) }
-
-// Receive implements node.Handler.
-func (l *LateHandler) Receive(from ids.NodeID, m wire.Message) {
-	l.do(func(h nodepkg.Handler) { h.Receive(from, m) })
-}
-
-// ConnUp implements node.Handler.
-func (l *LateHandler) ConnUp(peer ids.NodeID) { l.do(func(h nodepkg.Handler) { h.ConnUp(peer) }) }
-
-// ConnDown implements node.Handler.
-func (l *LateHandler) ConnDown(peer ids.NodeID, err error) {
-	l.do(func(h nodepkg.Handler) { h.ConnDown(peer, err) })
-}
-
-// Stop implements node.Handler.
-func (l *LateHandler) Stop() { l.do(func(h nodepkg.Handler) { h.Stop() }) }

@@ -1,4 +1,7 @@
-package livenet
+// The tests live in an external package: they assemble full brisa.Peer
+// stacks, and the public brisa package itself now imports livenet (for
+// brisa.Listen), which would cycle with an in-package test.
+package livenet_test
 
 import (
 	"sync/atomic"
@@ -6,12 +9,13 @@ import (
 	"time"
 
 	brisa "repro"
+	"repro/internal/livenet"
 )
 
 // startPeers launches n full BRISA peers on loopback TCP.
-func startPeers(t *testing.T, n int, cfg func(i int) brisa.Config) ([]*Node, []*brisa.Peer) {
+func startPeers(t *testing.T, n int, cfg func(i int) brisa.Config) ([]*livenet.Node, []*brisa.Peer) {
 	t.Helper()
-	nodes := make([]*Node, 0, n)
+	nodes := make([]*livenet.Node, 0, n)
 	peers := make([]*brisa.Peer, 0, n)
 	for i := 0; i < n; i++ {
 		ln, peer := startOne(t, cfg(i), int64(i+1))
@@ -26,18 +30,24 @@ func startPeers(t *testing.T, n int, cfg func(i int) brisa.Config) ([]*Node, []*
 	return nodes, peers
 }
 
-// startOne binds a listener with a LateHandler, then builds the peer with
-// the bound identifier.
-func startOne(t *testing.T, cfg brisa.Config, seed int64) (*Node, *brisa.Peer) {
+// startOne binds a listener, builds the peer with the bound identifier, and
+// starts the runtime — the Listen → assemble → Run sequence brisa.Listen
+// wraps for public callers.
+func startOne(t *testing.T, cfg brisa.Config, seed int64) (*livenet.Node, *brisa.Peer) {
 	t.Helper()
-	var peer *brisa.Peer
-	wrapper := &LateHandler{}
-	n, err := Start(Config{Listen: "127.0.0.1:0", Handler: wrapper, Seed: seed})
+	n, err := livenet.Listen(livenet.Config{Listen: "127.0.0.1:0", Seed: seed})
 	if err != nil {
-		t.Fatalf("start: %v", err)
+		t.Fatalf("listen: %v", err)
 	}
-	peer = brisa.NewPeer(n.ID(), cfg)
-	wrapper.Set(peer.Handler())
+	peer, err := brisa.NewPeer(n.ID(), cfg)
+	if err != nil {
+		n.Stop()
+		t.Fatalf("new peer: %v", err)
+	}
+	if err := n.Run(peer.Handler()); err != nil {
+		n.Stop()
+		t.Fatalf("run: %v", err)
+	}
 	return n, peer
 }
 

@@ -349,10 +349,23 @@ func (n *Network) Shutdown(id ids.NodeID) {
 }
 
 func (n *Network) dropConnsOf(sn *simNode, cause error, extraDelay time.Duration) {
-	for key, c := range n.conns {
-		if key.lo != sn.id && key.hi != sn.id {
-			continue
+	// Collect and sort the victim's connections before processing: latency
+	// sampling consumes the shared RNG per connection, so map iteration
+	// order here would make runs diverge under one seed.
+	keys := make([]connKey, 0, 8)
+	for key := range n.conns {
+		if key.lo == sn.id || key.hi == sn.id {
+			keys = append(keys, key)
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lo != keys[j].lo {
+			return keys[i].lo < keys[j].lo
+		}
+		return keys[i].hi < keys[j].hi
+	})
+	for _, key := range keys {
+		c := n.conns[key]
 		peerID := key.lo
 		if peerID == sn.id {
 			peerID = key.hi

@@ -1,0 +1,39 @@
+package brisa
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// LatencyModel produces one-way delays between simulated node pairs; set it
+// on ClusterConfig.Latency. The constructors below cover the paper's two
+// testbeds; implement the interface for custom topologies.
+type LatencyModel = simnet.LatencyModel
+
+// FixedLatency applies the same delay to every message — predictable
+// timings for unit tests.
+type FixedLatency = simnet.FixedLatency
+
+// UniformLatency draws each delay uniformly from [Min, Max].
+type UniformLatency = simnet.UniformLatency
+
+// ClusterLatency models the paper's testbed (1): a 1 Gbps switched LAN —
+// sub-millisecond, narrowly distributed one-way delays. This is the default
+// when ClusterConfig.Latency is nil.
+func ClusterLatency() LatencyModel { return simnet.Cluster() }
+
+// PlanetLab models the paper's testbed (2): a wide-area slice with
+// site-clustered, heavy-tailed, asymmetric latencies, using 20 sites.
+func PlanetLab() LatencyModel { return simnet.PlanetLab() }
+
+// PlanetLabSites is PlanetLab with an explicit site count.
+func PlanetLabSites(sites int) LatencyModel { return simnet.PlanetLabSites(sites) }
+
+// LogNormalDelay returns a sampler for ClusterConfig.ProcessingDelay: a
+// log-normal per-message scheduling delay with the given median and shape
+// sigma, capped at 20× the median — the jitter of oversubscribed hosts.
+func LogNormalDelay(median time.Duration, sigma float64) func(r *rand.Rand) time.Duration {
+	return simnet.LogNormalDelay(median, sigma)
+}

@@ -1,0 +1,130 @@
+package brisa
+
+import (
+	"fmt"
+
+	"repro/internal/livenet"
+)
+
+// Node is one live BRISA peer bound to a real TCP address. Its identifier is
+// the paper's 48-bit ip:port pair derived from the bound address, so a
+// NodeID is dialable and no external address book is needed.
+//
+// All protocol state lives on the node's single actor goroutine, exactly as
+// on the simulator. The Node methods are safe to call from any goroutine:
+// state accessors run on the actor and return copies.
+type Node struct {
+	ln   *livenet.Node
+	peer *Peer
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0" or "10.0.0.1:7001"), derives the
+// node's identifier from the bound address, assembles a peer with the given
+// configuration, and starts the runtime. The returned node is live: it
+// accepts connections and disseminates until Close.
+func Listen(addr string, cfg Config) (*Node, error) {
+	ln, err := livenet.Listen(livenet.Config{Listen: addr})
+	if err != nil {
+		return nil, err
+	}
+	peer, err := NewPeer(ln.ID(), cfg)
+	if err != nil {
+		ln.Stop()
+		return nil, err
+	}
+	if err := ln.Run(peer.Handler()); err != nil {
+		ln.Stop()
+		return nil, err
+	}
+	return &Node{ln: ln, peer: peer}, nil
+}
+
+// ID returns the node's identifier (its bound ip:port).
+func (n *Node) ID() NodeID { return n.ln.ID() }
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:7001".
+func (n *Node) Addr() string { return n.ln.Addr() }
+
+// Peer returns the underlying protocol stack. Peer methods touch actor
+// state; on a live node call them through Do to avoid racing the runtime.
+func (n *Node) Peer() *Peer { return n.peer }
+
+// Do runs fn on the node's actor goroutine and waits for it — the safe way
+// to use Peer methods not mirrored on Node. After Close, Do returns without
+// guaranteeing fn ran.
+func (n *Node) Do(fn func(p *Peer)) {
+	n.ln.Call(func() { fn(n.peer) })
+}
+
+// Join bootstraps the node into an existing overlay through the member
+// listening on addr ("ip:port").
+func (n *Node) Join(addr string) error {
+	contact, err := ParseNodeID(addr)
+	if err != nil {
+		return err
+	}
+	if contact == n.ID() {
+		return fmt.Errorf("brisa: cannot join through self (%v)", contact)
+	}
+	n.Do(func(p *Peer) { p.Join(contact) })
+	return nil
+}
+
+// Publish injects the next message of a stream this node sources and
+// returns its sequence number.
+func (n *Node) Publish(stream StreamID, payload []byte) uint32 {
+	var seq uint32
+	n.Do(func(p *Peer) { seq = p.Publish(stream, payload) })
+	return seq
+}
+
+// Subscribe registers for every future delivery of the stream on this node,
+// local publishes included.
+func (n *Node) Subscribe(stream StreamID) *Subscription {
+	return n.peer.Subscribe(stream)
+}
+
+// Neighbors returns the node's current HyParView active view.
+func (n *Node) Neighbors() []NodeID {
+	var out []NodeID
+	n.Do(func(p *Peer) { out = p.Neighbors() })
+	return out
+}
+
+// Parents returns the node's current parents for a stream.
+func (n *Node) Parents(stream StreamID) []NodeID {
+	var out []NodeID
+	n.Do(func(p *Peer) { out = p.Parents(stream) })
+	return out
+}
+
+// Children returns the neighbors the node currently relays a stream to.
+func (n *Node) Children(stream StreamID) []NodeID {
+	var out []NodeID
+	n.Do(func(p *Peer) { out = p.Children(stream) })
+	return out
+}
+
+// DeliveredCount returns how many distinct messages of the stream the node
+// has delivered.
+func (n *Node) DeliveredCount(stream StreamID) uint64 {
+	var out uint64
+	n.Do(func(p *Peer) { out = p.DeliveredCount(stream) })
+	return out
+}
+
+// Metrics returns the BRISA protocol counters.
+func (n *Node) Metrics() Metrics {
+	var out Metrics
+	n.Do(func(p *Peer) { out = p.Metrics() })
+	return out
+}
+
+// Close shuts the node down: the protocol stack stops on the actor, all
+// connections and the listener close, and every subscription is cancelled.
+// Close is idempotent.
+func (n *Node) Close() error {
+	n.ln.Stop()
+	n.peer.subs.cancelAll()
+	return nil
+}

@@ -43,7 +43,7 @@ func (l *eventLog) count(t brisa.EventType) int {
 
 func TestSoftRepairReconnectsChildren(t *testing.T) {
 	log := newEventLog()
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 96, Seed: 21, PeerConfig: log.config(brisa.ModeTree, 1, 4),
 	})
 	c.Bootstrap()
@@ -87,7 +87,7 @@ func TestRepairWithoutPiggybackStillHeals(t *testing.T) {
 	// un-optimized variant). Repairs must still succeed and the stream must
 	// stay complete.
 	log := newEventLog()
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 64, Seed: 22,
 		PeerConfig: func(id brisa.NodeID) brisa.Config {
 			return brisa.Config{
@@ -125,7 +125,7 @@ func TestInformedRepairIsMostlySoft(t *testing.T) {
 	// The flip side of the ablation: with piggybacks on, Table I's
 	// "almost all repairs are soft" should hold.
 	log := newEventLog()
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 96, Seed: 23, PeerConfig: log.config(brisa.ModeTree, 1, 4),
 	})
 	c.Bootstrap()
@@ -152,7 +152,7 @@ func TestRecoveryDelaysAreSmall(t *testing.T) {
 	// Figure 14's property: recovery from a parent failure takes
 	// milliseconds beyond detection, not seconds.
 	log := newEventLog()
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 96, Seed: 24, PeerConfig: log.config(brisa.ModeTree, 1, 4),
 	})
 	c.Bootstrap()
@@ -192,7 +192,7 @@ func TestMessageRecoveryAfterParentFailure(t *testing.T) {
 	// §II-F: "nodes can compensate message loss during the parent recovery
 	// process by directly asking its new found parent to send the missing
 	// ones". Kill parents aggressively mid-stream and require zero holes.
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 64, Seed: 25,
 		Peer: brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
 	})
@@ -220,7 +220,7 @@ func TestGerontocraticPrefersOldNodes(t *testing.T) {
 	// Build a network, let it age, add a batch of newcomers, then start a
 	// stream: under the gerontocratic strategy, newcomers should rarely be
 	// chosen as parents.
-	c := brisa.NewCluster(brisa.ClusterConfig{
+	c := newTestCluster(t, brisa.ClusterConfig{
 		Nodes: 64, Seed: 26,
 		Peer: brisa.Config{Mode: brisa.ModeTree, ViewSize: 5, Strategy: brisa.Gerontocratic{}},
 	})
@@ -228,7 +228,7 @@ func TestGerontocraticPrefersOldNodes(t *testing.T) {
 	c.Net.RunFor(2 * time.Minute) // age the founding population
 	newcomers := map[brisa.NodeID]bool{}
 	for i := 0; i < 16; i++ {
-		newcomers[c.JoinNew().ID()] = true
+		newcomers[joinNew(t, c).ID()] = true
 	}
 	c.Net.RunFor(30 * time.Second)
 	source := c.Peers()[0]

@@ -1,0 +1,154 @@
+package brisa
+
+import "sync"
+
+// Message is one delivered payload of a stream, as seen by a Subscription.
+type Message struct {
+	// Stream names the dissemination stream the payload belongs to.
+	Stream StreamID
+	// Seq is the source-assigned sequence number (starting at 1).
+	Seq uint32
+	// Payload is the message body.
+	Payload []byte
+}
+
+// Subscription delivers one stream's messages over a channel. It works
+// identically on both runtimes: the protocol side enqueues deliveries
+// without ever blocking (the queue is unbounded), and a pump goroutine
+// feeds them to C in delivery order.
+//
+// Cancel when done; C is closed afterwards. Closing the live Node that owns
+// the peer cancels its subscriptions too.
+type Subscription struct {
+	stream StreamID
+	out    chan Message
+
+	mu    sync.Mutex
+	queue []Message
+
+	wake  chan struct{} // 1-buffered doorbell: queue went non-empty
+	done  chan struct{}
+	once  sync.Once
+	unsub func()
+}
+
+// Subscribe registers a subscription for every future delivery of the
+// stream, local publishes included. Multiple subscriptions per stream are
+// independent; each receives every message once, in delivery order. Safe to
+// call from any goroutine on either runtime.
+func (p *Peer) Subscribe(stream StreamID) *Subscription {
+	s := &Subscription{
+		stream: stream,
+		out:    make(chan Message, 16),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	cancelCore := p.brisa.SubscribeFn(stream, func(seq uint32, payload []byte) {
+		s.push(Message{Stream: stream, Seq: seq, Payload: payload})
+	})
+	p.subs.add(s)
+	s.unsub = func() {
+		cancelCore()
+		p.subs.remove(s)
+	}
+	go s.pump()
+	return s
+}
+
+// C returns the delivery channel. It is closed after Cancel.
+func (s *Subscription) C() <-chan Message { return s.out }
+
+// Stream returns the stream this subscription follows.
+func (s *Subscription) Stream() StreamID { return s.stream }
+
+// Cancel stops delivery, unregisters the subscription, and closes C. It is
+// idempotent and safe to call from any goroutine.
+func (s *Subscription) Cancel() {
+	s.once.Do(func() {
+		s.unsub()
+		close(s.done)
+	})
+}
+
+// push appends a delivery; called from the protocol side. Never blocks.
+func (s *Subscription) push(m Message) {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	s.queue = append(s.queue, m)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves queued deliveries to the out channel until cancelled.
+func (s *Subscription) pump() {
+	defer close(s.out)
+	for {
+		s.mu.Lock()
+		var m Message
+		ok := len(s.queue) > 0
+		if ok {
+			m = s.queue[0]
+			s.queue = s.queue[1:]
+			if len(s.queue) == 0 {
+				s.queue = nil // release the drained backing array
+			}
+		}
+		s.mu.Unlock()
+		if !ok {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.done:
+				return
+			}
+		}
+		select {
+		case s.out <- m:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// subscriptionSet tracks a peer's live subscriptions so the owning runtime
+// can cancel them all on shutdown.
+type subscriptionSet struct {
+	mu   sync.Mutex
+	subs map[*Subscription]struct{}
+}
+
+func (set *subscriptionSet) add(s *Subscription) {
+	set.mu.Lock()
+	if set.subs == nil {
+		set.subs = make(map[*Subscription]struct{})
+	}
+	set.subs[s] = struct{}{}
+	set.mu.Unlock()
+}
+
+func (set *subscriptionSet) remove(s *Subscription) {
+	set.mu.Lock()
+	delete(set.subs, s)
+	set.mu.Unlock()
+}
+
+// cancelAll cancels every live subscription of the set.
+func (set *subscriptionSet) cancelAll() {
+	set.mu.Lock()
+	subs := make([]*Subscription, 0, len(set.subs))
+	for s := range set.subs {
+		subs = append(subs, s)
+	}
+	set.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+}
