@@ -9,6 +9,8 @@ package brisa_test
 // miniature.
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 	"time"
 
@@ -144,6 +146,79 @@ func BenchmarkFigure14(b *testing.B) {
 				b.ReportMetric(medianOf(s.Points)*1000, unit("median-ms:", s.Name))
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------- scenarios
+
+// benchScenarios is the canonical suite the perf trajectory accumulates
+// over: one single-stream tree, one multi-stream/multi-source DAG, one
+// flood, at growing sizes.
+func benchScenarios() []brisa.Scenario {
+	tree := brisa.Scenario{
+		Name:     "tree-1x256",
+		Seed:     1,
+		Topology: brisa.Topology{Nodes: 256, Peer: brisa.Config{Mode: brisa.ModeTree, ViewSize: 4}},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Messages: 50, Payload: 1024},
+		},
+	}
+	dag := brisa.Scenario{
+		Name:     "dag-4x128",
+		Seed:     1,
+		Topology: brisa.Topology{Nodes: 128, Peer: brisa.Config{Mode: brisa.ModeDAG, ViewSize: 4}},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Source: 0, Messages: 25, Payload: 1024},
+			{Stream: 2, Source: 1, Messages: 25, Payload: 1024},
+			{Stream: 3, Source: 2, Messages: 25, Payload: 1024},
+			{Stream: 4, Source: 3, Messages: 25, Payload: 1024},
+		},
+	}
+	flood := brisa.Scenario{
+		Name:     "flood-1x128",
+		Seed:     1,
+		Topology: brisa.Topology{Nodes: 128, Peer: brisa.Config{Mode: brisa.ModeFlood, ViewSize: 4}},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Messages: 50, Payload: 1024},
+		},
+	}
+	return []brisa.Scenario{tree, dag, flood}
+}
+
+// BenchmarkScenarios runs the canonical scenario suite through the
+// declarative runner, reports each scenario's headline metrics, and writes
+// the machine-readable per-scenario reports to BENCH_scenarios.json so the
+// performance trajectory accumulates across revisions.
+func BenchmarkScenarios(b *testing.B) {
+	var records []json.RawMessage
+	for i := 0; i < b.N; i++ {
+		records = records[:0]
+		for _, sc := range benchScenarios() {
+			rep, err := brisa.RunSim(sc)
+			if err != nil {
+				b.Fatalf("%s: %v", sc.Name, err)
+			}
+			var minRel float64 = 1
+			for _, s := range rep.Streams {
+				if s.Reliability < minRel {
+					minRel = s.Reliability
+				}
+			}
+			b.ReportMetric(minRel, unit("reliability:", sc.Name))
+			b.ReportMetric(float64(rep.Wall.Milliseconds()), unit("wall-ms:", sc.Name))
+			raw, err := json.Marshal(rep)
+			if err != nil {
+				b.Fatalf("%s: marshal: %v", sc.Name, err)
+			}
+			records = append(records, raw)
+		}
+	}
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal records: %v", err)
+	}
+	if err := os.WriteFile("BENCH_scenarios.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_scenarios.json: %v", err)
 	}
 }
 

@@ -13,8 +13,14 @@
 //     node identifier from it, and returns a live Node.
 //
 // Delivered payloads are consumed per stream through Peer.Subscribe, which
-// works identically on both runtimes; the lower-level Config.OnDeliver
-// callback remains available for instrumentation.
+// works identically on both runtimes (SubscribeOpts bounds the queue for
+// slow consumers); the lower-level Config.OnDeliver callback remains
+// available for instrumentation.
+//
+// Whole experiments are declared as Scenario values — a Topology, one or
+// more Workloads (multi-stream, multi-source), optional Churn, and Probes —
+// and executed on either runtime by RunSim / Cluster.Run / RunLive, which
+// return a Report of per-stream results with CDF and table renderers.
 //
 // Quickstart (simulated):
 //

@@ -53,6 +53,11 @@ type Cluster struct {
 	peers map[NodeID]*Peer
 	order []NodeID
 	next  uint64
+
+	bootstrapped bool
+	// onAddPeer, when set by the scenario runner, instruments peers that
+	// join after the run started (churn joiners).
+	onAddPeer func(*Peer)
 }
 
 // Validate checks the configuration. Zero values mean "use the documented
@@ -138,12 +143,16 @@ func (c *Cluster) addPeer() (*Peer, error) {
 	c.peers[id] = p
 	c.Net.AddNode(id, p.Handler())
 	c.order = append(c.order, id)
+	if c.onAddPeer != nil {
+		c.onAddPeer(p)
+	}
 	return p, nil
 }
 
 // Bootstrap joins every peer to a random earlier peer, one per
 // JoinInterval, then runs the simulation until the overlay stabilizes.
 func (c *Cluster) Bootstrap() {
+	c.bootstrapped = true
 	for i, id := range c.order {
 		if i == 0 {
 			continue
@@ -208,8 +217,9 @@ func (c *Cluster) JoinNew() (*Peer, error) {
 		})
 		// Bootstrap retry: a contact can die mid-join under churn, leaving
 		// the newborn isolated. Re-join through another member until the
-		// overlay accepts it (what a deployment's bootstrap loop does).
-		c.retryJoin(p, 5)
+		// overlay accepts it — the shared joinPolicy, scheduled in
+		// virtual time.
+		c.retryJoin(p, simJoinPolicy.Attempts)
 	}
 	return p, nil
 }
@@ -218,7 +228,7 @@ func (c *Cluster) retryJoin(p *Peer, attempts int) {
 	if attempts <= 0 {
 		return
 	}
-	c.Net.After(5*time.Second, func() {
+	c.Net.After(simJoinPolicy.Wait, func() {
 		if !c.Net.Alive(p.ID()) || len(p.Neighbors()) > 0 {
 			return
 		}

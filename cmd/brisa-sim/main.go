@@ -1,11 +1,16 @@
-// Command brisa-sim runs a one-off BRISA deployment on the simulator with
-// configurable structure, workload, and an optional churn script in the
-// paper's trace language (Listing 1).
+// Command brisa-sim runs a one-off BRISA deployment described as a
+// declarative brisa.Scenario: configurable structure, one or more
+// concurrent streams from distinct sources, an optional churn script in the
+// paper's trace language (Listing 1), and a choice of runtime — the
+// deterministic simulator or live loopback TCP nodes — so the same workload
+// compares across both.
 //
 // Examples:
 //
 //	brisa-sim -nodes 512 -mode tree -view 4 -messages 500 -payload 1024
 //	brisa-sim -nodes 128 -mode dag -parents 2 -churn "from 0s to 300s const churn 3% each 60s"
+//	brisa-sim -nodes 64 -streams 4 -messages 100            # 4 streams, 4 sources
+//	brisa-sim -nodes 16 -streams 2 -messages 50 -runtime live
 package main
 
 import (
@@ -24,12 +29,15 @@ func main() {
 		parents  = flag.Int("parents", 2, "DAG parent target")
 		view     = flag.Int("view", 4, "HyParView active view size")
 		strategy = flag.String("strategy", "first-come", "parent selection: first-come | delay-aware | gerontocratic | load-balancing")
-		messages = flag.Int("messages", 100, "messages to publish")
+		streams  = flag.Int("streams", 1, "concurrent streams, each from a distinct source node")
+		messages = flag.Int("messages", 100, "messages to publish per stream")
 		payload  = flag.Int("payload", 1024, "payload bytes per message")
-		rate     = flag.Float64("rate", 5, "messages per second")
+		rate     = flag.Float64("rate", 5, "messages per second per stream")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		planet   = flag.Bool("planetlab", false, "use PlanetLab latencies instead of cluster")
-		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied after stabilization")
+		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied 10s into dissemination")
+		runtime  = flag.String("runtime", "sim", "runtime: sim | live (loopback TCP)")
+		asJSON   = flag.Bool("json", false, "print the report as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -68,54 +76,68 @@ func main() {
 	if m == brisa.ModeDAG {
 		peerCfg.Parents = *parents
 	}
-	c, err := brisa.NewCluster(brisa.ClusterConfig{
-		Nodes:   *nodes,
-		Seed:    *seed,
-		Latency: latency,
-		Peer:    peerCfg,
-	})
+
+	sc := brisa.Scenario{
+		Name: fmt.Sprintf("brisa-sim %s view=%d", m, *view),
+		Seed: *seed,
+		Topology: brisa.Topology{
+			Nodes:   *nodes,
+			Latency: latency,
+			Peer:    peerCfg,
+		},
+		Probes: []brisa.Probe{
+			brisa.ProbeLatency, brisa.ProbeDuplicates, brisa.ProbeRepairs,
+		},
+		Drain: 30 * time.Second,
+	}
+	interval := time.Duration(float64(time.Second) / *rate)
+	for s := 0; s < *streams; s++ {
+		sc.Workloads = append(sc.Workloads, brisa.Workload{
+			Stream:   brisa.StreamID(s + 1),
+			Source:   s % *nodes,
+			Messages: *messages,
+			Payload:  *payload,
+			Interval: interval,
+		})
+	}
+	if *churn != "" {
+		sc.Churn = &brisa.Churn{Script: *churn, Start: 10 * time.Second}
+	}
+
+	var (
+		rep *brisa.Report
+		err error
+	)
+	switch *runtime {
+	case "sim":
+		fmt.Fprintf(os.Stderr, "running %d nodes, %d stream(s) on the simulator...\n", *nodes, *streams)
+		rep, err = brisa.RunSim(sc)
+	case "live":
+		fmt.Fprintf(os.Stderr, "running %d nodes, %d stream(s) on loopback TCP...\n", *nodes, *streams)
+		rep, err = brisa.RunLive(sc)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown runtime %q\n", *runtime)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("bootstrapping %d nodes (view %d, %s, %s)...\n", *nodes, *view, m, strat.Name())
-	c.Bootstrap()
 
-	source := c.Peers()[0]
-	interval := time.Duration(float64(time.Second) / *rate)
-	for i := 0; i < *messages; i++ {
-		i := i
-		c.Net.After(time.Duration(i)*interval, func() {
-			source.Publish(1, make([]byte, *payload))
-		})
+	if *asJSON {
+		raw, err := rep.MarshalJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
 	}
-
-	if *churn != "" {
-		if err := c.RunChurnScript(*churn, source.ID()); err != nil {
-			fmt.Fprintf(os.Stderr, "churn script: %v\n", err)
-			os.Exit(2)
+	fmt.Print(rep.String())
+	for _, s := range rep.Streams {
+		if s.Duplicates != nil && s.Duplicates.Len() > 0 {
+			fmt.Printf("stream %d duplicates/msg: p50=%.3f p90=%.3f\n",
+				s.Stream, s.Duplicates.Median(), s.Duplicates.Percentile(90))
 		}
 	}
-
-	c.Net.RunFor(time.Duration(*messages)*interval + 30*time.Second)
-
-	var metrics brisa.Metrics
-	complete := 0
-	for _, p := range c.AlivePeers() {
-		pm := p.Metrics()
-		metrics.Duplicates += pm.Duplicates
-		metrics.SoftRepairs += pm.SoftRepairs
-		metrics.HardRepairs += pm.HardRepairs
-		metrics.Orphans += pm.Orphans
-		if p.DeliveredCount(1) == uint64(*messages) {
-			complete++
-		}
-	}
-	alive := len(c.AlivePeers())
-	fmt.Printf("alive nodes:        %d\n", alive)
-	fmt.Printf("complete deliveries: %d/%d nodes\n", complete, alive)
-	fmt.Printf("duplicates total:   %d (%.3f per node per message)\n",
-		metrics.Duplicates, float64(metrics.Duplicates)/float64(alive)/float64(*messages))
-	fmt.Printf("orphan events:      %d (soft repairs %d, hard repairs %d)\n",
-		metrics.Orphans, metrics.SoftRepairs, metrics.HardRepairs)
 }

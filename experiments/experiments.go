@@ -1,7 +1,8 @@
 // Package experiments reproduces every table and figure of the paper's
-// evaluation (§III). Each RunXxx function builds the corresponding workload
-// on the simulator, measures what the paper measures, and returns a result
-// that renders the same rows/series the paper reports.
+// evaluation (§III). Each RunXxx function states the corresponding workload
+// as one or more brisa.Scenario values, executes them through the
+// declarative runner (brisa.RunSim / Cluster.Run), and folds the Reports
+// into a result that renders the same rows/series the paper reports.
 //
 // Every experiment accepts a Scale in (0,1]: 1 reproduces the paper's
 // dimensions (512 nodes, 500 messages, …); smaller values shrink the
@@ -10,10 +11,7 @@
 package experiments
 
 import (
-	"time"
-
 	brisa "repro"
-	"repro/internal/stats"
 )
 
 // Scale shrinks an experiment: nodes and messages are multiplied by it.
@@ -31,15 +29,53 @@ func (s Scale) apply(full int, floor int) int {
 	return v
 }
 
-// Stream identifies the single stream used across experiments.
+// Stream identifies the single stream of the paper's own evaluation grid;
+// multi-stream scenarios name further streams explicitly.
 const Stream brisa.StreamID = 1
 
-// mustCluster builds a cluster from a configuration the harness controls; a
-// validation error here is a programming bug in the experiment, not an
-// operator input, so it panics instead of threading errors through every
-// RunXxx signature.
-func mustCluster(cfg brisa.ClusterConfig) *brisa.Cluster {
-	c, err := brisa.NewCluster(cfg)
+// MessageInterval is the paper's injection rate: 5 messages per second.
+const MessageInterval = brisa.DefaultInterval
+
+// Result shapes shared with the public report package, so experiment
+// results compose directly from scenario Reports.
+type (
+	// Series is one named CDF line of a figure.
+	Series = brisa.Series
+	// FigureResult is a CDF-style figure: several named series.
+	FigureResult = brisa.Figure
+)
+
+// TableResult is a table-style result.
+type TableResult struct {
+	Name  string
+	Table *brisa.Table
+	Notes string
+}
+
+// String renders the table.
+func (r TableResult) String() string {
+	out := "== " + r.Name + " ==\n"
+	if r.Notes != "" {
+		out += r.Notes + "\n"
+	}
+	return out + r.Table.String()
+}
+
+// mustRun executes a scenario the harness itself composed; a validation
+// error here is a programming bug in the experiment, not an operator input,
+// so it panics instead of threading errors through every RunXxx signature.
+func mustRun(sc brisa.Scenario) *brisa.Report {
+	rep, err := brisa.RunSim(sc)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return rep
+}
+
+// mustCluster builds (but does not run) a scenario's cluster, for the rare
+// experiment that samples the raw network instead of disseminating.
+func mustCluster(sc brisa.Scenario) *brisa.Cluster {
+	c, err := sc.NewCluster()
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
@@ -54,72 +90,4 @@ func dagParents(mode brisa.Mode, parents int) int {
 		return parents
 	}
 	return 0
-}
-
-// MessageInterval is the paper's injection rate: 5 messages per second.
-const MessageInterval = 200 * time.Millisecond
-
-// publish schedules count messages from the source at the paper's rate,
-// recording publish times.
-func publish(c *brisa.Cluster, source *brisa.Peer, count, payload int, at map[uint32]time.Time) {
-	for i := 0; i < count; i++ {
-		i := i
-		c.Net.After(time.Duration(i)*MessageInterval, func() {
-			seq := source.Publish(Stream, make([]byte, payload))
-			if at != nil {
-				at[seq] = c.Net.Now()
-			}
-		})
-	}
-}
-
-// runStream bootstraps a cluster, runs a stream of count messages with the
-// given payload, and returns after the network drains.
-func runStream(c *brisa.Cluster, count, payload int, drain time.Duration) *brisa.Peer {
-	c.Bootstrap()
-	source := c.Peers()[0]
-	publish(c, source, count, payload, nil)
-	c.Net.RunFor(time.Duration(count)*MessageInterval + drain)
-	return source
-}
-
-// Series is one named CDF line of a figure.
-type Series struct {
-	Name   string
-	Points []stats.CDFPoint
-}
-
-// FigureResult is a CDF-style figure: several named series.
-type FigureResult struct {
-	Name   string
-	Series []Series
-	Notes  string
-}
-
-// String renders all series as aligned text blocks.
-func (r FigureResult) String() string {
-	out := "== " + r.Name + " ==\n"
-	if r.Notes != "" {
-		out += r.Notes + "\n"
-	}
-	for _, s := range r.Series {
-		out += stats.FormatCDF(s.Name, s.Points)
-	}
-	return out
-}
-
-// TableResult is a table-style result.
-type TableResult struct {
-	Name  string
-	Table *stats.Table
-	Notes string
-}
-
-// String renders the table.
-func (r TableResult) String() string {
-	out := "== " + r.Name + " ==\n"
-	if r.Notes != "" {
-		out += r.Notes + "\n"
-	}
-	return out + r.Table.String()
 }

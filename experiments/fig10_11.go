@@ -5,8 +5,6 @@ import (
 	"time"
 
 	brisa "repro"
-	"repro/internal/simnet"
-	"repro/internal/stats"
 )
 
 // BandwidthResult carries the Figure 10/11 percentile bars: one Summary per
@@ -15,12 +13,12 @@ type BandwidthResult struct {
 	Name  string
 	Notes string
 	// Cells[config][payloadKB] = per-node KB/s summary.
-	Cells map[string]map[int]stats.Summary
+	Cells map[string]map[int]brisa.Summary
 }
 
 // String renders the stacked-percentile cells as a table.
 func (r BandwidthResult) String() string {
-	t := &stats.Table{Header: []string{"configuration", "payload", "p5", "p25", "p50", "p75", "p90"}}
+	t := &brisa.Table{Header: []string{"configuration", "payload", "p5", "p25", "p50", "p75", "p90"}}
 	for _, cfg := range []string{"tree, view=4", "tree, view=8", "DAG, 2 parents, view=4", "DAG, 2 parents, view=8"} {
 		for _, kb := range []int{1, 10, 50, 100} {
 			sm, ok := r.Cells[cfg][kb]
@@ -36,36 +34,10 @@ func (r BandwidthResult) String() string {
 	return "== " + r.Name + " ==\n" + r.Notes + "\n" + t.String()
 }
 
-// runBandwidth measures per-node download and upload rates (KB/s) during
-// dissemination for one configuration and payload size.
-func runBandwidth(nodes, msgs, payload int, seed int64, mode brisa.Mode, view int) (down, up stats.Summary) {
-	c := mustCluster(brisa.ClusterConfig{
-		Nodes: nodes,
-		Seed:  seed,
-		Peer:  brisa.Config{Mode: mode, Parents: dagParents(mode, 2), ViewSize: view},
-	})
-	c.Bootstrap()
-	source := c.Peers()[0]
-	// Only the dissemination phase is measured, like the paper.
-	c.Net.ResetUsage()
-	c.Net.SetPhase(simnet.PhaseDissemination)
-	start := c.Net.Now()
-	publish(c, source, msgs, payload, nil)
-	c.Net.RunFor(time.Duration(msgs)*MessageInterval + 10*time.Second)
-	elapsed := c.Net.Now().Sub(start).Seconds()
-
-	var downS, upS stats.Sample
-	for _, p := range c.AlivePeers() {
-		u := c.Net.Usage(p.ID())
-		downS.Add(float64(u.TotalDown()) / 1024 / elapsed)
-		upS.Add(float64(u.TotalUp()) / 1024 / elapsed)
-	}
-	return downS.Summarize(), upS.Summarize()
-}
-
 // RunFigures10And11 reproduces Figures 10 and 11: per-node download and
 // upload bandwidth (KB/s percentiles) on a 512-node network for payload
-// sizes 1/10/50/100 KB across tree and DAG configurations.
+// sizes 1/10/50/100 KB across tree and DAG configurations. The traffic
+// probe measures the dissemination phase only, like the paper.
 func RunFigures10And11(scale Scale, seed int64) (download, upload BandwidthResult) {
 	nodes := scale.apply(512, 64)
 	msgs := scale.apply(500, 50)
@@ -73,20 +45,36 @@ func RunFigures10And11(scale Scale, seed int64) (download, upload BandwidthResul
 	download = BandwidthResult{
 		Name:  "Figure 10 — download bandwidth",
 		Notes: notes,
-		Cells: make(map[string]map[int]stats.Summary),
+		Cells: make(map[string]map[int]brisa.Summary),
 	}
 	upload = BandwidthResult{
 		Name:  "Figure 11 — upload bandwidth",
 		Notes: notes,
-		Cells: make(map[string]map[int]stats.Summary),
+		Cells: make(map[string]map[int]brisa.Summary),
 	}
 	for _, cfg := range structureConfigs() {
-		download.Cells[cfg.name] = make(map[int]stats.Summary)
-		upload.Cells[cfg.name] = make(map[int]stats.Summary)
+		download.Cells[cfg.name] = make(map[int]brisa.Summary)
+		upload.Cells[cfg.name] = make(map[int]brisa.Summary)
 		for _, kb := range []int{1, 10, 50, 100} {
-			d, u := runBandwidth(nodes, msgs, kb*1024, seed, cfg.mode, cfg.view)
-			download.Cells[cfg.name][kb] = d
-			upload.Cells[cfg.name][kb] = u
+			rep := mustRun(brisa.Scenario{
+				Name: fmt.Sprintf("fig10/11 %s %dKB", cfg.name, kb),
+				Seed: seed,
+				Topology: brisa.Topology{
+					Nodes: nodes,
+					Peer: brisa.Config{
+						Mode:     cfg.mode,
+						Parents:  dagParents(cfg.mode, 2),
+						ViewSize: cfg.view,
+					},
+				},
+				Workloads: []brisa.Workload{
+					{Stream: Stream, Messages: msgs, Payload: kb * 1024},
+				},
+				Probes: []brisa.Probe{brisa.ProbeTraffic},
+				Drain:  10 * time.Second,
+			})
+			download.Cells[cfg.name][kb] = rep.Traffic.DownRate.Summarize()
+			upload.Cells[cfg.name][kb] = rep.Traffic.UpRate.Summarize()
 		}
 	}
 	return download, upload

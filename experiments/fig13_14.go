@@ -8,15 +8,15 @@ import (
 	tagproto "repro/internal/baselines/tag"
 	"repro/internal/ids"
 	"repro/internal/simnet"
-	"repro/internal/stats"
 )
 
 // RunFigure13 reproduces Figure 13: the CDF of structure construction time
 // for BRISA and TAG, on a cluster (512 nodes) and on PlanetLab (200 nodes).
 //
 // BRISA's metric: time from a node's first deactivation until all inbound
-// links except one are deactivated. TAG's metric: time from starting the
-// join traversal until the node settles its list position.
+// links except one are deactivated (the construction probe). TAG's metric:
+// time from starting the join traversal until the node settles its list
+// position.
 func RunFigure13(scale Scale, seed int64) FigureResult {
 	clusterNodes := scale.apply(512, 64)
 	plNodes := scale.apply(200, 48)
@@ -26,28 +26,29 @@ func RunFigure13(scale Scale, seed int64) FigureResult {
 			clusterNodes, plNodes),
 	}
 
-	brisaRun := func(nodes int, latency simnet.LatencyModel) *stats.Sample {
-		c := mustCluster(brisa.ClusterConfig{
-			Nodes:   nodes,
-			Seed:    seed,
-			Latency: latency,
-			Peer:    brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+	brisaRun := func(nodes int, latency brisa.LatencyModel) *brisa.Dist {
+		rep := mustRun(brisa.Scenario{
+			Name: "fig13",
+			Seed: seed,
+			Topology: brisa.Topology{
+				Nodes:   nodes,
+				Latency: latency,
+				Peer:    brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+			},
+			Workloads: []brisa.Workload{
+				{Stream: Stream, Messages: 25, Payload: 1024},
+			},
+			Probes: []brisa.Probe{brisa.ProbeConstruction},
+			Drain:  10 * time.Second,
 		})
-		runStream(c, 25, 1024, 10*time.Second)
-		s := &stats.Sample{}
-		for _, p := range c.AlivePeers() {
-			if d, ok := p.ConstructionTime(Stream); ok {
-				s.AddDuration(d)
-			}
-		}
-		return s
+		return rep.Stream(Stream).Construction
 	}
-	tagRun := func(nodes int, latency simnet.LatencyModel) *stats.Sample {
+	tagRun := func(nodes int, latency simnet.LatencyModel) *brisa.Dist {
 		tc := newTagCluster(nodes, seed, latency, func(self ids.NodeID) tagproto.Config {
 			return tagproto.Config{}
 		})
 		tc.stabilize(nodes)
-		s := &stats.Sample{}
+		s := &brisa.Dist{}
 		for _, p := range tc.peers[1:] {
 			if d, ok := p.SettleTime(); ok {
 				s.AddDuration(d)
@@ -57,9 +58,9 @@ func RunFigure13(scale Scale, seed int64) FigureResult {
 	}
 
 	result.Series = append(result.Series,
-		Series{Name: "Brisa, cluster", Points: brisaRun(clusterNodes, simnet.Cluster()).CDF(24)},
+		Series{Name: "Brisa, cluster", Points: brisaRun(clusterNodes, brisa.ClusterLatency()).CDF(24)},
 		Series{Name: "Tag, cluster", Points: tagRun(clusterNodes, simnet.Cluster()).CDF(24)},
-		Series{Name: "Brisa, PlanetLab", Points: brisaRun(plNodes, simnet.PlanetLab()).CDF(24)},
+		Series{Name: "Brisa, PlanetLab", Points: brisaRun(plNodes, brisa.PlanetLab()).CDF(24)},
 		Series{Name: "Tag, PlanetLab", Points: tagRun(plNodes, simnet.PlanetLab()).CDF(24)},
 	)
 	return result
@@ -80,7 +81,8 @@ func RunFigure14(scale Scale, seed int64) FigureResult {
 			nodes, window),
 	}
 
-	// BRISA: hard-repair recovery delays come out of the churn runner.
+	// BRISA: hard-repair recovery delays come out of the churn scenario's
+	// repairs probe.
 	brisaOut := runChurn(nodes, seed, brisa.ModeTree, 3, window)
 	result.Series = append(result.Series, Series{
 		Name:   "BRISA tree",
@@ -89,7 +91,7 @@ func RunFigure14(scale Scale, seed int64) FigureResult {
 
 	// TAG: same churn shape on a TAG cluster; hard repairs are re-insertions
 	// through the source after the list broke.
-	tagDelays := &stats.Sample{}
+	tagDelays := &brisa.Dist{}
 	tc := newTagCluster(nodes, seed, simnet.Cluster(), func(self ids.NodeID) tagproto.Config {
 		return tagproto.Config{
 			OnRepair: func(hard bool, d time.Duration) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	brisa "repro"
-	"repro/internal/stats"
 )
 
 // RunFigure2 reproduces Figure 2: the CDF over nodes of duplicates per
@@ -19,19 +18,22 @@ func RunFigure2(scale Scale, seed int64) FigureResult {
 			nodes, msgs),
 	}
 	for _, view := range []int{4, 6, 8, 10} {
-		c := mustCluster(brisa.ClusterConfig{
-			Nodes: nodes,
-			Seed:  seed,
-			Peer:  brisa.Config{Mode: brisa.ModeFlood, ViewSize: view},
+		rep := mustRun(brisa.Scenario{
+			Name: fmt.Sprintf("fig2 view=%d", view),
+			Seed: seed,
+			Topology: brisa.Topology{
+				Nodes: nodes,
+				Peer:  brisa.Config{Mode: brisa.ModeFlood, ViewSize: view},
+			},
+			Workloads: []brisa.Workload{
+				{Stream: Stream, Messages: msgs, Payload: 1024},
+			},
+			Probes: []brisa.Probe{brisa.ProbeDuplicates},
+			Drain:  MessageInterval * 25,
 		})
-		runStream(c, msgs, 1024, MessageInterval*25)
-		var sample stats.Sample
-		for _, p := range c.AlivePeers() {
-			sample.Add(float64(p.Metrics().Duplicates) / float64(msgs))
-		}
 		result.Series = append(result.Series, Series{
 			Name:   fmt.Sprintf("view size = %d", view),
-			Points: sample.CDF(24),
+			Points: rep.Stream(Stream).Duplicates.CDF(24),
 		})
 	}
 	return result

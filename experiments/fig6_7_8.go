@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	brisa "repro"
-	"repro/internal/stats"
 	"repro/internal/viz"
 )
 
@@ -26,21 +25,28 @@ func structureConfigs() []struct {
 	}
 }
 
-// buildStructure bootstraps a cluster with the given configuration, runs a
-// short stream to let the structure emerge and stabilize, and captures it.
-func buildStructure(nodes int, seed int64, mode brisa.Mode, view int, expansion float64) (*brisa.Cluster, *structure) {
-	c := mustCluster(brisa.ClusterConfig{
-		Nodes: nodes,
-		Seed:  seed,
-		Peer: brisa.Config{
-			Mode:            mode,
-			Parents:         dagParents(mode, 2),
-			ViewSize:        view,
-			ExpansionFactor: expansion,
+// structureScenario is the common shape of the structure figures: a short
+// stream lets the structure emerge and stabilize, and the structure probe
+// captures it.
+func structureScenario(nodes int, seed int64, mode brisa.Mode, view int, expansion float64) brisa.Scenario {
+	return brisa.Scenario{
+		Name: fmt.Sprintf("structure %v view=%d", mode, view),
+		Seed: seed,
+		Topology: brisa.Topology{
+			Nodes: nodes,
+			Peer: brisa.Config{
+				Mode:            mode,
+				Parents:         dagParents(mode, 2),
+				ViewSize:        view,
+				ExpansionFactor: expansion,
+			},
 		},
-	})
-	source := runStream(c, 25, 256, MessageInterval*25)
-	return c, captureStructure(c, source.ID())
+		Workloads: []brisa.Workload{
+			{Stream: Stream, Messages: 25, Payload: 256},
+		},
+		Probes: []brisa.Probe{brisa.ProbeStructure},
+		Drain:  MessageInterval * 25,
+	}
 }
 
 // RunFigure6 reproduces Figure 6: the depth distribution (longest path from
@@ -52,12 +58,11 @@ func RunFigure6(scale Scale, seed int64) FigureResult {
 		Notes: fmt.Sprintf("nodes=%d (paper: 512); first-come first-picked", nodes),
 	}
 	for _, cfg := range structureConfigs() {
-		_, s := buildStructure(nodes, seed, cfg.mode, cfg.view, 2)
-		h := stats.NewIntHistogram()
-		for _, d := range s.depths {
-			h.Add(d)
-		}
-		result.Series = append(result.Series, Series{Name: cfg.name, Points: h.CDF()})
+		rep := mustRun(structureScenario(nodes, seed, cfg.mode, cfg.view, 2))
+		result.Series = append(result.Series, Series{
+			Name:   cfg.name,
+			Points: rep.Stream(Stream).Depths.CDF(),
+		})
 	}
 	return result
 }
@@ -71,12 +76,11 @@ func RunFigure7(scale Scale, seed int64) FigureResult {
 		Notes: fmt.Sprintf("nodes=%d (paper: 512); first-come first-picked", nodes),
 	}
 	for _, cfg := range structureConfigs() {
-		_, s := buildStructure(nodes, seed, cfg.mode, cfg.view, 2)
-		h := stats.NewIntHistogram()
-		for _, d := range s.degrees {
-			h.Add(d)
-		}
-		result.Series = append(result.Series, Series{Name: cfg.name, Points: h.CDF()})
+		rep := mustRun(structureScenario(nodes, seed, cfg.mode, cfg.view, 2))
+		result.Series = append(result.Series, Series{
+			Name:   cfg.name,
+			Points: rep.Stream(Stream).Degrees.CDF(),
+		})
 	}
 	return result
 }
@@ -107,15 +111,16 @@ func RunFigure8(scale Scale, seed int64) Figure8Result {
 		Name: fmt.Sprintf("Figure 8 — sample tree shapes (%d nodes, expansion factor 1)", nodes),
 	}
 	for _, view := range []int{4, 8} {
-		_, s := buildStructure(nodes, seed, brisa.ModeTree, view, 1)
+		rep := mustRun(structureScenario(nodes, seed, brisa.ModeTree, view, 1))
+		s := rep.Stream(Stream)
 		var edges []viz.Edge
-		for child, parents := range s.parents {
+		for child, parents := range s.Parents {
 			for _, par := range parents {
 				edges = append(edges, viz.Edge{Parent: par, Child: child})
 			}
 		}
-		dot := viz.DOT(fmt.Sprintf("brisa_tree_view%d", view), s.source, edges)
-		st := viz.TreeStats(s.source, edges)
+		dot := viz.DOT(fmt.Sprintf("brisa_tree_view%d", view), s.Source, edges)
+		st := viz.TreeStats(s.Source, edges)
 		if view == 4 {
 			result.DotView4, result.StatsView4 = dot, st
 		} else {

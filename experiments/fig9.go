@@ -5,8 +5,6 @@ import (
 	"time"
 
 	brisa "repro"
-	"repro/internal/simnet"
-	"repro/internal/stats"
 )
 
 // RunFigure9 reproduces Figure 9: the distribution of routing delays on a
@@ -16,8 +14,9 @@ import (
 //
 // Metric note (recorded in EXPERIMENTS.md): the paper reports cumulative
 // per-hop round-trip times; we report one-way source-to-node delivery
-// delays per message (median per node), with the point-to-point series as
-// the direct one-way latency. The comparison across series is the same.
+// delays per message (median per node, the Report's NodeDelays), with the
+// point-to-point series as the direct one-way latency. The comparison
+// across series is the same.
 func RunFigure9(scale Scale, seed int64) FigureResult {
 	nodes := scale.apply(150, 40)
 	msgs := scale.apply(200, 40)
@@ -27,54 +26,35 @@ func RunFigure9(scale Scale, seed int64) FigureResult {
 			nodes, msgs),
 	}
 
-	run := func(mode brisa.Mode, strategy brisa.Strategy) *stats.Sample {
-		publishedAt := make(map[uint32]time.Time)
-		perNode := make(map[brisa.NodeID]*stats.Sample)
-		var c *brisa.Cluster
-		c = mustCluster(brisa.ClusterConfig{
-			Nodes:           nodes,
-			Seed:            seed,
-			Latency:         simnet.PlanetLabSites(15),
-			NodeBandwidth:   250_000,
-			ProcessingDelay: simnet.LogNormalDelay(20*time.Millisecond, 1.0),
-			PeerConfig: func(id brisa.NodeID) brisa.Config {
-				return brisa.Config{
-					Mode: mode, ViewSize: 4, Strategy: strategy,
-					OnDeliver: func(_ brisa.StreamID, seq uint32, _ []byte) {
-						if t0, ok := publishedAt[seq]; ok && int(seq) > msgs/2 {
-							s := perNode[id]
-							if s == nil {
-								s = &stats.Sample{}
-								perNode[id] = s
-							}
-							s.AddDuration(c.Net.Now().Sub(t0))
-						}
-					},
-				}
+	scenario := func(mode brisa.Mode, strategy brisa.Strategy) brisa.Scenario {
+		return brisa.Scenario{
+			Name: "fig9",
+			Seed: seed,
+			Topology: brisa.Topology{
+				Nodes:           nodes,
+				Latency:         brisa.PlanetLabSites(15),
+				NodeBandwidth:   250_000,
+				ProcessingDelay: brisa.LogNormalDelay(20*time.Millisecond, 1.0),
+				Peer:            brisa.Config{Mode: mode, ViewSize: 4, Strategy: strategy},
 			},
-		})
-		c.Bootstrap()
-		source := c.Peers()[0]
-		publish(c, source, msgs, 1024, publishedAt)
-		c.Net.RunFor(time.Duration(msgs)*MessageInterval + 20*time.Second)
-		agg := &stats.Sample{}
-		for _, s := range perNode {
-			agg.Add(s.Median())
+			Workloads: []brisa.Workload{
+				// Only the steady-state second half of the stream is measured.
+				{Stream: Stream, Messages: msgs, Payload: 1024, Warmup: msgs / 2},
+			},
+			Probes: []brisa.Probe{brisa.ProbeLatency},
+			Drain:  20 * time.Second,
 		}
-		return agg
+	}
+	run := func(mode brisa.Mode, strategy brisa.Strategy) *brisa.Dist {
+		return mustRun(scenario(mode, strategy)).Stream(Stream).NodeDelays
 	}
 
 	// Point-to-point: the direct one-way latency from the source to each
-	// node, sampled from the same latency model.
+	// node, sampled from the same latency model without disseminating.
 	{
-		c := mustCluster(brisa.ClusterConfig{
-			Nodes:   nodes,
-			Seed:    seed,
-			Latency: simnet.PlanetLabSites(15),
-			Peer:    brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
-		})
+		c := mustCluster(scenario(brisa.ModeTree, brisa.FirstCome{}))
 		src := c.Peers()[0].ID()
-		direct := &stats.Sample{}
+		direct := &brisa.Dist{}
 		for _, p := range c.Peers()[1:] {
 			direct.AddDuration(c.Net.EstimateLatency(src, p.ID()))
 		}

@@ -10,7 +10,6 @@ import (
 	"repro/internal/baselines/tag"
 	"repro/internal/ids"
 	"repro/internal/simnet"
-	"repro/internal/stats"
 )
 
 // sysParams is the common workload of the §III-D comparison runs. All four
@@ -126,36 +125,35 @@ func phaseMB(net *simnet.Network, nodes []ids.NodeID, phase simnet.Phase) float6
 
 // ------------------------------------------------------------------ BRISA
 
+// runSystemBrisa runs the shared §III-D workload through the declarative
+// scenario runner: the traffic probe yields the per-phase byte averages and
+// the latency probe yields completeness, per-message delay and the
+// first-to-last delivery spread that the paper calls dissemination latency.
 func runSystemBrisa(p sysParams) sysResult {
-	tr := newDeliveryTracker()
-	var c *brisa.Cluster
-	c = mustCluster(brisa.ClusterConfig{
-		Nodes:           p.Nodes,
-		Seed:            p.Seed,
-		Latency:         p.Latency,
-		ProcessingDelay: p.Proc,
-		PeerConfig: func(id brisa.NodeID) brisa.Config {
-			return brisa.Config{
-				Mode: brisa.ModeTree, ViewSize: 4,
-				OnDeliver: func(_ brisa.StreamID, seq uint32, _ []byte) { tr.record(id, seq) },
-			}
+	rep := mustRun(brisa.Scenario{
+		Name: "table2 BRISA",
+		Seed: p.Seed,
+		Topology: brisa.Topology{
+			Nodes:           p.Nodes,
+			Latency:         p.Latency,
+			ProcessingDelay: p.Proc,
+			Peer:            brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
 		},
+		Workloads: []brisa.Workload{
+			{Stream: Stream, Messages: p.Msgs, Payload: p.Payload},
+		},
+		Probes: []brisa.Probe{brisa.ProbeLatency, brisa.ProbeTraffic},
+		Drain:  20 * time.Second,
 	})
-	tr.now = c.Net.Now
-	c.Bootstrap()
-	source := c.Peers()[0]
-	c.Net.SetPhase(simnet.PhaseDissemination)
-	publish(c, source, p.Msgs, p.Payload, tr.pubAt)
-	c.Net.RunFor(time.Duration(p.Msgs)*MessageInterval + 20*time.Second)
-
-	nodes := nonSource(c.Net.NodeIDs(), source.ID())
-	res := sysResult{
-		StabMB: phaseMB(c.Net, nodes, simnet.PhaseStabilization),
-		DissMB: phaseMB(c.Net, nodes, simnet.PhaseDissemination),
+	s := rep.Stream(Stream)
+	return sysResult{
+		StabMB:       rep.Traffic.StabMB,
+		DissMB:       rep.Traffic.DissMB,
+		Latency:      time.Duration(s.Spread.Mean() * float64(time.Second)),
+		MeanDelay:    time.Duration(s.Delays.Mean() * float64(time.Second)),
+		Completeness: s.Reliability,
+		Delivered:    uint64(s.Delays.Len()),
 	}
-	res.Latency, res.Completeness, res.Delivered = tr.results(nodes, p.Msgs)
-	res.MeanDelay = tr.meanDelay()
-	return res
 }
 
 func nonSource(all []ids.NodeID, source ids.NodeID) []ids.NodeID {
@@ -386,5 +384,3 @@ func systemRunners() []struct {
 		{"TAG, view 4", runSystemTAG},
 	}
 }
-
-var _ = stats.Sample{}

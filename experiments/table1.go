@@ -5,125 +5,56 @@ import (
 	"time"
 
 	brisa "repro"
-	"repro/internal/stats"
-	"repro/internal/trace"
 )
-
-// churnTarget adapts a BRISA cluster to the trace.Target interface. The
-// stream source is protected from failure, as in the paper ("we ensure that
-// the source node does not fail").
-type churnTarget struct {
-	c      *brisa.Cluster
-	source brisa.NodeID
-}
-
-func (t *churnTarget) Join() { t.c.JoinNew() }
-func (t *churnTarget) Fail() { t.c.CrashRandom(t.source) }
-func (t *churnTarget) Size() int {
-	return len(t.c.Net.NodeIDs())
-}
-func (t *churnTarget) Stop() {}
-
-// netScheduler adapts the simulator clock to trace.Scheduler with an origin
-// offset.
-type netScheduler struct {
-	c    *brisa.Cluster
-	base time.Duration
-}
-
-func (s netScheduler) At(offset time.Duration, fn func()) {
-	s.c.Net.At(s.base+offset, fn)
-}
 
 // churnOutcome aggregates the Table I metrics for one configuration.
 type churnOutcome struct {
 	ParentsLostPerMin float64
 	OrphansPerMin     float64
 	SoftPct, HardPct  float64
-	HardDelays        *stats.Sample // hard-repair recovery delays (Figure 14)
+	HardDelays        *brisa.Dist // hard-repair recovery delays (Figure 14)
 	Complete          bool
 }
 
-// runChurn bootstraps a cluster, keeps a 5 msg/s stream flowing, and applies
-// "const churn rate% each 60s" for the window, measuring repair behaviour.
+// runChurn states the churn workload as a scenario: a continuous 5 msg/s
+// stream, 10 virtual seconds of traffic so the structure is fully emerged,
+// then "const churn rate% each 60s" for the window, with the repairs probe
+// measuring over exactly that window. Completeness is the Connected
+// fraction: every survivor kept a live position in the structure (late
+// joiners cannot have the full history).
 func runChurn(nodes int, seed int64, mode brisa.Mode, ratePct float64, window time.Duration) churnOutcome {
-	hardDelays := &stats.Sample{}
-	c := mustCluster(brisa.ClusterConfig{
-		Nodes: nodes,
-		Seed:  seed,
-		Peer: brisa.Config{
-			Mode: mode, Parents: dagParents(mode, 2), ViewSize: 4,
-			OnEvent: func(ev brisa.Event) {
-				if ev.Type == brisa.EvRepaired && ev.Hard {
-					hardDelays.AddDuration(ev.Dur)
-				}
+	// Stream for the whole churn window plus warmup and drain.
+	total := int(window/MessageInterval) + 100
+	rep := mustRun(brisa.Scenario{
+		Name: fmt.Sprintf("churn %v %g%%/min", mode, ratePct),
+		Seed: seed,
+		Topology: brisa.Topology{
+			Nodes: nodes,
+			Peer: brisa.Config{
+				Mode:     mode,
+				Parents:  dagParents(mode, 2),
+				ViewSize: 4,
 			},
 		},
+		Workloads: []brisa.Workload{
+			{Stream: Stream, Messages: total, Payload: 1024},
+		},
+		Churn: &brisa.Churn{
+			Script: fmt.Sprintf("from 0s to %ds const churn %g%% each 60s", int(window.Seconds()), ratePct),
+			Start:  10 * time.Second,
+		},
+		Probes: []brisa.Probe{brisa.ProbeRepairs},
+		Drain:  30 * time.Second,
 	})
-	c.Bootstrap()
-	source := c.Peers()[0]
-
-	// Continuous stream for the whole churn window plus drain.
-	total := int(window/MessageInterval) + 100
-	publish(c, source, total, 1024, nil)
-
-	// Run 10 virtual seconds of traffic before opening the churn window so
-	// the structure is fully emerged.
-	c.Net.RunFor(10 * time.Second)
-
-	sumBefore := sumMetrics(c)
-	script := trace.MustParse(fmt.Sprintf(
-		"from 0s to %ds const churn %g%% each 60s", int(window.Seconds()), ratePct))
-	script.Replay(netScheduler{c: c, base: c.Net.Since()}, &churnTarget{c: c, source: source.ID()})
-	c.Net.RunFor(window)
-	sumAfter := sumMetrics(c)
-
-	// Drain: give repairs and recovery time to finish, then check that
-	// every survivor kept receiving.
-	c.Net.RunFor(30 * time.Second)
-	complete := true
-	for _, p := range c.AlivePeers() {
-		if p.DeliveredCount(Stream) == 0 || p.IsOrphan(Stream) {
-			complete = false
-			if churnDebug != nil {
-				churnDebug("peer %v delivered=%d orphan=%v parents=%v neighbors=%v",
-					p.ID(), p.DeliveredCount(Stream), p.IsOrphan(Stream), p.Parents(Stream), p.Neighbors())
-			}
-		}
+	cr := rep.Churn
+	return churnOutcome{
+		ParentsLostPerMin: cr.ParentsLostPerMin,
+		OrphansPerMin:     cr.OrphansPerMin,
+		SoftPct:           cr.SoftPct,
+		HardPct:           cr.HardPct,
+		HardDelays:        cr.HardDelays,
+		Complete:          rep.Stream(Stream).Connected == 1,
 	}
-
-	minutes := window.Minutes()
-	lost := float64(sumAfter.ParentsLost - sumBefore.ParentsLost)
-	orphans := float64(sumAfter.Orphans - sumBefore.Orphans)
-	soft := float64(sumAfter.SoftRepairs - sumBefore.SoftRepairs)
-	hard := float64(sumAfter.HardRepairs - sumBefore.HardRepairs)
-	out := churnOutcome{
-		ParentsLostPerMin: lost / minutes,
-		OrphansPerMin:     orphans / minutes,
-		HardDelays:        hardDelays,
-		Complete:          complete,
-	}
-	if soft+hard > 0 {
-		out.SoftPct = 100 * soft / (soft + hard)
-		out.HardPct = 100 * hard / (soft + hard)
-	}
-	return out
-}
-
-// churnDebug, when set by a test, receives diagnostics for disconnected
-// survivors.
-var churnDebug func(format string, args ...any)
-
-func sumMetrics(c *brisa.Cluster) brisa.Metrics {
-	var m brisa.Metrics
-	for _, p := range c.Peers() {
-		pm := p.Metrics()
-		m.ParentsLost += pm.ParentsLost
-		m.Orphans += pm.Orphans
-		m.SoftRepairs += pm.SoftRepairs
-		m.HardRepairs += pm.HardRepairs
-	}
-	return m
 }
 
 // RunTable1 reproduces Table I: the impact of churn for 128- and 512-node
@@ -134,7 +65,7 @@ func RunTable1(scale Scale, seed int64) TableResult {
 	if window < 2*time.Minute {
 		window = 2 * time.Minute
 	}
-	t := &stats.Table{Header: []string{
+	t := &brisa.Table{Header: []string{
 		"network", "churn", "structure",
 		"parents lost/min", "orphans/min", "% soft repairs", "% hard repairs",
 	}}

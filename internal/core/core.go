@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -28,7 +29,12 @@ type Protocol struct {
 	// the actor.
 	subMu   sync.Mutex
 	subs    map[wire.StreamID]map[uint64]func(seq uint32, payload []byte)
+	evSubs  map[uint64]func(Event)
 	nextSub uint64
+	// evSnap is the copy-on-write listener snapshot emit reads lock-free:
+	// emit runs on the hot path (every delivery and duplicate), so it must
+	// stay a pointer load when nobody listens.
+	evSnap atomic.Pointer[[]func(Event)]
 }
 
 // New builds a Protocol. cfg.PSS must be set.
@@ -166,10 +172,56 @@ func (p *Protocol) ConstructionTime(id wire.StreamID) (time.Duration, bool) {
 }
 
 func (p *Protocol) emit(ev Event) {
+	snap := p.evSnap.Load()
+	if p.cfg.OnEvent == nil && snap == nil {
+		return
+	}
+	ev.At = p.env.Now()
 	if p.cfg.OnEvent != nil {
-		ev.At = p.env.Now()
 		p.cfg.OnEvent(ev)
 	}
+	if snap != nil {
+		for _, fn := range *snap {
+			fn(ev)
+		}
+	}
+}
+
+// SubscribeEvents registers a structural-event listener and returns its
+// cancel function. Unlike Config.OnEvent — fixed at construction — listeners
+// can attach to an already-running protocol, which is how the scenario
+// runner probes clusters it did not configure. Listeners run on the actor
+// goroutine; registration is safe from any goroutine.
+func (p *Protocol) SubscribeEvents(fn func(Event)) (cancel func()) {
+	p.subMu.Lock()
+	if p.evSubs == nil {
+		p.evSubs = make(map[uint64]func(Event))
+	}
+	tok := p.nextSub
+	p.nextSub++
+	p.evSubs[tok] = fn
+	p.refreshEvSnap()
+	p.subMu.Unlock()
+	return func() {
+		p.subMu.Lock()
+		delete(p.evSubs, tok)
+		p.refreshEvSnap()
+		p.subMu.Unlock()
+	}
+}
+
+// refreshEvSnap rebuilds the lock-free listener snapshot; call with subMu
+// held.
+func (p *Protocol) refreshEvSnap() {
+	if len(p.evSubs) == 0 {
+		p.evSnap.Store(nil)
+		return
+	}
+	fns := make([]func(Event), 0, len(p.evSubs))
+	for _, fn := range p.evSubs {
+		fns = append(fns, fn)
+	}
+	p.evSnap.Store(&fns)
 }
 
 // ---------------------------------------------------------------- fan-out

@@ -198,18 +198,41 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
+// Stopped reports whether the node has shut down.
+func (n *Node) Stopped() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped
+}
+
 // Call runs fn on the actor goroutine and waits for it — callers use this to
 // inspect protocol state without racing the actor. After Stop, Call returns
-// without guaranteeing fn ran.
+// without guaranteeing fn ran — but never while fn is still running: a
+// shutdown racing an in-flight call either abandons fn before it starts or
+// waits for it to finish, so the caller can safely read state fn wrote.
 func (n *Node) Call(fn func()) {
 	doneCh := make(chan struct{})
+	var mu sync.Mutex
+	abandoned := false
 	n.enqueue(func() {
+		mu.Lock()
+		if abandoned {
+			mu.Unlock()
+			return
+		}
 		fn()
+		mu.Unlock()
 		close(doneCh)
 	})
 	select {
 	case <-doneCh:
 	case <-n.done:
+		// Claim the call: if the actor already entered fn, this blocks
+		// until it finished (establishing the happens-before the caller
+		// needs); otherwise fn will never run.
+		mu.Lock()
+		abandoned = true
+		mu.Unlock()
 	}
 }
 

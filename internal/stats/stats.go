@@ -26,6 +26,15 @@ func (s *Sample) Add(v float64) {
 // AddDuration appends a duration observation in seconds.
 func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 
+// Merge appends every observation of other.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.xs) }
 

@@ -1,0 +1,30 @@
+package brisa
+
+import "time"
+
+// joinPolicy is the bootstrap retry loop both runtimes share: a join
+// through one contact can be lost — the contact died mid-join, the request
+// was dropped, the overlay churned — so a node keeps re-joining through
+// its contacts until the overlay accepts it (its active view goes
+// non-empty), bounded by Attempts. This is what a deployment's bootstrap
+// loop does; before it was extracted here the simulator retried while the
+// live runtime gave up after one attempt.
+type joinPolicy struct {
+	// Attempts bounds the joins tried before giving up.
+	Attempts int
+	// Wait is how long to wait for the overlay to accept the node after
+	// each attempt before trying the next contact.
+	Wait time.Duration
+}
+
+// simJoinPolicy paces retries in virtual time, where waiting is free.
+var simJoinPolicy = joinPolicy{Attempts: 5, Wait: 5 * time.Second}
+
+// liveJoinPolicy paces retries in wall-clock time; loopback and LAN joins
+// settle in milliseconds, so Node.Join polls within each wait and returns
+// as soon as the overlay accepts.
+var liveJoinPolicy = joinPolicy{Attempts: 5, Wait: time.Second}
+
+// liveJoinPoll is how often Node.Join re-checks the active view while
+// waiting.
+const liveJoinPoll = 20 * time.Millisecond

@@ -2,6 +2,7 @@ package brisa
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/livenet"
 )
@@ -56,18 +57,56 @@ func (n *Node) Do(fn func(p *Peer)) {
 	n.ln.Call(func() { fn(n.peer) })
 }
 
-// Join bootstraps the node into an existing overlay through the member
-// listening on addr ("ip:port").
-func (n *Node) Join(addr string) error {
-	contact, err := ParseNodeID(addr)
-	if err != nil {
-		return err
+// Join bootstraps the node into an existing overlay through one or more
+// members listening on the given "ip:port" addresses. It runs the shared
+// bootstrap retry policy: try a contact, wait briefly for the overlay to
+// accept the node, move to the next, cycling through the contacts up to a
+// bounded number of attempts. It returns nil as soon as the node holds an
+// active neighbor, or an error when every attempt failed, any address is
+// invalid, or the node was closed.
+func (n *Node) Join(contacts ...string) error {
+	if len(contacts) == 0 {
+		return fmt.Errorf("brisa: Join needs at least one contact")
 	}
-	if contact == n.ID() {
-		return fmt.Errorf("brisa: cannot join through self (%v)", contact)
+	cands := make([]NodeID, 0, len(contacts))
+	for _, addr := range contacts {
+		contact, err := ParseNodeID(addr)
+		if err != nil {
+			return err
+		}
+		if contact == n.ID() {
+			continue // joining through self is a no-op, skip it
+		}
+		cands = append(cands, contact)
 	}
-	n.Do(func(p *Peer) { p.Join(contact) })
-	return nil
+	if len(cands) == 0 {
+		return fmt.Errorf("brisa: cannot join through self (%v)", n.ID())
+	}
+
+	joined := func() bool {
+		var ok bool
+		n.Do(func(p *Peer) { ok = len(p.Neighbors()) > 0 })
+		return ok
+	}
+	pol := liveJoinPolicy
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if n.ln.Stopped() {
+			return fmt.Errorf("brisa: Join on a closed node")
+		}
+		contact := cands[attempt%len(cands)]
+		n.Do(func(p *Peer) { p.Join(contact) })
+		deadline := time.Now().Add(pol.Wait)
+		for time.Now().Before(deadline) {
+			if joined() {
+				return nil
+			}
+			time.Sleep(liveJoinPoll)
+		}
+	}
+	if joined() {
+		return nil
+	}
+	return fmt.Errorf("brisa: join via %v failed after %d attempts", contacts, pol.Attempts)
 }
 
 // Publish injects the next message of a stream this node sources and
@@ -82,6 +121,13 @@ func (n *Node) Publish(stream StreamID, payload []byte) uint32 {
 // local publishes included.
 func (n *Node) Subscribe(stream StreamID) *Subscription {
 	return n.peer.Subscribe(stream)
+}
+
+// SubscribeOpts is Subscribe with a bounded delivery queue (see
+// Peer.SubscribeOpts). Note that the Block policy stalls this node's actor
+// goroutine while the consumer lags.
+func (n *Node) SubscribeOpts(stream StreamID, opts SubOptions) *Subscription {
+	return n.peer.SubscribeOpts(stream, opts)
 }
 
 // Neighbors returns the node's current HyParView active view.
@@ -120,11 +166,13 @@ func (n *Node) Metrics() Metrics {
 	return out
 }
 
-// Close shuts the node down: the protocol stack stops on the actor, all
-// connections and the listener close, and every subscription is cancelled.
-// Close is idempotent.
+// Close shuts the node down: every subscription is cancelled, the protocol
+// stack stops on the actor, and all connections and the listener close.
+// Subscriptions go first — a Block-policy subscription whose consumer
+// stalled may be holding the actor inside push, and only cancellation
+// releases it so the runtime can stop. Close is idempotent.
 func (n *Node) Close() error {
-	n.ln.Stop()
 	n.peer.subs.cancelAll()
+	n.ln.Stop()
 	return nil
 }

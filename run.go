@@ -1,0 +1,547 @@
+package brisa
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// collector accumulates in-run measurements for every workload. The
+// simulator drives it from one goroutine; on the live runtime deliveries
+// arrive on each node's actor goroutine concurrently, so every method
+// locks.
+type collector struct {
+	sc  Scenario
+	now func() time.Time
+
+	mu sync.Mutex
+	ws []*workloadState
+	// hardDelays collects hard-repair recovery delays across all streams
+	// (ProbeRepairs).
+	hardDelays *stats.Sample
+	cancels    []func()
+}
+
+// workloadState is the in-run state of one workload.
+type workloadState struct {
+	w      Workload
+	source NodeID
+	pubAt  map[uint32]time.Time
+	pubs   int
+	// per-node delivery accounting, all keyed by node id.
+	delays      map[NodeID]*stats.Sample
+	first, last map[NodeID]time.Time
+	dups        map[NodeID]uint64
+}
+
+func newCollector(sc Scenario, now func() time.Time) *collector {
+	col := &collector{sc: sc, now: now, hardDelays: &stats.Sample{}}
+	for _, w := range sc.Workloads {
+		col.ws = append(col.ws, &workloadState{
+			w:      w,
+			pubAt:  make(map[uint32]time.Time),
+			delays: make(map[NodeID]*stats.Sample),
+			first:  make(map[NodeID]time.Time),
+			last:   make(map[NodeID]time.Time),
+			dups:   make(map[NodeID]uint64),
+		})
+	}
+	return col
+}
+
+// setSource records a workload's resolved source node.
+func (col *collector) setSource(wi int, id NodeID) {
+	col.mu.Lock()
+	col.ws[wi].source = id
+	col.mu.Unlock()
+}
+
+// published records one injection. Call it before the Publish so a delivery
+// racing ahead on another node still finds the timestamp.
+func (col *collector) published(wi int, seq uint32, at time.Time) {
+	col.mu.Lock()
+	ws := col.ws[wi]
+	ws.pubAt[seq] = at
+	ws.pubs++
+	col.mu.Unlock()
+}
+
+// delivered records one delivery on a node. Source-local deliveries are
+// excluded: the paper measures receptions.
+func (col *collector) delivered(wi int, node NodeID, seq uint32, at time.Time) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	ws := col.ws[wi]
+	if node == ws.source {
+		return
+	}
+	if _, ok := ws.first[node]; !ok {
+		ws.first[node] = at
+	}
+	ws.last[node] = at
+	if int(seq) <= ws.w.Warmup {
+		return
+	}
+	if t0, ok := ws.pubAt[seq]; ok {
+		s := ws.delays[node]
+		if s == nil {
+			s = &stats.Sample{}
+			ws.delays[node] = s
+		}
+		s.AddDuration(at.Sub(t0))
+	}
+}
+
+// instrument attaches the collector to one peer: a delivery listener per
+// workload (when the latency probe is on) and one event listener for
+// duplicates and repair delays. It covers peers added mid-run by churn.
+func (col *collector) instrument(p *Peer) {
+	id := p.ID()
+	if col.sc.probed(ProbeLatency) {
+		for wi := range col.ws {
+			wi := wi
+			cancel := p.brisa.SubscribeFn(col.ws[wi].w.Stream, func(seq uint32, _ []byte) {
+				col.delivered(wi, id, seq, col.now())
+			})
+			col.addCancel(cancel)
+		}
+	}
+	wantDups := col.sc.probed(ProbeDuplicates)
+	wantRepairs := col.sc.probed(ProbeRepairs)
+	if !wantDups && !wantRepairs {
+		return
+	}
+	cancel := p.brisa.SubscribeEvents(func(ev Event) {
+		switch {
+		case wantDups && ev.Type == EvDuplicate:
+			col.mu.Lock()
+			for _, ws := range col.ws {
+				if ws.w.Stream == ev.Stream && id != ws.source {
+					ws.dups[id]++
+				}
+			}
+			col.mu.Unlock()
+		case wantRepairs && ev.Type == EvRepaired && ev.Hard:
+			col.mu.Lock()
+			col.hardDelays.AddDuration(ev.Dur)
+			col.mu.Unlock()
+		}
+	})
+	col.addCancel(cancel)
+}
+
+func (col *collector) addCancel(fn func()) {
+	col.mu.Lock()
+	col.cancels = append(col.cancels, fn)
+	col.mu.Unlock()
+}
+
+// detach unregisters every listener.
+func (col *collector) detach() {
+	col.mu.Lock()
+	cancels := col.cancels
+	col.cancels = nil
+	col.mu.Unlock()
+	for _, fn := range cancels {
+		fn()
+	}
+}
+
+// streamReport folds one workload's collected state plus end-of-run polls
+// into its report. poll abstracts over the two runtimes: it reads a peer
+// state snapshot for every surviving node.
+type peerSnapshot struct {
+	id           NodeID
+	delivered    uint64
+	orphan       bool
+	parents      []NodeID
+	depth        int
+	depthOK      bool
+	construction time.Duration
+	constructOK  bool
+}
+
+func (col *collector) streamReport(wi int, survivors []peerSnapshot) *StreamReport {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	ws := col.ws[wi]
+	sr := &StreamReport{
+		Stream:    ws.w.Stream,
+		Source:    ws.source,
+		Published: ws.pubs,
+	}
+
+	var complete, connected, counted int
+	for _, snap := range survivors {
+		if snap.id == ws.source {
+			continue
+		}
+		counted++
+		// A workload that published nothing is vacuously complete.
+		if snap.delivered == uint64(ws.pubs) {
+			complete++
+		}
+		if snap.delivered > 0 && !snap.orphan {
+			connected++
+		}
+	}
+	if counted == 0 {
+		sr.Reliability, sr.Connected = 1, 1
+	} else {
+		sr.Reliability = float64(complete) / float64(counted)
+		sr.Connected = float64(connected) / float64(counted)
+	}
+
+	if col.sc.probed(ProbeLatency) {
+		all, nodeMed, spread := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		// Fold in sorted node order: the maps' iteration order must not
+		// reach the output (float summation order), which stays
+		// bit-identical across runs of the deterministic simulator.
+		for _, id := range sortedKeys(ws.delays) {
+			s := ws.delays[id]
+			all.Merge(s)
+			nodeMed.Add(s.Median())
+		}
+		for _, id := range sortedKeys(ws.first) {
+			f := ws.first[id]
+			if l, ok := ws.last[id]; ok && l.After(f) {
+				spread.AddDuration(l.Sub(f))
+			}
+		}
+		sr.Delays, sr.NodeDelays, sr.Spread = all, nodeMed, spread
+	}
+
+	if col.sc.probed(ProbeDuplicates) {
+		d := &stats.Sample{}
+		denom := float64(ws.pubs)
+		if denom == 0 {
+			denom = 1
+		}
+		for _, snap := range survivors {
+			if snap.id == ws.source {
+				continue
+			}
+			d.Add(float64(ws.dups[snap.id]) / denom)
+		}
+		sr.Duplicates = d
+	}
+
+	if col.sc.probed(ProbeStructure) {
+		sr.Parents = make(map[NodeID][]NodeID)
+		sr.Degrees = stats.NewIntHistogram()
+		degrees := make(map[NodeID]int, len(survivors))
+		for _, snap := range survivors {
+			degrees[snap.id] += 0
+			if snap.id == ws.source {
+				continue
+			}
+			sr.Parents[snap.id] = snap.parents
+			for _, par := range snap.parents {
+				degrees[par]++
+			}
+		}
+		for _, d := range degrees {
+			sr.Degrees.Add(d)
+		}
+		sr.Depths = depthHistogram(ws.source, sr.Parents)
+	}
+
+	if col.sc.probed(ProbeConstruction) {
+		c := &stats.Sample{}
+		for _, snap := range survivors {
+			if snap.constructOK {
+				c.AddDuration(snap.construction)
+			}
+		}
+		sr.Construction = c
+	}
+	return sr
+}
+
+// usageDelta subtracts a baseline usage snapshot, element-wise.
+func usageDelta(cur, base simnet.Usage) simnet.Usage {
+	for p := range cur.UpBytes {
+		for c := range cur.UpBytes[p] {
+			cur.UpBytes[p][c] -= base.UpBytes[p][c]
+			cur.DownBytes[p][c] -= base.DownBytes[p][c]
+		}
+	}
+	return cur
+}
+
+// sortedKeys returns a map's NodeID keys ascending.
+func sortedKeys[V any](m map[NodeID]V) []NodeID {
+	out := make([]NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// depthHistogram derives the longest-path-from-source depth of every node
+// (the paper's Figure 6 definition) from the captured parent links, via
+// memoized DFS with cycle detection. Nodes on a residual cycle (possible
+// only transiently) get no entry.
+func depthHistogram(source NodeID, parents map[NodeID][]NodeID) *IntDist {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	depths := make(map[NodeID]int, len(parents))
+	state := make(map[NodeID]int, len(parents))
+	var depthOf func(id NodeID) (int, bool)
+	depthOf = func(id NodeID) (int, bool) {
+		if id == source {
+			return 0, true
+		}
+		if d, ok := depths[id]; ok {
+			return d, true
+		}
+		if state[id] == onStack || state[id] == done {
+			return 0, false // cycle or previously found unrooted
+		}
+		state[id] = onStack
+		best := -1
+		for _, par := range parents[id] {
+			if d, ok := depthOf(par); ok && d+1 > best {
+				best = d + 1
+			}
+		}
+		state[id] = done
+		if best < 0 {
+			return 0, false
+		}
+		depths[id] = best
+		return best, true
+	}
+	h := stats.NewIntHistogram()
+	h.Add(0) // the source
+	for id := range parents {
+		if d, ok := depthOf(id); ok {
+			h.Add(d)
+		}
+	}
+	return h
+}
+
+// sumMetrics totals the BRISA counters over every peer ever created,
+// crashed ones included — churn rates count events, not survivors.
+func (c *Cluster) sumMetrics() Metrics {
+	var m Metrics
+	for _, p := range c.Peers() {
+		pm := p.Metrics()
+		m.ParentsLost += pm.ParentsLost
+		m.Orphans += pm.Orphans
+		m.SoftRepairs += pm.SoftRepairs
+		m.HardRepairs += pm.HardRepairs
+	}
+	return m
+}
+
+// snapshot reads one peer's end-of-run state.
+func snapshotPeer(p *Peer, stream StreamID) peerSnapshot {
+	snap := peerSnapshot{
+		id:        p.ID(),
+		delivered: p.DeliveredCount(stream),
+		orphan:    p.IsOrphan(stream),
+		parents:   p.Parents(stream),
+	}
+	snap.depth, snap.depthOK = p.Depth(stream)
+	snap.construction, snap.constructOK = p.ConstructionTime(stream)
+	return snap
+}
+
+// Run executes a scenario on this cluster: bootstrap (unless already done),
+// workload injection, optional churn, and probe collection into a Report.
+// The scenario's Topology is only consulted when the cluster is built from
+// it (RunSim); running against a hand-built cluster uses the cluster as-is
+// (a zero Topology is filled in from it), so workload source indices must
+// fit its size. Delivery and traffic accounting is relative to the state at
+// entry, so a cluster — and even a stream — can be reused across Runs.
+func (c *Cluster) Run(sc Scenario) (*Report, error) {
+	sc = sc.withDefaults()
+	if sc.Topology.Nodes == 0 {
+		// Hand-built cluster, Topology left empty: adopt the cluster's
+		// dimensions so validation reflects what actually runs.
+		sc.Topology.Nodes = len(c.order)
+		sc.Topology.Peer = c.cfg.Peer
+		sc.Topology.PeerConfig = c.cfg.PeerConfig
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	for i, w := range sc.Workloads {
+		if w.Source >= len(c.order) {
+			return nil, fmt.Errorf("brisa: Scenario %q: workload %d sources from node index %d, cluster has %d nodes",
+				sc.Name, i, w.Source, len(c.order))
+		}
+	}
+
+	wallStart := time.Now()
+
+	// Baselines: everything already delivered or sent before this run is
+	// subtracted, so reports stay correct when a cluster (or stream) is
+	// reused. Peers that churn in mid-run start from zero.
+	deliveredBase := make([]map[NodeID]uint64, len(sc.Workloads))
+	for wi, w := range sc.Workloads {
+		m := make(map[NodeID]uint64)
+		for _, p := range c.Peers() {
+			if n := p.DeliveredCount(w.Stream); n > 0 {
+				m[p.ID()] = n
+			}
+		}
+		deliveredBase[wi] = m
+	}
+	var usageBase map[NodeID]simnet.Usage
+	if sc.probed(ProbeTraffic) {
+		usageBase = make(map[NodeID]simnet.Usage, len(c.order))
+		for _, id := range c.order {
+			usageBase[id] = c.Net.Usage(id)
+		}
+	}
+
+	if !c.bootstrapped {
+		c.Bootstrap()
+	}
+	peers := c.Peers()
+
+	col := newCollector(sc, c.Net.Now)
+	for wi, w := range sc.Workloads {
+		col.setSource(wi, peers[w.Source].ID())
+	}
+	for _, p := range peers {
+		col.instrument(p)
+	}
+	c.onAddPeer = col.instrument
+	defer func() {
+		c.onAddPeer = nil
+		col.detach()
+	}()
+
+	t0 := c.Net.Now()
+	c.Net.SetPhase(simnet.PhaseDissemination)
+
+	// Workload injection.
+	for wi, w := range sc.Workloads {
+		wi, w := wi, w
+		src := peers[w.Source]
+		for i := 0; i < w.Messages; i++ {
+			i := i
+			c.Net.After(w.Start+time.Duration(i)*w.Interval, func() {
+				at := c.Net.Now()
+				seq := src.Publish(w.Stream, make([]byte, w.Payload))
+				// Recording after the call is race-free here: remote
+				// deliveries only run in later simulator events.
+				col.published(wi, seq, at)
+			})
+		}
+	}
+
+	// Churn, with metric snapshots bracketing the script's window.
+	var churnWindow time.Duration
+	var before, after Metrics
+	if sc.Churn != nil {
+		churnWindow, _ = sc.Churn.window()
+		protect := make([]NodeID, 0, len(sc.Workloads))
+		for _, w := range sc.Workloads {
+			protect = append(protect, peers[w.Source].ID())
+		}
+		script := sc.Churn.Script
+		c.Net.After(sc.Churn.Start, func() {
+			before = c.sumMetrics()
+			// Parse errors were caught by Validate; a failure here is a bug.
+			if err := c.RunChurnScript(script, protect...); err != nil {
+				panic("brisa: churn script: " + err.Error())
+			}
+		})
+		c.Net.After(sc.Churn.Start+churnWindow, func() {
+			after = c.sumMetrics()
+		})
+	}
+
+	c.Net.RunFor(sc.end() + sc.Drain)
+
+	// Collection.
+	alive := c.AlivePeers()
+	rep := &Report{
+		Name:    sc.Name,
+		Runtime: "sim",
+		Nodes:   len(peers),
+		Alive:   len(alive),
+		Elapsed: c.Net.Now().Sub(t0),
+	}
+	for wi, w := range sc.Workloads {
+		survivors := make([]peerSnapshot, 0, len(alive))
+		for _, p := range alive {
+			snap := snapshotPeer(p, w.Stream)
+			snap.delivered -= deliveredBase[wi][p.ID()]
+			survivors = append(survivors, snap)
+		}
+		rep.Streams = append(rep.Streams, col.streamReport(wi, survivors))
+	}
+
+	if sc.probed(ProbeTraffic) {
+		sources := make(map[NodeID]bool, len(sc.Workloads))
+		for _, w := range sc.Workloads {
+			sources[peers[w.Source].ID()] = true
+		}
+		tr := &TrafficReport{
+			DownRate: &stats.Sample{},
+			UpRate:   &stats.Sample{},
+			Elapsed:  rep.Elapsed,
+		}
+		elapsed := rep.Elapsed.Seconds()
+		var stab, diss uint64
+		counted := 0
+		for _, p := range alive {
+			if sources[p.ID()] {
+				continue
+			}
+			counted++
+			u := usageDelta(c.Net.Usage(p.ID()), usageBase[p.ID()])
+			stab += u.UpBytes[simnet.PhaseStabilization][0] + u.UpBytes[simnet.PhaseStabilization][1]
+			diss += u.UpBytes[simnet.PhaseDissemination][0] + u.UpBytes[simnet.PhaseDissemination][1]
+			down := u.DownBytes[simnet.PhaseDissemination][0] + u.DownBytes[simnet.PhaseDissemination][1]
+			up := u.UpBytes[simnet.PhaseDissemination][0] + u.UpBytes[simnet.PhaseDissemination][1]
+			if elapsed > 0 {
+				tr.DownRate.Add(float64(down) / 1024 / elapsed)
+				tr.UpRate.Add(float64(up) / 1024 / elapsed)
+			}
+		}
+		if counted > 0 {
+			tr.StabMB = float64(stab) / float64(counted) / (1 << 20)
+			tr.DissMB = float64(diss) / float64(counted) / (1 << 20)
+		}
+		rep.Traffic = tr
+	}
+
+	if sc.Churn != nil && sc.probed(ProbeRepairs) {
+		minutes := churnWindow.Minutes()
+		if minutes <= 0 {
+			minutes = rep.Elapsed.Minutes()
+		}
+		cr := &ChurnReport{Window: churnWindow, HardDelays: col.hardDelays}
+		lost := float64(after.ParentsLost - before.ParentsLost)
+		orphans := float64(after.Orphans - before.Orphans)
+		soft := float64(after.SoftRepairs - before.SoftRepairs)
+		hard := float64(after.HardRepairs - before.HardRepairs)
+		if minutes > 0 {
+			cr.ParentsLostPerMin = lost / minutes
+			cr.OrphansPerMin = orphans / minutes
+		}
+		if soft+hard > 0 {
+			cr.SoftPct = 100 * soft / (soft + hard)
+			cr.HardPct = 100 * hard / (soft + hard)
+		}
+		rep.Churn = cr
+	}
+
+	rep.Wall = time.Since(wallStart)
+	return rep, nil
+}

@@ -1,0 +1,140 @@
+package brisa
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunLive executes a scenario on live loopback TCP nodes — the same
+// Scenario value RunSim takes, yielding a Report of the same shape, so
+// simulator and live runs compare directly. Limitations of the real
+// runtime: the virtual-network topology fields (latency, bandwidth,
+// processing delay) and ProbeTraffic are ignored (real wires are not
+// tapped), PeerConfig is rejected (live identifiers are unknown before the
+// sockets bind), and Churn is rejected (killing live nodes mid-run is a
+// future harness).
+func RunLive(sc Scenario) (*Report, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Churn != nil {
+		return nil, fmt.Errorf("brisa: RunLive %q: churn scripts are not supported on the live runtime", sc.Name)
+	}
+	if sc.Topology.PeerConfig != nil {
+		return nil, fmt.Errorf("brisa: RunLive %q: PeerConfig needs identifiers before the sockets bind; use Topology.Peer", sc.Name)
+	}
+
+	wallStart := time.Now()
+	n := sc.Topology.Nodes
+	nodes := make([]*Node, 0, n)
+	defer func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		node, err := Listen("127.0.0.1:0", sc.Topology.Peer)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, node)
+	}
+
+	// Bootstrap: every node joins through the first node plus its
+	// predecessor — two contacts, exercising the multi-contact retry path.
+	joinInterval := sc.Topology.JoinInterval
+	if joinInterval == 0 {
+		joinInterval = 10 * time.Millisecond
+	}
+	for i := 1; i < n; i++ {
+		contacts := []string{nodes[0].Addr()}
+		if i > 1 {
+			contacts = append(contacts, nodes[i-1].Addr())
+		}
+		if err := nodes[i].Join(contacts...); err != nil {
+			return nil, fmt.Errorf("brisa: RunLive %q: node %d: %w", sc.Name, i, err)
+		}
+		time.Sleep(joinInterval)
+	}
+	settle := sc.Topology.StabilizeTime
+	if settle == 0 {
+		settle = 500 * time.Millisecond
+	}
+	time.Sleep(settle)
+
+	col := newCollector(sc, time.Now)
+	for wi, w := range sc.Workloads {
+		col.setSource(wi, nodes[w.Source].ID())
+	}
+	for _, node := range nodes {
+		col.instrument(node.peer)
+	}
+	defer col.detach()
+
+	// Workload injection: one goroutine per stream, paced in wall time.
+	// Sequence numbers are recorded before each publish so a delivery
+	// racing in on another node's actor finds the timestamp.
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for wi, w := range sc.Workloads {
+		wi, w := wi, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(w.Start)
+			src := nodes[w.Source]
+			for i := 0; i < w.Messages; i++ {
+				col.published(wi, uint32(i+1), time.Now())
+				src.Publish(w.Stream, make([]byte, w.Payload))
+				if i < w.Messages-1 {
+					time.Sleep(w.Interval)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain: poll until every node delivered every stream in full, bounded
+	// by the scenario's drain budget.
+	deadline := time.Now().Add(sc.Drain)
+	for time.Now().Before(deadline) {
+		if liveComplete(nodes, sc) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(t0)
+
+	rep := &Report{
+		Name:    sc.Name,
+		Runtime: "live",
+		Nodes:   n,
+		Alive:   n,
+		Elapsed: elapsed,
+	}
+	for wi, w := range sc.Workloads {
+		survivors := make([]peerSnapshot, 0, n)
+		for _, node := range nodes {
+			var snap peerSnapshot
+			node.Do(func(p *Peer) { snap = snapshotPeer(p, w.Stream) })
+			survivors = append(survivors, snap)
+		}
+		rep.Streams = append(rep.Streams, col.streamReport(wi, survivors))
+	}
+	rep.Wall = time.Since(wallStart)
+	return rep, nil
+}
+
+// liveComplete reports whether every node delivered every workload in full.
+func liveComplete(nodes []*Node, sc Scenario) bool {
+	for _, w := range sc.Workloads {
+		for _, node := range nodes {
+			if node.DeliveredCount(w.Stream) != uint64(w.Messages) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,234 @@
+package brisa_test
+
+// Scenario runner tests: the declarative API must express multi-stream,
+// multi-source experiments as data and execute them identically on both
+// runtimes.
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// twoByTwo is the acceptance scenario: two concurrent streams from two
+// distinct sources.
+func twoByTwo(nodes, msgs int) brisa.Scenario {
+	return brisa.Scenario{
+		Name: "2 streams x 2 sources",
+		Seed: 7,
+		Topology: brisa.Topology{
+			Nodes: nodes,
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Source: 0, Messages: msgs, Payload: 256, Interval: 100 * time.Millisecond},
+			{Stream: 2, Source: 1, Messages: msgs, Payload: 256, Interval: 100 * time.Millisecond},
+		},
+		Probes: []brisa.Probe{brisa.ProbeLatency, brisa.ProbeDuplicates, brisa.ProbeStructure},
+	}
+}
+
+func TestScenarioSimMultiStreamMultiSource(t *testing.T) {
+	t.Parallel()
+	rep, err := brisa.RunSim(twoByTwo(48, 20))
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if rep.Runtime != "sim" {
+		t.Errorf("runtime = %q, want sim", rep.Runtime)
+	}
+	if len(rep.Streams) != 2 {
+		t.Fatalf("want 2 stream reports, got %d", len(rep.Streams))
+	}
+	for _, s := range rep.Streams {
+		if s.Published != 20 {
+			t.Errorf("stream %d: published %d, want 20", s.Stream, s.Published)
+		}
+		if s.Reliability != 1 {
+			t.Errorf("stream %d: reliability %.3f, want 1.0", s.Stream, s.Reliability)
+		}
+		if s.Delays == nil || s.Delays.Len() == 0 {
+			t.Errorf("stream %d: no delay samples", s.Stream)
+		}
+		if s.Depths == nil || s.Depths.Total() == 0 {
+			t.Errorf("stream %d: no depth histogram", s.Stream)
+		}
+	}
+	// Distinct sources: the two streams emerge from different roots.
+	if rep.Streams[0].Source == rep.Streams[1].Source {
+		t.Errorf("both streams report source %v", rep.Streams[0].Source)
+	}
+	// The report renders and serializes.
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	var decoded struct {
+		Streams []struct {
+			Reliability float64 `json:"reliability"`
+		} `json:"streams"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("report JSON round trip: %v", err)
+	}
+	if len(decoded.Streams) != 2 || decoded.Streams[0].Reliability != 1 {
+		t.Errorf("JSON shape off: %s", raw)
+	}
+}
+
+func TestScenarioLiveMultiStreamMultiSource(t *testing.T) {
+	sc := twoByTwo(6, 10)
+	sc.Workloads[0].Interval = 20 * time.Millisecond
+	sc.Workloads[1].Interval = 20 * time.Millisecond
+	sc.Drain = 5 * time.Second
+	rep, err := brisa.RunLive(sc)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if rep.Runtime != "live" {
+		t.Errorf("runtime = %q, want live", rep.Runtime)
+	}
+	if len(rep.Streams) != 2 {
+		t.Fatalf("want 2 stream reports, got %d", len(rep.Streams))
+	}
+	for _, s := range rep.Streams {
+		if s.Reliability != 1 {
+			t.Errorf("stream %d: reliability %.3f, want 1.0 (connected %.3f)",
+				s.Stream, s.Reliability, s.Connected)
+		}
+		if s.Delays == nil || s.Delays.Len() == 0 {
+			t.Errorf("stream %d: no delay samples", s.Stream)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	t.Parallel()
+	top := brisa.Topology{Nodes: 8, Peer: brisa.Config{Mode: brisa.ModeTree}}
+	bad := []brisa.Scenario{
+		{Topology: top}, // no workloads
+		{Topology: top, Workloads: []brisa.Workload{{Stream: 1}, {Stream: 1, Source: 1}}}, // duplicate stream
+		{Topology: top, Workloads: []brisa.Workload{{Stream: 1, Source: 9}}},              // source out of range
+		{Topology: top, Workloads: []brisa.Workload{{Stream: 1, Messages: -1}}},           // negative count
+		{Topology: top, Workloads: []brisa.Workload{{Stream: 1}}, Churn: &brisa.Churn{Script: "nonsense"}},
+		{Topology: brisa.Topology{Nodes: 0}, Workloads: []brisa.Workload{{Stream: 1}}}, // empty topology
+	}
+	for i, sc := range bad {
+		if _, err := brisa.RunSim(sc); err == nil {
+			t.Errorf("case %d: RunSim accepted %+v", i, sc)
+		}
+	}
+	// The live runner rejects what it cannot do.
+	if _, err := brisa.RunLive(brisa.Scenario{
+		Topology:  brisa.Topology{Nodes: 2},
+		Workloads: []brisa.Workload{{Stream: 1, Messages: 1}},
+		Churn:     &brisa.Churn{Script: "from 0s to 60s const churn 3% each 60s"},
+	}); err == nil {
+		t.Error("RunLive accepted a churn scenario")
+	}
+}
+
+func TestScenarioChurnReport(t *testing.T) {
+	t.Parallel()
+	rep, err := brisa.RunSim(brisa.Scenario{
+		Name: "churn smoke",
+		Seed: 3,
+		Topology: brisa.Topology{
+			Nodes: 48,
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Messages: 700, Payload: 256}, // covers the churn window at 5/s
+		},
+		Churn:  &brisa.Churn{Script: "from 0s to 120s const churn 5% each 30s", Start: 10 * time.Second},
+		Probes: []brisa.Probe{brisa.ProbeRepairs},
+		Drain:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if rep.Churn == nil {
+		t.Fatal("no churn report despite ProbeRepairs")
+	}
+	if rep.Churn.Window != 120*time.Second {
+		t.Errorf("window = %v, want 2m", rep.Churn.Window)
+	}
+	if rep.Churn.ParentsLostPerMin <= 0 {
+		t.Errorf("parents lost/min = %v, want > 0 under 5%% churn", rep.Churn.ParentsLostPerMin)
+	}
+	s := rep.Stream(1)
+	if s == nil {
+		t.Fatal("stream 1 missing")
+	}
+	if s.Connected != 1 {
+		t.Errorf("connected = %.3f, want 1.0 (survivors must stay fed)", s.Connected)
+	}
+}
+
+func TestScenarioClusterReuse(t *testing.T) {
+	t.Parallel()
+	// A hand-built cluster with a zero Topology, run twice on the same
+	// stream: reporting is relative to the state at entry, so both runs —
+	// and a traffic probe on the second — stay correct.
+	c := newTestCluster(t, brisa.ClusterConfig{
+		Nodes: 24,
+		Seed:  13,
+		Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+	})
+	sc := brisa.Scenario{
+		Name:      "reuse",
+		Workloads: []brisa.Workload{{Stream: 1, Messages: 10, Payload: 128}},
+		Probes:    []brisa.Probe{brisa.ProbeLatency, brisa.ProbeTraffic},
+	}
+	first, err := c.Run(sc)
+	if err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	second, err := c.Run(sc)
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	for i, rep := range []*brisa.Report{first, second} {
+		s := rep.Stream(1)
+		if s.Published != 10 {
+			t.Errorf("run %d: published %d, want 10", i, s.Published)
+		}
+		if s.Reliability != 1 {
+			t.Errorf("run %d: reliability %.3f, want 1.0", i, s.Reliability)
+		}
+	}
+	// The second run must not fold the first run's bytes into its rates.
+	r1, r2 := first.Traffic.UpRate.Mean(), second.Traffic.UpRate.Mean()
+	if r2 > 3*r1 {
+		t.Errorf("second run's traffic rates inflated by the first: %.2f vs %.2f KB/s", r2, r1)
+	}
+}
+
+func TestScenarioOnExistingCluster(t *testing.T) {
+	t.Parallel()
+	sc := brisa.Scenario{
+		Name:     "hand-built cluster",
+		Seed:     5,
+		Topology: brisa.Topology{Nodes: 24, Peer: brisa.Config{Mode: brisa.ModeDAG, ViewSize: 4}},
+		Workloads: []brisa.Workload{
+			{Stream: 9, Messages: 10, Payload: 64},
+		},
+	}
+	c, err := sc.NewCluster()
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Bootstrap() // Run must not bootstrap twice
+	rep, err := c.Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := rep.Stream(9); got == nil || got.Reliability != 1 {
+		t.Fatalf("stream 9 report: %+v", got)
+	}
+}

@@ -12,10 +12,36 @@ type Message struct {
 	Payload []byte
 }
 
+// OverflowPolicy selects what a bounded subscription does when its queue is
+// full (see SubOptions).
+type OverflowPolicy int
+
+const (
+	// DropOldest discards the oldest queued delivery to admit the new one;
+	// Dropped counts the losses. The default policy: a slow consumer lags
+	// but never stalls the protocol.
+	DropOldest OverflowPolicy = iota
+	// Block makes the delivering side wait until the consumer drains. This
+	// is real back-pressure: on a live node it stalls the node's actor (the
+	// peer stops processing protocol messages), and on the simulator it
+	// pauses virtual time. Use it only when the consumer is guaranteed to
+	// keep reading.
+	Block
+)
+
+// SubOptions bounds a subscription's delivery queue.
+type SubOptions struct {
+	// Limit caps the queued, not-yet-consumed deliveries. 0 means
+	// unbounded (the Subscribe default).
+	Limit int
+	// OnFull picks the policy when Limit is reached.
+	OnFull OverflowPolicy
+}
+
 // Subscription delivers one stream's messages over a channel. It works
 // identically on both runtimes: the protocol side enqueues deliveries
-// without ever blocking (the queue is unbounded), and a pump goroutine
-// feeds them to C in delivery order.
+// (without blocking, unless a Block-policy bound says otherwise) and a pump
+// goroutine feeds them to C in delivery order.
 //
 // Cancel when done; C is closed afterwards. Closing the live Node that owns
 // the peer cancels its subscriptions too.
@@ -23,8 +49,12 @@ type Subscription struct {
 	stream StreamID
 	out    chan Message
 
-	mu    sync.Mutex
-	queue []Message
+	mu      sync.Mutex
+	queue   []Message
+	limit   int
+	policy  OverflowPolicy
+	dropped uint64
+	space   *sync.Cond // non-nil for Block policy: queue below limit
 
 	wake  chan struct{} // 1-buffered doorbell: queue went non-empty
 	done  chan struct{}
@@ -35,13 +65,27 @@ type Subscription struct {
 // Subscribe registers a subscription for every future delivery of the
 // stream, local publishes included. Multiple subscriptions per stream are
 // independent; each receives every message once, in delivery order. Safe to
-// call from any goroutine on either runtime.
+// call from any goroutine on either runtime. The queue is unbounded; use
+// SubscribeOpts to bound it.
 func (p *Peer) Subscribe(stream StreamID) *Subscription {
+	return p.SubscribeOpts(stream, SubOptions{})
+}
+
+// SubscribeOpts is Subscribe with a bounded delivery queue, for consumers
+// that may fall behind heavy traffic: at most Limit deliveries wait
+// unconsumed, and OnFull picks whether overflow drops the oldest (counted
+// by Dropped) or blocks the deliverer.
+func (p *Peer) SubscribeOpts(stream StreamID, opts SubOptions) *Subscription {
 	s := &Subscription{
 		stream: stream,
 		out:    make(chan Message, 16),
+		limit:  opts.Limit,
+		policy: opts.OnFull,
 		wake:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
+	}
+	if s.limit > 0 && s.policy == Block {
+		s.space = sync.NewCond(&s.mu)
 	}
 	cancelCore := p.brisa.SubscribeFn(stream, func(seq uint32, payload []byte) {
 		s.push(Message{Stream: stream, Seq: seq, Payload: payload})
@@ -62,22 +106,47 @@ func (s *Subscription) C() <-chan Message { return s.out }
 func (s *Subscription) Stream() StreamID { return s.stream }
 
 // Cancel stops delivery, unregisters the subscription, and closes C. It is
-// idempotent and safe to call from any goroutine.
+// idempotent and safe to call from any goroutine. A deliverer blocked by a
+// Block-policy bound is released.
 func (s *Subscription) Cancel() {
 	s.once.Do(func() {
 		s.unsub()
 		close(s.done)
+		if s.space != nil {
+			s.mu.Lock()
+			s.space.Broadcast()
+			s.mu.Unlock()
+		}
 	})
 }
 
-// push appends a delivery; called from the protocol side. Never blocks.
+// Dropped returns how many deliveries a DropOldest bound discarded.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// push appends a delivery; called from the protocol side. It never blocks
+// unless the subscription is bounded with the Block policy.
 func (s *Subscription) push(m Message) {
 	s.mu.Lock()
-	select {
-	case <-s.done:
-		s.mu.Unlock()
-		return
-	default:
+	for {
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			return
+		default:
+		}
+		if s.limit <= 0 || len(s.queue) < s.limit {
+			break
+		}
+		if s.policy == DropOldest {
+			s.queue = s.queue[1:]
+			s.dropped++
+			break
+		}
+		s.space.Wait() // Block: woken by the pump or by Cancel
 	}
 	s.queue = append(s.queue, m)
 	s.mu.Unlock()
@@ -99,6 +168,9 @@ func (s *Subscription) pump() {
 			s.queue = s.queue[1:]
 			if len(s.queue) == 0 {
 				s.queue = nil // release the drained backing array
+			}
+			if s.space != nil {
+				s.space.Signal()
 			}
 		}
 		s.mu.Unlock()
