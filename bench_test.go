@@ -9,8 +9,10 @@ package brisa_test
 // miniature.
 
 import (
+	"context"
 	"encoding/json"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -219,6 +221,41 @@ func BenchmarkScenarios(b *testing.B) {
 	}
 	if err := os.WriteFile("BENCH_scenarios.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatalf("write BENCH_scenarios.json: %v", err)
+	}
+}
+
+// BenchmarkRuntimeSmoke runs one small scenario on every registered runtime
+// through the unified Run entrypoint — the seconds-scale regression canary
+// CI runs on every push, so a broken runtime fails the build rather than
+// the next bench sweep.
+func BenchmarkRuntimeSmoke(b *testing.B) {
+	names := make([]string, 0, len(brisa.Runtimes()))
+	for name := range brisa.Runtimes() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt := brisa.Runtimes()[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := brisa.Run(context.Background(), rt, brisa.Scenario{
+					Name:     "smoke-" + name,
+					Seed:     int64(i + 1),
+					Topology: brisa.Topology{Nodes: 8, Peer: brisa.Config{Mode: brisa.ModeTree, ViewSize: 4}},
+					Workloads: []brisa.Workload{
+						{Stream: 1, Messages: 10, Payload: 256, Interval: 10 * time.Millisecond},
+					},
+					Drain: 5 * time.Second,
+				})
+				if err != nil {
+					b.Fatalf("%s: %v", name, err)
+				}
+				if rel := rep.Stream(1).Reliability; rel != 1 {
+					b.Fatalf("%s: reliability %.3f, want 1.0", name, rel)
+				}
+				b.ReportMetric(float64(rep.Wall.Milliseconds()), "wall-ms")
+			}
+		})
 	}
 }
 

@@ -19,8 +19,10 @@
 //
 // Whole experiments are declared as Scenario values — a Topology, one or
 // more Workloads (multi-stream, multi-source), optional Churn, and Probes —
-// and executed on either runtime by RunSim / Cluster.Run / RunLive, which
-// return a Report of per-stream results with CDF and table renderers.
+// and executed on any Runtime by the single entrypoint
+// Run(ctx, rt, sc): SimRuntime replays them in virtual time, LiveRuntime
+// on real sockets with churn, wire-traffic taps, and per-peer configs.
+// Both return a Report of per-stream results with CDF and table renderers.
 //
 // Quickstart (simulated):
 //

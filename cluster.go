@@ -17,9 +17,16 @@ type ClusterConfig struct {
 	// if per-peer state is needed — callbacks receive no peer argument by
 	// design, use PeerConfig instead for that).
 	Peer Config
-	// PeerConfig, when set, derives a per-peer configuration (overrides
-	// Peer).
+	// PeerConfig, when set, derives a per-peer configuration from the
+	// peer's identifier (overrides Peer). Simulator-specific: ids are
+	// known up front here. Scenario code should prefer the id-independent
+	// PeerConfigAt, which Topology.PeerConfig lowers onto.
 	PeerConfig func(id NodeID) Config
+	// PeerConfigAt, when set, derives a per-peer configuration from the
+	// peer's 0-based creation index, churned-in peers continuing the count
+	// (overrides Peer and PeerConfig) — the derivation shared with the
+	// live runtime, where identifiers are unknown before the sockets bind.
+	PeerConfigAt func(i int) Config
 	// Seed drives all simulation randomness (default 1).
 	Seed int64
 	// Latency is the network latency model (default ClusterLatency()).
@@ -81,7 +88,7 @@ func (cfg ClusterConfig) Validate() error {
 	if cfg.LinkBandwidth < 0 {
 		return fmt.Errorf("brisa: ClusterConfig.LinkBandwidth must not be negative, got %d", cfg.LinkBandwidth)
 	}
-	if cfg.PeerConfig == nil {
+	if cfg.PeerConfig == nil && cfg.PeerConfigAt == nil {
 		if err := cfg.Peer.Validate(); err != nil {
 			return err
 		}
@@ -125,7 +132,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-func (c *Cluster) peerConfig(id NodeID) Config {
+// peerConfig resolves the configuration of the peer with creation index i
+// and identifier id.
+func (c *Cluster) peerConfig(i int, id NodeID) Config {
+	if c.cfg.PeerConfigAt != nil {
+		return c.cfg.PeerConfigAt(i)
+	}
 	if c.cfg.PeerConfig != nil {
 		return c.cfg.PeerConfig(id)
 	}
@@ -133,9 +145,10 @@ func (c *Cluster) peerConfig(id NodeID) Config {
 }
 
 func (c *Cluster) addPeer() (*Peer, error) {
+	idx := len(c.order)
 	c.next++
 	id := NodeID(c.next)
-	p, err := NewPeer(id, c.peerConfig(id))
+	p, err := NewPeer(id, c.peerConfig(idx, id))
 	if err != nil {
 		c.next--
 		return nil, err

@@ -85,6 +85,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	tr := node.Traffic()
 	fmt.Printf("delivered=%d neighbors=%v parents=%v children=%v\n",
 		delivered.Load(), node.Neighbors(), node.Parents(sid), node.Children(sid))
+	fmt.Printf("wire: in=%d msgs (%d bytes) out=%d msgs (%d bytes)\n",
+		tr.MsgsIn, tr.BytesIn, tr.MsgsOut, tr.BytesOut)
 }

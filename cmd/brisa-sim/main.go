@@ -11,12 +11,18 @@
 //	brisa-sim -nodes 128 -mode dag -parents 2 -churn "from 0s to 300s const churn 3% each 60s"
 //	brisa-sim -nodes 64 -streams 4 -messages 100            # 4 streams, 4 sources
 //	brisa-sim -nodes 16 -streams 2 -messages 50 -runtime live
+//	brisa-sim -nodes 16 -messages 200 -runtime live -churn "from 0s to 10s const churn 10% each 2s"
+//
+// The -runtime flag resolves against brisa.Runtimes(); every scenario —
+// churn scripts and traffic probes included — runs on either runtime.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	brisa "repro"
@@ -104,21 +110,18 @@ func main() {
 		sc.Churn = &brisa.Churn{Script: *churn, Start: 10 * time.Second}
 	}
 
-	var (
-		rep *brisa.Report
-		err error
-	)
-	switch *runtime {
-	case "sim":
-		fmt.Fprintf(os.Stderr, "running %d nodes, %d stream(s) on the simulator...\n", *nodes, *streams)
-		rep, err = brisa.RunSim(sc)
-	case "live":
-		fmt.Fprintf(os.Stderr, "running %d nodes, %d stream(s) on loopback TCP...\n", *nodes, *streams)
-		rep, err = brisa.RunLive(sc)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown runtime %q\n", *runtime)
+	rt, err := brisa.LookupRuntime(*runtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Ctrl-C aborts the run: the context unwinds workload generators,
+	// churn loops and probe drains on either runtime.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "running %d nodes, %d stream(s) on the %q runtime...\n", *nodes, *streams, rt.Name())
+	rep, err := brisa.Run(ctx, rt, sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

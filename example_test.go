@@ -1,6 +1,7 @@
 package brisa_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -8,10 +9,37 @@ import (
 	brisa "repro"
 )
 
+// Run is the single entrypoint for every runtime: the same Scenario value
+// executes on the deterministic simulator (SimRuntime) or on live loopback
+// TCP nodes (LiveRuntime), and the context aborts long runs — workload
+// generators, churn loops, and probe drains all observe cancellation.
+func ExampleRun() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	rep, err := brisa.Run(ctx, brisa.LiveRuntime{}, brisa.Scenario{
+		Name: "live smoke",
+		Topology: brisa.Topology{
+			Nodes: 4,
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 3},
+		},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Messages: 5, Payload: 64, Interval: 20 * time.Millisecond},
+		},
+		Drain: 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: delivered everywhere: %v\n", rep.Runtime, rep.Stream(1).Reliability == 1)
+	// Output:
+	// live: delivered everywhere: true
+}
+
 // A Scenario states a whole experiment as data: two concurrent streams
 // from two distinct sources on a 32-node tree overlay, executed on the
 // deterministic simulator. The same value runs unchanged on live loopback
-// TCP nodes via RunLive.
+// TCP nodes via Run(ctx, LiveRuntime{}, sc).
 func ExampleScenario() {
 	rep, err := brisa.RunSim(brisa.Scenario{
 		Name: "two streams, two sources",

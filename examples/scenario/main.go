@@ -1,19 +1,27 @@
 // Example scenario: the same declarative multi-stream experiment executed
-// on both runtimes — the deterministic simulator and live loopback TCP
-// nodes — producing directly comparable reports.
+// on both runtimes through the single Run entrypoint — the deterministic
+// simulator and live loopback TCP nodes — producing directly comparable
+// reports, wire traffic included.
 //
 //	go run ./examples/scenario
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	brisa "repro"
 )
 
 func main() {
+	// Ctrl-C aborts either runtime cleanly mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Two concurrent streams from two distinct sources on a 32-node tree
 	// overlay: the experiment is a value, not a harness.
 	sc := brisa.Scenario{
@@ -27,11 +35,11 @@ func main() {
 			{Stream: 1, Source: 0, Messages: 50, Payload: 512, Interval: 50 * time.Millisecond},
 			{Stream: 2, Source: 1, Messages: 50, Payload: 512, Interval: 50 * time.Millisecond},
 		},
-		Probes: []brisa.Probe{brisa.ProbeLatency, brisa.ProbeDuplicates},
+		Probes: []brisa.Probe{brisa.ProbeLatency, brisa.ProbeDuplicates, brisa.ProbeTraffic},
 		Drain:  5 * time.Second,
 	}
 
-	sim, err := brisa.RunSim(sc)
+	sim, err := brisa.Run(ctx, brisa.SimRuntime{}, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +50,7 @@ func main() {
 	sc.Topology.Nodes = 8
 	sc.Workloads[0].Messages = 20
 	sc.Workloads[1].Messages = 20
-	live, err := brisa.RunLive(sc)
+	live, err := brisa.Run(ctx, brisa.LiveRuntime{}, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,4 +58,6 @@ func main() {
 
 	fmt.Printf("median delay sim=%.2fms live=%.2fms\n",
 		sim.Stream(1).Delays.Median()*1000, live.Stream(1).Delays.Median()*1000)
+	fmt.Printf("per-node dissemination traffic sim=%.3fMB live=%.3fMB (real wire bytes)\n",
+		sim.Traffic.DissMB, live.Traffic.DissMB)
 }

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -35,6 +36,36 @@ const maxFrame = 1 << 20
 
 // ErrStopped is reported on sends after the node shut down.
 var ErrStopped = errors.New("livenet: node stopped")
+
+// Traffic counts framed protocol messages and wire bytes (frame header
+// included, the 6-byte connection hello excluded) over one node or one
+// connection — the live runtime's traffic tap, the wire-level analog of the
+// simulator's byte counters.
+type Traffic struct {
+	MsgsIn, MsgsOut   uint64
+	BytesIn, BytesOut uint64
+}
+
+// Add returns the element-wise sum.
+func (t Traffic) Add(o Traffic) Traffic {
+	return Traffic{
+		MsgsIn:   t.MsgsIn + o.MsgsIn,
+		MsgsOut:  t.MsgsOut + o.MsgsOut,
+		BytesIn:  t.BytesIn + o.BytesIn,
+		BytesOut: t.BytesOut + o.BytesOut,
+	}
+}
+
+// Sub returns the element-wise difference — deltas against a baseline
+// snapshot taken earlier on the same node.
+func (t Traffic) Sub(o Traffic) Traffic {
+	return Traffic{
+		MsgsIn:   t.MsgsIn - o.MsgsIn,
+		MsgsOut:  t.MsgsOut - o.MsgsOut,
+		BytesIn:  t.BytesIn - o.BytesIn,
+		BytesOut: t.BytesOut - o.BytesOut,
+	}
+}
 
 // Config configures a live node.
 type Config struct {
@@ -64,6 +95,9 @@ type Node struct {
 	conns map[ids.NodeID]*liveConn
 	// dialing tracks in-flight outbound dials so Connect is idempotent.
 	dialing map[ids.NodeID]bool
+	// retired accumulates the counters of closed connections so Traffic
+	// stays monotonic across connection churn.
+	retired Traffic
 	running bool
 	stopped bool
 
@@ -76,6 +110,20 @@ type liveConn struct {
 	c    net.Conn
 	wmu  sync.Mutex
 	w    *bufio.Writer
+
+	// Per-connection tap: bumped on the reader goroutine and under wmu on
+	// the writer side, read from any goroutine.
+	msgsIn, msgsOut, bytesIn, bytesOut atomic.Uint64
+}
+
+// traffic snapshots this connection's counters.
+func (lc *liveConn) traffic() Traffic {
+	return Traffic{
+		MsgsIn:   lc.msgsIn.Load(),
+		MsgsOut:  lc.msgsOut.Load(),
+		BytesIn:  lc.bytesIn.Load(),
+		BytesOut: lc.bytesOut.Load(),
+	}
 }
 
 // Listen binds the TCP listener and derives the node's identifier from the
@@ -335,6 +383,7 @@ func (n *Node) Close(to ids.NodeID) {
 	c, ok := n.conns[to]
 	if ok {
 		delete(n.conns, to)
+		n.retired = n.retired.Add(c.traffic())
 	}
 	n.mu.Unlock()
 	if ok {
@@ -362,10 +411,38 @@ func (n *Node) Send(to ids.NodeID, m wire.Message) {
 	if err == nil {
 		err = c.w.Flush()
 	}
+	if err == nil {
+		c.msgsOut.Add(1)
+		c.bytesOut.Add(uint64(len(hdr) + len(frame)))
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		n.dropConn(to, c, err)
 	}
+}
+
+// Traffic returns the node's cumulative wire counters: the sum over all
+// connections ever held, closed ones included.
+func (n *Node) Traffic() Traffic {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t := n.retired
+	for _, c := range n.conns {
+		t = t.Add(c.traffic())
+	}
+	return t
+}
+
+// ConnTraffic returns the per-connection counters of the currently open
+// connections, keyed by remote node.
+func (n *Node) ConnTraffic() map[ids.NodeID]Traffic {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[ids.NodeID]Traffic, len(n.conns))
+	for peer, c := range n.conns {
+		out[peer] = c.traffic()
+	}
+	return out
 }
 
 // ---------------------------------------------------------------- plumbing
@@ -433,6 +510,8 @@ func (n *Node) readLoop(lc *liveConn) {
 			n.dropConn(lc.peer, lc, err)
 			return
 		}
+		lc.msgsIn.Add(1)
+		lc.bytesIn.Add(uint64(len(hdr)) + uint64(size))
 		msg, err := wire.Unmarshal(frame)
 		if err != nil {
 			n.dropConn(lc.peer, lc, err)
@@ -449,6 +528,7 @@ func (n *Node) dropConn(peer ids.NodeID, lc *liveConn, err error) {
 	cur, ok := n.conns[peer]
 	if ok && cur == lc {
 		delete(n.conns, peer)
+		n.retired = n.retired.Add(lc.traffic())
 	} else {
 		ok = false
 	}

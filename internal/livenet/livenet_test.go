@@ -98,6 +98,68 @@ func TestLoopbackDissemination(t *testing.T) {
 	}
 }
 
+func TestTrafficTapCountsWireBytes(t *testing.T) {
+	const msgs = 10
+	nodes, peers := startPeers(t, 2, func(i int) brisa.Config {
+		return brisa.Config{Mode: brisa.ModeTree, ViewSize: 2}
+	})
+	nodes[1].Call(func() { peers[1].Join(nodes[0].ID()) })
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var joined bool
+		nodes[1].Call(func() { joined = len(peers[1].Neighbors()) > 0 })
+		if joined {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for k := 0; k < msgs; k++ {
+		nodes[0].Call(func() { peers[0].Publish(1, make([]byte, 128)) })
+		time.Sleep(10 * time.Millisecond)
+	}
+	var got uint64
+	for time.Now().Before(deadline) {
+		nodes[1].Call(func() { got = peers[1].DeliveredCount(1) })
+		if got == msgs {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got != msgs {
+		t.Fatalf("node 1 delivered %d of %d", got, msgs)
+	}
+
+	t0, t1 := nodes[0].Traffic(), nodes[1].Traffic()
+	// The source pushed at least the payload bytes plus one 4-byte header
+	// per message down the wire.
+	if min := uint64(msgs * (128 + 4)); t0.BytesOut < min {
+		t.Errorf("source BytesOut = %d, want >= %d", t0.BytesOut, min)
+	}
+	if t0.MsgsOut < msgs {
+		t.Errorf("source MsgsOut = %d, want >= %d", t0.MsgsOut, msgs)
+	}
+	// Two-node network: everything one side sent, the other received — up
+	// to frames written but not yet read at snapshot time (keep-alives are
+	// well under the slack).
+	if t1.BytesIn+1024 < t0.BytesOut {
+		t.Errorf("sink BytesIn = %d way below source BytesOut = %d", t1.BytesIn, t0.BytesOut)
+	}
+	if len(nodes[0].ConnTraffic()) == 0 {
+		t.Error("source reports no per-connection counters")
+	}
+
+	// Counters survive connection teardown: stop the sink, the source folds
+	// the dropped connection into its retired totals.
+	before := t0
+	nodes[1].Stop()
+	time.Sleep(200 * time.Millisecond)
+	after := nodes[0].Traffic()
+	if after.BytesOut < before.BytesOut {
+		t.Errorf("Traffic went backwards across a connection drop: %d -> %d",
+			before.BytesOut, after.BytesOut)
+	}
+}
+
 func TestNodeStopIsClean(t *testing.T) {
 	nodes, peers := startPeers(t, 3, func(i int) brisa.Config {
 		return brisa.Config{Mode: brisa.ModeTree, ViewSize: 2}

@@ -166,6 +166,20 @@ func (n *Node) Metrics() Metrics {
 	return out
 }
 
+// WireTraffic counts framed protocol messages and wire bytes over a live
+// node or one of its connections — the traffic tap behind ProbeTraffic on
+// the live runtime.
+type WireTraffic = livenet.Traffic
+
+// Traffic returns the node's cumulative wire counters, summed over every
+// connection it ever held. Safe from any goroutine; unlike the Peer
+// accessors it does not touch actor state, so it also works after Close.
+func (n *Node) Traffic() WireTraffic { return n.ln.Traffic() }
+
+// ConnTraffic returns the per-connection wire counters of the node's
+// currently open connections, keyed by remote node.
+func (n *Node) ConnTraffic() map[NodeID]WireTraffic { return n.ln.ConnTraffic() }
+
 // Close shuts the node down: every subscription is cancelled, the protocol
 // stack stops on the actor, and all connections and the listener close.
 // Subscriptions go first — a Block-policy subscription whose consumer

@@ -147,9 +147,15 @@ type Report struct {
 	Elapsed time.Duration
 	// Wall is the real time the run took on either runtime.
 	Wall time.Duration
+	// GoVersion is the toolchain that produced the report (stamped by Run)
+	// — with Runtime, Nodes and Wall it makes persisted reports
+	// self-describing across runtimes and machines.
+	GoVersion string
 	// Streams holds one report per workload, in workload order.
 	Streams []*StreamReport
-	// Traffic is set when the scenario probed traffic (simulator only).
+	// Traffic is set when the scenario probed traffic: simulated byte
+	// counters on SimRuntime, real wire bytes from the livenet tap on
+	// LiveRuntime.
 	Traffic *TrafficReport
 	// Churn is set when the scenario had churn and probed repairs.
 	Churn *ChurnReport
@@ -289,22 +295,24 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		HardDelays        *jsonDist `json:"hard_delays_s,omitempty"`
 	}
 	out := struct {
-		Name     string       `json:"name"`
-		Runtime  string       `json:"runtime"`
-		Nodes    int          `json:"nodes"`
-		Alive    int          `json:"alive"`
-		ElapsedS float64      `json:"elapsed_s"`
-		WallMS   float64      `json:"wall_ms"`
-		Streams  []jsonStream `json:"streams"`
-		Traffic  *jsonTraffic `json:"traffic,omitempty"`
-		Churn    *jsonChurn   `json:"churn,omitempty"`
+		Name      string       `json:"name"`
+		Runtime   string       `json:"runtime"`
+		GoVersion string       `json:"go_version,omitempty"`
+		Nodes     int          `json:"nodes"`
+		Alive     int          `json:"alive"`
+		ElapsedS  float64      `json:"elapsed_s"`
+		WallMS    float64      `json:"wall_ms"`
+		Streams   []jsonStream `json:"streams"`
+		Traffic   *jsonTraffic `json:"traffic,omitempty"`
+		Churn     *jsonChurn   `json:"churn,omitempty"`
 	}{
-		Name:     r.Name,
-		Runtime:  r.Runtime,
-		Nodes:    r.Nodes,
-		Alive:    r.Alive,
-		ElapsedS: r.Elapsed.Seconds(),
-		WallMS:   float64(r.Wall.Microseconds()) / 1000,
+		Name:      r.Name,
+		Runtime:   r.Runtime,
+		GoVersion: r.GoVersion,
+		Nodes:     r.Nodes,
+		Alive:     r.Alive,
+		ElapsedS:  r.Elapsed.Seconds(),
+		WallMS:    float64(r.Wall.Microseconds()) / 1000,
 	}
 	for _, s := range r.Streams {
 		out.Streams = append(out.Streams, jsonStream{

@@ -1,6 +1,7 @@
 package brisa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -357,21 +358,64 @@ func snapshotPeer(p *Peer, stream StreamID) peerSnapshot {
 	return snap
 }
 
-// Run executes a scenario on this cluster: bootstrap (unless already done),
-// workload injection, optional churn, and probe collection into a Report.
-// The scenario's Topology is only consulted when the cluster is built from
-// it (RunSim); running against a hand-built cluster uses the cluster as-is
-// (a zero Topology is filled in from it), so workload source indices must
-// fit its size. Delivery and traffic accounting is relative to the state at
-// entry, so a cluster — and even a stream — can be reused across Runs.
-func (c *Cluster) Run(sc Scenario) (*Report, error) {
+// Run executes the scenario on the simulator: against rt.Cluster when set,
+// else on a fresh cluster built from the scenario's topology and seed.
+// Prefer the package-level Run, which applies defaults and stamps run
+// metadata; this method re-normalizes defensively (withDefaults is
+// idempotent) for direct interface calls, and runScenario is the single
+// validation point.
+func (rt SimRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	sc = sc.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c := rt.Cluster
+	if c == nil {
+		var err error
+		if c, err = NewCluster(sc.Topology.clusterConfig(sc.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return c.runScenario(ctx, sc)
+}
+
+// Run executes a scenario on this cluster.
+//
+// Deprecated: use Run(ctx, SimRuntime{Cluster: c}, sc) — the unified
+// entrypoint, which adds context cancellation and run metadata. This
+// wrapper yields the same Report.
+func (c *Cluster) Run(sc Scenario) (*Report, error) {
+	return Run(context.Background(), SimRuntime{Cluster: c}, sc)
+}
+
+// simChunk is the virtual-time slice runScenario advances per context
+// check: cancellation is observed at this granularity.
+const simChunk = time.Second
+
+// runScenario executes a scenario on this cluster: bootstrap (unless
+// already done), workload injection, optional churn, and probe collection
+// into a Report. The scenario's Topology is only consulted when the cluster
+// is built from it; running against a hand-built cluster uses the cluster
+// as-is (a zero Topology is filled in from it), so workload source indices
+// must fit its size. Delivery and traffic accounting is relative to the
+// state at entry, so a cluster — and even a stream — can be reused across
+// runs.
+func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error) {
 	if sc.Topology.Nodes == 0 {
 		// Hand-built cluster, Topology left empty: adopt the cluster's
 		// dimensions so validation reflects what actually runs.
 		sc.Topology.Nodes = len(c.order)
 		sc.Topology.Peer = c.cfg.Peer
-		sc.Topology.PeerConfig = c.cfg.PeerConfig
+		if c.cfg.PeerConfigAt != nil || c.cfg.PeerConfig != nil {
+			// Mirror the cluster's per-peer derivation by creation index so
+			// validation skips the (possibly unused) shared Peer config.
+			sc.Topology.PeerConfig = func(i int) Config {
+				if i < len(c.order) {
+					return c.peerConfig(i, c.order[i])
+				}
+				return c.cfg.Peer
+			}
+		}
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -406,6 +450,9 @@ func (c *Cluster) Run(sc Scenario) (*Report, error) {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("brisa: Scenario %q aborted: %w", sc.Name, err)
+	}
 	if !c.bootstrapped {
 		c.Bootstrap()
 	}
@@ -465,7 +512,21 @@ func (c *Cluster) Run(sc Scenario) (*Report, error) {
 		})
 	}
 
-	c.Net.RunFor(sc.end() + sc.Drain)
+	// Advance virtual time in slices so a cancelled context aborts the run
+	// (and with it every scheduled workload publish and churn directive)
+	// within one chunk.
+	total := sc.end() + sc.Drain
+	for ran := time.Duration(0); ran < total; {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("brisa: Scenario %q aborted: %w", sc.Name, err)
+		}
+		step := simChunk
+		if rem := total - ran; rem < step {
+			step = rem
+		}
+		c.Net.RunFor(step)
+		ran += step
+	}
 
 	// Collection.
 	alive := c.AlivePeers()

@@ -1,0 +1,103 @@
+package brisa
+
+import (
+	"context"
+	"fmt"
+	goruntime "runtime"
+	"sort"
+	"strings"
+)
+
+// Runtime executes Scenarios. The two built-in implementations are
+// SimRuntime (the deterministic discrete-event simulator) and LiveRuntime
+// (loopback TCP nodes); both run any valid Scenario — churn scripts,
+// traffic probes, and per-peer configurations included — into a Report of
+// identical shape, so results compare directly across runtimes.
+//
+// Call the package-level Run rather than the interface method: Run applies
+// the scenario's documented defaults, threads the context, and stamps the
+// Report's run metadata.
+type Runtime interface {
+	// Name labels Reports ("sim", "live") and keys the registry.
+	Name() string
+	// Run executes the scenario. Implementations validate the scenario
+	// (after any runtime-specific normalization, e.g. adopting an existing
+	// cluster's dimensions) and honor context cancellation in workload
+	// generators, churn loops, and probe drains.
+	Run(ctx context.Context, sc Scenario) (*Report, error)
+}
+
+// Run is the single entrypoint for executing a Scenario on any Runtime:
+//
+//	rep, err := brisa.Run(ctx, brisa.LiveRuntime{}, sc)
+//
+// It applies the scenario's defaults, executes it on rt, and stamps the
+// Report with run metadata (runtime name, Go version). Cancelling ctx
+// aborts the run — workload generators, churn loops, and probe drains all
+// observe it — and Run returns the context's error.
+func Run(ctx context.Context, rt Runtime, sc Scenario) (*Report, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("brisa: Run needs a Runtime (try SimRuntime{} or LiveRuntime{})")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep, err := rt.Run(ctx, sc.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	rep.Runtime = rt.Name()
+	rep.GoVersion = goruntime.Version()
+	return rep, nil
+}
+
+// SimRuntime runs scenarios on the deterministic discrete-event simulator:
+// virtual time, seed-reproducible, thousands of nodes in one process.
+type SimRuntime struct {
+	// Cluster, when non-nil, runs scenarios against this existing cluster
+	// (bootstrapping it first if needed) instead of building a fresh one
+	// per run — the hook for callers that inspect or perturb the cluster
+	// between runs. A scenario with a zero Topology adopts the cluster's
+	// dimensions.
+	Cluster *Cluster
+}
+
+// Name implements Runtime.
+func (SimRuntime) Name() string { return "sim" }
+
+// LiveRuntime runs scenarios on real TCP nodes bound to loopback: one actor
+// goroutine per node, wall-clock time, real wire bytes. Churn scripts kill
+// (close) and restart (re-listen + join) nodes; ProbeTraffic reads the
+// livenet per-connection tap.
+type LiveRuntime struct {
+	// Addr is the address nodes bind, normally with port 0 so every node
+	// gets its own (default "127.0.0.1:0"). Future transports (TLS,
+	// non-loopback interfaces) hang off this struct.
+	Addr string
+}
+
+// Name implements Runtime.
+func (LiveRuntime) Name() string { return "live" }
+
+// Runtimes returns the built-in runtimes keyed by Name — the registry
+// commands resolve "-runtime" flags against.
+func Runtimes() map[string]Runtime {
+	return map[string]Runtime{
+		SimRuntime{}.Name():  SimRuntime{},
+		LiveRuntime{}.Name(): LiveRuntime{},
+	}
+}
+
+// LookupRuntime resolves a runtime by name, or reports the known names.
+func LookupRuntime(name string) (Runtime, error) {
+	reg := Runtimes()
+	if rt, ok := reg[name]; ok {
+		return rt, nil
+	}
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("brisa: unknown runtime %q (have %s)", name, strings.Join(names, ", "))
+}

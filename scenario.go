@@ -1,6 +1,7 @@
 package brisa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -21,10 +22,13 @@ type Topology struct {
 	Nodes int
 	// Peer configures every peer.
 	Peer Config
-	// PeerConfig, when set, derives a per-peer configuration (overrides
-	// Peer). Simulator only: live node identifiers are not known before
-	// the sockets bind.
-	PeerConfig func(id NodeID) Config
+	// PeerConfig, when set, derives each peer's configuration from its
+	// join index — 0-based creation order: cluster creation order on the
+	// simulator, bind order on the live runtime, with churned-in nodes
+	// continuing the count. Keying by index rather than NodeID keeps the
+	// derivation identifier-independent, so the same heterogeneous
+	// deployment comes up on both runtimes (overrides Peer).
+	PeerConfig func(i int) Config
 	// Latency is the simulated latency model (default ClusterLatency()).
 	Latency LatencyModel
 	// NodeBandwidth is each simulated node's shared egress throughput in
@@ -36,14 +40,25 @@ type Topology struct {
 	// ProcessingDelay adds per-message scheduling delay at simulated
 	// receivers (see LogNormalDelay).
 	ProcessingDelay func(r *rand.Rand) time.Duration
-	// JoinInterval staggers the bootstrap joins (default 50ms).
+	// JoinInterval staggers the simulator's bootstrap joins (default
+	// 50ms). The live runtime joins as fast as the overlay accepts each
+	// node instead.
 	JoinInterval time.Duration
 	// StabilizeTime is how long the bootstrap runs after the last join
-	// (default 15s of virtual time; the live runner instead polls until
-	// the overlay connects, bounded by this value).
+	// (default 15s of virtual time; the live runtime instead polls until
+	// the overlay connects, bounded by this value, default 10s).
 	StabilizeTime time.Duration
 	// DetectDelay overrides the simulated failure-detection latency.
 	DetectDelay time.Duration
+}
+
+// configFor derives the configuration of the peer with join index i — the
+// id-independent derivation both runtimes share.
+func (t Topology) configFor(i int) Config {
+	if t.PeerConfig != nil {
+		return t.PeerConfig(i)
+	}
+	return t.Peer
 }
 
 // clusterConfig lowers the topology onto the simulator's configuration.
@@ -51,7 +66,7 @@ func (t Topology) clusterConfig(seed int64) ClusterConfig {
 	return ClusterConfig{
 		Nodes:           t.Nodes,
 		Peer:            t.Peer,
-		PeerConfig:      t.PeerConfig,
+		PeerConfigAt:    t.PeerConfig,
 		Seed:            seed,
 		Latency:         t.Latency,
 		JoinInterval:    t.JoinInterval,
@@ -102,8 +117,10 @@ func (w Workload) duration() time.Duration {
 //
 //	from 0s to 300s const churn 3% each 60s
 //
-// Workload sources are protected from failure, as in the paper. Simulator
-// only: the live runner rejects scenarios with churn.
+// Workload sources are protected from failure, as in the paper. Both
+// runtimes replay the same script grammar: the simulator crashes and joins
+// virtual nodes in virtual time; the live runtime closes real nodes and
+// listens fresh ones in wall time.
 type Churn struct {
 	// Script is the trace, with offsets relative to Start.
 	Script string
@@ -149,9 +166,9 @@ const (
 	// ProbeConstruction collects per-node structure construction times
 	// (the paper's Figure 13 metric): Construction on each StreamReport.
 	ProbeConstruction Probe = "construction"
-	// ProbeTraffic reads the simulated network's per-node byte counters:
-	// the Report's Traffic field. Ignored by the live runner, which has no
-	// tap on real sockets yet.
+	// ProbeTraffic reads the per-node byte counters — the simulated
+	// network's accounting on SimRuntime, the livenet per-connection wire
+	// tap on LiveRuntime — into the Report's Traffic field.
 	ProbeTraffic Probe = "traffic"
 	// ProbeRepairs measures repair behaviour over the churn window
 	// (parents lost, orphans, soft/hard split, hard-repair recovery
@@ -161,8 +178,9 @@ const (
 
 // Scenario is a complete experiment as a value: a topology, one or more
 // workloads, optional churn, and the probes to collect. The same scenario
-// runs on the simulator (RunSim, Cluster.Run) and on live loopback TCP
-// nodes (RunLive), yielding a Report of identical shape.
+// runs on any Runtime — Run(ctx, SimRuntime{}, sc) on the simulator,
+// Run(ctx, LiveRuntime{}, sc) on live loopback TCP nodes — yielding a
+// Report of identical shape.
 type Scenario struct {
 	// Name labels the report.
 	Name string
@@ -274,7 +292,8 @@ func (sc Scenario) end() time.Duration {
 
 // NewCluster builds a simulated cluster from the scenario's topology and
 // seed, not yet bootstrapped — the hook for callers that want to inspect or
-// perturb the cluster before Cluster.Run.
+// perturb the cluster before running the scenario against it with
+// Run(ctx, SimRuntime{Cluster: c}, sc).
 func (sc Scenario) NewCluster() (*Cluster, error) {
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
@@ -284,10 +303,10 @@ func (sc Scenario) NewCluster() (*Cluster, error) {
 }
 
 // RunSim executes the scenario on a fresh simulated cluster.
+//
+// Deprecated: use Run(ctx, SimRuntime{}, sc) — the unified entrypoint,
+// which adds context cancellation and run metadata. This wrapper yields the
+// same Report.
 func RunSim(sc Scenario) (*Report, error) {
-	c, err := sc.NewCluster()
-	if err != nil {
-		return nil, err
-	}
-	return c.Run(sc)
+	return Run(context.Background(), SimRuntime{}, sc)
 }

@@ -123,13 +123,51 @@ func TestScenarioValidation(t *testing.T) {
 			t.Errorf("case %d: RunSim accepted %+v", i, sc)
 		}
 	}
-	// The live runner rejects what it cannot do.
-	if _, err := brisa.RunLive(brisa.Scenario{
-		Topology:  brisa.Topology{Nodes: 2},
+}
+
+// TestScenarioValidateErrors pins Validate's error paths one by one: bad
+// topology sizes, zero-rate workload timings, conflicting churn bounds.
+// Each case must fail without running anything.
+func TestScenarioValidateErrors(t *testing.T) {
+	t.Parallel()
+	ok := brisa.Scenario{
+		Topology:  brisa.Topology{Nodes: 8, Peer: brisa.Config{Mode: brisa.ModeTree}},
 		Workloads: []brisa.Workload{{Stream: 1, Messages: 1}},
-		Churn:     &brisa.Churn{Script: "from 0s to 60s const churn 3% each 60s"},
-	}); err == nil {
-		t.Error("RunLive accepted a churn scenario")
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("baseline scenario invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*brisa.Scenario)
+	}{
+		{"negative nodes", func(sc *brisa.Scenario) { sc.Topology.Nodes = -4 }},
+		{"negative node bandwidth", func(sc *brisa.Scenario) { sc.Topology.NodeBandwidth = -1 }},
+		{"negative link bandwidth", func(sc *brisa.Scenario) { sc.Topology.LinkBandwidth = -1 }},
+		{"negative join interval", func(sc *brisa.Scenario) { sc.Topology.JoinInterval = -time.Second }},
+		{"negative stabilize time", func(sc *brisa.Scenario) { sc.Topology.StabilizeTime = -time.Second }},
+		{"invalid peer config", func(sc *brisa.Scenario) { sc.Topology.Peer = brisa.Config{Parents: -1} }},
+		{"negative payload", func(sc *brisa.Scenario) { sc.Workloads[0].Payload = -1 }},
+		{"negative interval (zero-rate)", func(sc *brisa.Scenario) { sc.Workloads[0].Interval = -time.Second }},
+		{"negative start", func(sc *brisa.Scenario) { sc.Workloads[0].Start = -time.Second }},
+		{"negative drain", func(sc *brisa.Scenario) { sc.Drain = -time.Second }},
+		{"churn window ends before it starts", func(sc *brisa.Scenario) {
+			sc.Churn = &brisa.Churn{Script: "from 10s to 5s const churn 3% each 1s"}
+		}},
+		{"churn bad percentage", func(sc *brisa.Scenario) {
+			sc.Churn = &brisa.Churn{Script: "from 0s to 5s const churn oops% each 1s"}
+		}},
+		{"churn zero interval", func(sc *brisa.Scenario) {
+			sc.Churn = &brisa.Churn{Script: "from 0s to 5s const churn 3% each 0s"}
+		}},
+	}
+	for _, tc := range cases {
+		sc := ok
+		sc.Workloads = append([]brisa.Workload(nil), ok.Workloads...)
+		tc.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the scenario", tc.name)
+		}
 	}
 }
 
