@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-scale fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates the scenario-suite records (BENCH_scenarios.json).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkScenarios -benchtime 1x .
+
+# bench-scale regenerates the engine-scale records (BENCH_scale.json):
+# single-stream tree dissemination at 1k, 2.5k and 10k nodes, reporting
+# wall-clock, allocations and simulator events/s.
+bench-scale:
+	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -timeout 30m .

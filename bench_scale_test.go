@@ -1,0 +1,156 @@
+package brisa_test
+
+// BenchmarkScale measures the simulation engine itself — not the protocol —
+// at sizes well past the paper's 512-node ceiling: a single-stream tree
+// dissemination at 1k, 2.5k and 10k nodes. Each sub-benchmark reports
+// wall-clock, allocations and simulator events/second, and the suite writes
+// the machine-readable records to BENCH_scale.json so the engine's
+// performance trajectory accumulates across revisions (`make bench-scale`
+// regenerates it; CI runs the 1k smoke and uploads the artifact).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// scaleSizes are the network sizes the suite sweeps. CI smokes only the
+// first; `make bench-scale` runs all of them.
+var scaleSizes = []int{1000, 2500, 10000}
+
+// scaleScenario is the canonical engine-scale workload: one tree stream over
+// n nodes with a compressed join schedule (the default 50ms stagger would
+// spend most of the virtual time joining, which measures the bootstrap
+// schedule rather than the engine).
+func scaleScenario(nodes int) brisa.Scenario {
+	messages := 20
+	if nodes >= 10000 {
+		messages = 10
+	}
+	return brisa.Scenario{
+		Name: fmt.Sprintf("scale-tree-1x%d", nodes),
+		Seed: 1,
+		Topology: brisa.Topology{
+			Nodes:         nodes,
+			Peer:          brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+			JoinInterval:  5 * time.Millisecond,
+			StabilizeTime: 10 * time.Second,
+		},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Messages: messages, Payload: 256},
+		},
+		Drain: 5 * time.Second,
+	}
+}
+
+// scaleRecord is one BENCH_scale.json entry.
+type scaleRecord struct {
+	Nodes        int     `json:"nodes"`
+	Messages     int     `json:"messages"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocMB      float64 `json:"alloc_mb"`
+	Reliability  float64 `json:"reliability"`
+	GoVersion    string  `json:"go_version"`
+}
+
+// runScale executes one scale scenario and measures the engine: wall time,
+// allocation count/volume (runtime.MemStats deltas around the run) and
+// simulator events executed.
+func runScale(tb testing.TB, nodes int) scaleRecord {
+	sc := scaleScenario(nodes)
+	c, err := sc.NewCluster()
+	if err != nil {
+		tb.Fatalf("%s: %v", sc.Name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := brisa.Run(context.Background(), brisa.SimRuntime{Cluster: c}, sc)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		tb.Fatalf("%s: %v", sc.Name, err)
+	}
+	sr := rep.Stream(1)
+	if sr == nil || sr.Reliability < 0.99 {
+		rel := -1.0
+		if sr != nil {
+			rel = sr.Reliability
+		}
+		tb.Fatalf("%s: reliability %.4f, want >= 0.99", sc.Name, rel)
+	}
+	events := c.Net.EventsFired()
+	rec := scaleRecord{
+		Nodes:       nodes,
+		Messages:    sc.Workloads[0].Messages,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		Events:      events,
+		Allocs:      after.Mallocs - before.Mallocs,
+		AllocMB:     float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+		Reliability: sr.Reliability,
+		GoVersion:   runtime.Version(),
+	}
+	if wall > 0 {
+		rec.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return rec
+}
+
+// BenchmarkScale sweeps the engine-scale scenarios. Run a single size with
+// e.g. `-bench 'BenchmarkScale/1000$'`. After the sweep the collected
+// records are written to BENCH_scale.json.
+func BenchmarkScale(b *testing.B) {
+	var records []scaleRecord
+	for _, nodes := range scaleSizes {
+		nodes := nodes
+		b.Run(fmt.Sprintf("%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			var last scaleRecord
+			for i := 0; i < b.N; i++ {
+				last = runScale(b, nodes)
+			}
+			b.ReportMetric(last.WallMS, "wall-ms")
+			b.ReportMetric(last.EventsPerSec, "events/s")
+			b.ReportMetric(float64(last.Allocs), "run-allocs")
+			records = append(records, last)
+		})
+	}
+	if len(records) == 0 {
+		return
+	}
+	// Merge with the existing file rather than overwrite: a filtered run
+	// (e.g. CI's 1k smoke) must not clobber the other sizes' records.
+	if prev, err := os.ReadFile("BENCH_scale.json"); err == nil {
+		var old []scaleRecord
+		if json.Unmarshal(prev, &old) == nil {
+			fresh := make(map[int]bool, len(records))
+			for _, r := range records {
+				fresh[r.Nodes] = true
+			}
+			for _, r := range old {
+				if !fresh[r.Nodes] {
+					records = append(records, r)
+				}
+			}
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Nodes < records[j].Nodes })
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal records: %v", err)
+	}
+	if err := os.WriteFile("BENCH_scale.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_scale.json: %v", err)
+	}
+}

@@ -269,8 +269,9 @@ func (p *Peer) Publish(stream StreamID, payload []byte) uint32 {
 	return p.brisa.Publish(stream, payload)
 }
 
-// Neighbors returns the current HyParView active view.
-func (p *Peer) Neighbors() []NodeID { return p.pss.Active() }
+// Neighbors returns the current HyParView active view. The slice is the
+// caller's to keep: the PSS-internal snapshot is copied out.
+func (p *Peer) Neighbors() []NodeID { return ids.Clone(p.pss.Active()) }
 
 // Parents returns the peer's current parents for a stream.
 func (p *Peer) Parents(stream StreamID) []NodeID { return p.brisa.Parents(stream) }

@@ -12,6 +12,7 @@
 //	brisa-sim -nodes 64 -streams 4 -messages 100            # 4 streams, 4 sources
 //	brisa-sim -nodes 16 -streams 2 -messages 50 -runtime live
 //	brisa-sim -nodes 16 -messages 200 -runtime live -churn "from 0s to 10s const churn 10% each 2s"
+//	brisa-sim -nodes 10000 -messages 20 -cpuprofile cpu.out   # engine-scale run, profiled
 //
 // The -runtime flag resolves against brisa.Runtimes(); every scenario —
 // churn scripts and traffic probes included — runs on either runtime.
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"time"
 
 	brisa "repro"
@@ -44,6 +46,7 @@ func main() {
 		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied 10s into dissemination")
 		runtime  = flag.String("runtime", "sim", "runtime: sim | live (loopback TCP)")
 		asJSON   = flag.Bool("json", false, "print the report as JSON instead of text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
 
@@ -120,8 +123,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// CPU profiling brackets exactly the scenario run — the profile is
+	// written as soon as Run returns — so the engine's hot paths (event
+	// scheduler, bandwidth accounting) stay observable as node counts grow.
+	stopProfile := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "running %d nodes, %d stream(s) on the %q runtime...\n", *nodes, *streams, rt.Name())
 	rep, err := brisa.Run(ctx, rt, sc)
+	stopProfile()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)

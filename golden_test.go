@@ -1,0 +1,113 @@
+package brisa_test
+
+// Golden determinism test: one mid-size scenario's Report JSON, minus
+// wall-clock and toolchain metadata, is committed as a golden file. The
+// engine is a pure function of (seed, workload), so the report must come
+// back byte-identical run after run — and across engine refactors. The
+// golden file in testdata/ was produced by the pre-refactor time.Time-heap
+// engine; the pooled int64-clock scheduler must reproduce it exactly.
+//
+// Regenerate (only when a deliberate behaviour change shifts the metrics)
+// with:
+//
+//	go test -run TestGoldenReport -update-golden .
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_report.json from the current engine")
+
+const goldenPath = "testdata/golden_report.json"
+
+// goldenScenario is a mid-size run exercising every engine subsystem the
+// refactor touched: the event scheduler (timers, churn removals), bandwidth
+// accounting (traffic probe), delivered-seq tracking (latency/duplicates),
+// and repair paths (churn + repairs probe).
+func goldenScenario() brisa.Scenario {
+	return brisa.Scenario{
+		Name: "golden-tree-1x64",
+		Seed: 7,
+		Topology: brisa.Topology{
+			Nodes: 64,
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Messages: 30, Payload: 512},
+		},
+		Churn: &brisa.Churn{
+			Script: "from 0s to 4s const churn 5% each 2s",
+			Start:  2 * time.Second,
+		},
+		Probes: []brisa.Probe{
+			brisa.ProbeLatency, brisa.ProbeDuplicates,
+			brisa.ProbeConstruction, brisa.ProbeTraffic, brisa.ProbeRepairs,
+		},
+		Drain: 8 * time.Second,
+	}
+}
+
+// normalizeReport strips the fields that legitimately vary between runs
+// (wall-clock, toolchain) and re-marshals with sorted keys.
+func normalizeReport(t *testing.T, rep *brisa.Report) []byte {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	delete(m, "wall_ms")
+	delete(m, "go_version")
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatalf("re-marshal report: %v", err)
+	}
+	return append(out, '\n')
+}
+
+func TestGoldenReport(t *testing.T) {
+	sc := goldenScenario()
+	run := func() []byte {
+		rep, err := brisa.RunSim(sc)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return normalizeReport(t, rep)
+	}
+
+	first := run()
+	second := run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two same-seed runs produced different reports:\nrun1:\n%s\nrun2:\n%s", first, second)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(first))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("report diverged from golden file %s\ngot:\n%s\nwant:\n%s", goldenPath, first, want)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,18 @@ type Protocol struct {
 	// emit runs on the hot path (every delivery and duplicate), so it must
 	// stay a pointer load when nobody listens.
 	evSnap atomic.Pointer[[]func(Event)]
+	// subsSnap is the same copy-on-write treatment for per-stream delivery
+	// subscribers: fanout runs on every delivery, so it must be a pointer
+	// load plus a map lookup, not a mutex and a fresh slice.
+	subsSnap atomic.Pointer[map[wire.StreamID][]func(seq uint32, payload []byte)]
+
+	// Reused keep-alive piggyback buffers (see piggyback.go): pbOut builds
+	// outgoing entries, pbEntries/pbIDs hold one decoded incoming blob,
+	// sidScratch the sorted stream iteration order.
+	pbOut      []piggyStream
+	pbEntries  []piggyStream
+	pbIDs      []ids.NodeID
+	sidScratch []wire.StreamID
 }
 
 // New builds a Protocol. cfg.PSS must be set.
@@ -74,7 +87,12 @@ func (p *Protocol) getStream(id wire.StreamID) *stream {
 
 // StreamIDs lists the streams this node has state for, ascending.
 func (p *Protocol) StreamIDs() []wire.StreamID {
-	out := make([]wire.StreamID, 0, len(p.streams))
+	return p.appendStreamIDs(make([]wire.StreamID, 0, len(p.streams)))
+}
+
+// appendStreamIDs appends the stream ids ascending — the scratch-buffer
+// variant for per-tick paths (keep-alive piggyback).
+func (p *Protocol) appendStreamIDs(out []wire.StreamID) []wire.StreamID {
 	for id := range p.streams {
 		out = append(out, id)
 	}
@@ -86,10 +104,11 @@ func (p *Protocol) StreamIDs() []wire.StreamID {
 	return out
 }
 
-// Parents returns the node's current parents for a stream, ascending.
+// Parents returns the node's current parents for a stream, ascending. The
+// slice is the caller's to keep.
 func (p *Protocol) Parents(id wire.StreamID) []ids.NodeID {
 	if st, ok := p.streams[id]; ok {
-		return st.parentIDs()
+		return ids.Clone(st.parentIDs())
 	}
 	return nil
 }
@@ -112,6 +131,18 @@ func (p *Protocol) childrenOf(st *stream) []ids.NodeID {
 		}
 	}
 	return out
+}
+
+// childCount is childrenOf without materializing the list — the keep-alive
+// piggyback needs only the degree, once per stream per tick.
+func (p *Protocol) childCount(st *stream) int {
+	count := 0
+	for _, n := range p.cfg.PSS.Active() {
+		if !st.outInactive.Has(n) && !st.isParent(n) {
+			count++
+		}
+	}
+	return count
 }
 
 // Depth returns the node's structural depth for a stream: hops from the
@@ -147,7 +178,7 @@ func (p *Protocol) DeliveredCount(id wire.StreamID) uint64 {
 	if !ok || !st.started {
 		return 0
 	}
-	return uint64(st.contigUpTo-st.base) + uint64(len(st.sparse))
+	return uint64(st.contigUpTo-st.base) + uint64(st.sparseN)
 }
 
 // IsOrphan reports whether the node is currently cut off from the stream's
@@ -243,6 +274,7 @@ func (p *Protocol) SubscribeFn(stream wire.StreamID, fn func(seq uint32, payload
 	tok := p.nextSub
 	p.nextSub++
 	m[tok] = fn
+	p.refreshSubsSnap()
 	p.subMu.Unlock()
 	return func() {
 		p.subMu.Lock()
@@ -252,8 +284,33 @@ func (p *Protocol) SubscribeFn(stream wire.StreamID, fn func(seq uint32, payload
 				delete(p.subs, stream)
 			}
 		}
+		p.refreshSubsSnap()
 		p.subMu.Unlock()
 	}
+}
+
+// refreshSubsSnap rebuilds the lock-free per-stream subscriber snapshot;
+// call with subMu held. Listeners are ordered by registration token so
+// fan-out order is deterministic.
+func (p *Protocol) refreshSubsSnap() {
+	if len(p.subs) == 0 {
+		p.subsSnap.Store(nil)
+		return
+	}
+	snap := make(map[wire.StreamID][]func(uint32, []byte), len(p.subs))
+	for stream, m := range p.subs {
+		toks := make([]uint64, 0, len(m))
+		for tok := range m {
+			toks = append(toks, tok)
+		}
+		slices.Sort(toks)
+		fns := make([]func(uint32, []byte), 0, len(m))
+		for _, tok := range toks {
+			fns = append(fns, m[tok])
+		}
+		snap[stream] = fns
+	}
+	p.subsSnap.Store(&snap)
 }
 
 // fanout hands one delivery to the stream's subscribers. Unlike the
@@ -261,17 +318,11 @@ func (p *Protocol) SubscribeFn(stream wire.StreamID, fn func(seq uint32, payload
 // fan-out also covers local publishes, so a subscription observes the
 // stream's full content regardless of which node sources it.
 func (p *Protocol) fanout(stream wire.StreamID, seq uint32, payload []byte) {
-	p.subMu.Lock()
-	m := p.subs[stream]
-	var fns []func(uint32, []byte)
-	if len(m) > 0 {
-		fns = make([]func(uint32, []byte), 0, len(m))
-		for _, fn := range m {
-			fns = append(fns, fn)
-		}
+	snap := p.subsSnap.Load()
+	if snap == nil {
+		return
 	}
-	p.subMu.Unlock()
-	for _, fn := range fns {
+	for _, fn := range (*snap)[stream] {
 		fn(seq, payload)
 	}
 }
@@ -313,11 +364,12 @@ func (p *Protocol) relay(st *stream, except ids.NodeID, seq uint32, payload []by
 	if p.cfg.Mode != ModeDAG {
 		msg.Path = st.myPath
 	}
+	var m wire.Message = msg // one boxing for the whole fan-out
 	for _, n := range p.cfg.PSS.Active() {
 		if n == except || st.outInactive.Has(n) {
 			continue
 		}
-		p.env.Send(n, msg)
+		p.env.Send(n, m)
 	}
 }
 
@@ -980,7 +1032,7 @@ func (p *Protocol) setDepth(st *stream, d uint16) {
 	}
 	st.depth = d
 	p.emit(Event{Type: EvDepthChange, Stream: st.id, Seq: uint32(d)})
-	upd := wire.DepthUpdate{Stream: st.id, Depth: d}
+	var upd wire.Message = wire.DepthUpdate{Stream: st.id, Depth: d}
 	for _, n := range p.childrenOf(st) {
 		p.env.Send(n, upd)
 	}

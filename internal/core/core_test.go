@@ -59,12 +59,19 @@ func TestQuickStreamDeliveryInvariant(t *testing.T) {
 				return false
 			}
 		}
-		for s := range st.sparse {
-			if s < st.contigUpTo {
-				return false
+		// The window holds only seqs >= contigUpTo, and its population
+		// matches the sparse count.
+		count := 0
+		end := st.sparse.base + uint32(len(st.sparse.words))*64
+		for s := st.sparse.base; s < end; s++ {
+			if st.sparse.has(s) {
+				if s < st.contigUpTo {
+					return false
+				}
+				count++
 			}
 		}
-		return true
+		return count == st.sparseN
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -142,7 +149,7 @@ func TestPiggybackRoundTrip(t *testing.T) {
 		{stream: 2, depth: wire.NoDepth, uptime: 0, degree: 0, upTo: 0},
 	}
 	blob := encodePiggyback(entries)
-	got, err := decodePiggyback(blob)
+	got, err := new(Protocol).decodePiggyback(blob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +167,7 @@ func TestPiggybackRoundTrip(t *testing.T) {
 func TestPiggybackRejectsTruncation(t *testing.T) {
 	blob := encodePiggyback([]piggyStream{{stream: 1, path: []ids.NodeID{1, 2}}})
 	for cut := 1; cut < len(blob); cut++ {
-		if _, err := decodePiggyback(blob[:cut]); err == nil {
+		if _, err := new(Protocol).decodePiggyback(blob[:cut]); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
 	}
@@ -177,7 +184,7 @@ func TestQuickPiggybackRoundTrip(t *testing.T) {
 			stream: wire.StreamID(stream), depth: depth, uptime: uptime,
 			degree: degree, upTo: upTo, path: path,
 		}}
-		out, err := decodePiggyback(encodePiggyback(in))
+		out, err := new(Protocol).decodePiggyback(encodePiggyback(in))
 		if err != nil || len(out) != 1 {
 			return false
 		}
@@ -213,5 +220,29 @@ func TestConfigDefaults(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if ModeFlood.String() != "flood" || ModeTree.String() != "tree" || ModeDAG.String() != "dag" {
 		t.Error("mode names")
+	}
+}
+
+func TestSeqWindowFarFutureIsBounded(t *testing.T) {
+	// Regression: one malformed far-future sequence number must not force
+	// the delivery window into a giant dense allocation.
+	st := newStream(1)
+	st.markDelivered(1)
+	st.markDelivered(0xFFFFFFFF)
+	if len(st.sparse.words) > maxWindowWords {
+		t.Fatalf("dense window grew to %d words", len(st.sparse.words))
+	}
+	if !st.isDelivered(0xFFFFFFFF) || st.isDelivered(0xFFFFFFFE) {
+		t.Error("far-future delivery not tracked correctly")
+	}
+	if got := uint64(st.contigUpTo-st.base) + uint64(st.sparseN); got != 2 {
+		t.Errorf("delivered count = %d, want 2", got)
+	}
+	// Normal in-window marks keep working alongside the far entry.
+	for seq := uint32(2); seq < 100; seq++ {
+		st.markDelivered(seq)
+	}
+	if st.contigUpTo != 100 {
+		t.Errorf("contigUpTo = %d, want 100", st.contigUpTo)
 	}
 }

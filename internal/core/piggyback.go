@@ -32,8 +32,20 @@ type piggyStream struct {
 	path    []ids.NodeID
 }
 
+// piggySize is the exact encoded size of the entries, so encodePiggyback
+// allocates its output once instead of growing through appends.
+func piggySize(entries []piggyStream) int {
+	size := 1
+	for _, it := range entries {
+		size += 4 + 2 + 4 + 2 + 4 // stream, depth, uptime, degree, upTo
+		size += 2 + len(it.parents)*ids.WireSize
+		size += 2 + len(it.path)*ids.WireSize
+	}
+	return size
+}
+
 func encodePiggyback(entries []piggyStream) []byte {
-	e := wire.Encoder{}
+	e := wire.Encoder{B: make([]byte, 0, piggySize(entries))}
 	e.U8(uint8(len(entries)))
 	for _, it := range entries {
 		e.U32(uint32(it.stream))
@@ -47,21 +59,28 @@ func encodePiggyback(entries []piggyStream) []byte {
 	return e.B
 }
 
-func decodePiggyback(blob []byte) ([]piggyStream, error) {
+// decodePiggyback parses blob into the protocol's reused scratch buffers
+// (entries and the identifier arena both survive only until the next call);
+// a blob arrives with every keep-alive, so this path must not allocate.
+func (p *Protocol) decodePiggyback(blob []byte) ([]piggyStream, error) {
 	d := wire.Decoder{B: blob}
 	n := int(d.U8())
-	out := make([]piggyStream, 0, n)
+	out := p.pbEntries[:0]
+	arena := p.pbIDs[:0]
 	for i := 0; i < n; i++ {
-		out = append(out, piggyStream{
-			stream:  wire.StreamID(d.U32()),
-			depth:   d.U16(),
-			uptime:  d.U32(),
-			degree:  d.U16(),
-			upTo:    d.U32(),
-			parents: d.NodeIDs(),
-			path:    d.NodeIDs(),
-		})
+		it := piggyStream{
+			stream: wire.StreamID(d.U32()),
+			depth:  d.U16(),
+			uptime: d.U32(),
+			degree: d.U16(),
+			upTo:   d.U32(),
+		}
+		arena, it.parents = d.NodeIDsAppend(arena)
+		arena, it.path = d.NodeIDsAppend(arena)
+		out = append(out, it)
 	}
+	p.pbEntries = out[:0]
+	p.pbIDs = arena[:0]
 	return out, d.Finish()
 }
 
@@ -72,8 +91,11 @@ func (p *Protocol) PiggybackBlob() []byte {
 	if len(p.streams) == 0 {
 		return nil
 	}
-	entries := make([]piggyStream, 0, len(p.streams))
-	for _, st := range p.streams {
+	entries := p.pbOut[:0]
+	sids := p.appendStreamIDs(p.sidScratch[:0])
+	p.sidScratch = sids[:0]
+	for _, id := range sids {
+		st := p.streams[id]
 		if !st.started {
 			continue
 		}
@@ -82,12 +104,13 @@ func (p *Protocol) PiggybackBlob() []byte {
 			stream:  st.id,
 			depth:   st.depth,
 			uptime:  uint32(uptime / time.Second),
-			degree:  uint16(len(p.childrenOf(st))),
+			degree:  uint16(p.childCount(st)),
 			upTo:    st.contigUpTo,
 			parents: st.parentIDs(),
 			path:    st.myPath,
 		})
 	}
+	p.pbOut = entries[:0]
 	if len(entries) == 0 {
 		return nil
 	}
@@ -97,7 +120,7 @@ func (p *Protocol) PiggybackBlob() []byte {
 // HandlePiggyback ingests a neighbor's keep-alive blob. Wire through
 // hyparview.Config.OnPiggyback.
 func (p *Protocol) HandlePiggyback(peer ids.NodeID, blob []byte) {
-	entries, err := decodePiggyback(blob)
+	entries, err := p.decodePiggyback(blob)
 	if err != nil {
 		return // a malformed blob from a peer is ignored, not fatal
 	}

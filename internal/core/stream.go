@@ -29,6 +29,111 @@ type bufferedMsg struct {
 	payload []byte
 }
 
+// seqWindow is a compacting bitset over the out-of-order delivered sequence
+// numbers above a stream's contiguous prefix. The previous representation —
+// map[uint32]struct{} — cost a heap-allocated bucket chain per gap and
+// rehash churn at scale; the window costs one bit per in-flight sequence
+// and compacts as the contiguous prefix advances. Sequences beyond the
+// dense span (a malformed or hostile far-future Seq) fall back to a sparse
+// map, so one bogus message cannot force a giant allocation.
+type seqWindow struct {
+	base  uint32 // sequence number of bit 0, 64-aligned below contigUpTo
+	words []uint64
+	far   map[uint32]struct{} // delivered seqs at or beyond base+denseSpan
+}
+
+// maxWindowWords bounds the dense bitset: a 1M-sequence span in 128 KiB.
+const maxWindowWords = 1 << 14
+
+// denseSpan is the number of sequences the dense bitset can cover.
+const denseSpan = maxWindowWords << 6
+
+// reset anchors the window at the stream's first observed sequence.
+func (w *seqWindow) reset(floor uint32) {
+	w.base = floor &^ 63
+	w.words = w.words[:0]
+	w.far = nil
+}
+
+func (w *seqWindow) has(seq uint32) bool {
+	if seq < w.base {
+		return false
+	}
+	i := seq - w.base
+	if i >= denseSpan {
+		_, ok := w.far[seq]
+		return ok
+	}
+	word := int(i >> 6)
+	return word < len(w.words) && w.words[word]&(1<<(i&63)) != 0
+}
+
+func (w *seqWindow) set(seq uint32) {
+	i := seq - w.base
+	if i >= denseSpan {
+		if w.far == nil {
+			w.far = make(map[uint32]struct{})
+		}
+		w.far[seq] = struct{}{}
+		return
+	}
+	word := int(i >> 6)
+	for word >= len(w.words) {
+		w.words = append(w.words, 0)
+	}
+	w.words[word] |= 1 << (i & 63)
+}
+
+func (w *seqWindow) clear(seq uint32) {
+	if seq < w.base {
+		return
+	}
+	i := seq - w.base
+	if i >= denseSpan {
+		delete(w.far, seq)
+		return
+	}
+	word := int(i >> 6)
+	if word < len(w.words) {
+		w.words[word] &^= 1 << (i & 63)
+	}
+}
+
+// compactWords is how many fully-consumed leading words accumulate before
+// the window shifts them out (amortizes the copy).
+const compactWords = 8
+
+// compact drops whole words strictly below contig — every bit under the
+// contiguous prefix is dead (isDelivered answers from the prefix first) —
+// and migrates far entries that the advanced base now covers densely.
+func (w *seqWindow) compact(contig uint32) {
+	if contig <= w.base {
+		return
+	}
+	k := int((contig - w.base) >> 6)
+	if k < compactWords {
+		return
+	}
+	if k > len(w.words) {
+		k = len(w.words)
+	}
+	copy(w.words, w.words[k:])
+	w.words = w.words[:len(w.words)-k]
+	w.base += uint32(k) << 6
+	if len(w.far) > 0 {
+		// Order-independent (bit sets commute), so map iteration is safe
+		// for determinism.
+		for seq := range w.far {
+			if seq-w.base < denseSpan {
+				delete(w.far, seq)
+				if seq >= contig {
+					w.set(seq)
+				}
+			}
+		}
+	}
+}
+
 // stream is the per-stream protocol state of one node.
 type stream struct {
 	id     wire.StreamID
@@ -37,10 +142,11 @@ type stream struct {
 	nextSeq uint32
 
 	// --- reception state ---
-	started    bool                // received at least one message (or is the source)
-	contigUpTo uint32              // every seq in [base, contigUpTo) is delivered
-	base       uint32              // first seq ever seen; history below it is not recovered
-	sparse     map[uint32]struct{} // delivered seqs >= contigUpTo
+	started    bool      // received at least one message (or is the source)
+	contigUpTo uint32    // every seq in [base, contigUpTo) is delivered
+	base       uint32    // first seq ever seen; history below it is not recovered
+	sparse     seqWindow // delivered seqs >= contigUpTo
+	sparseN    int       // population of sparse (for DeliveredCount)
 
 	// --- structure state ---
 	parents     map[ids.NodeID]time.Time // parent -> adoption time
@@ -76,22 +182,31 @@ type stream struct {
 	buffer  []bufferedMsg // ring, newest at bufHead-1
 	bufHead int
 
+	// parentScratch backs parentIDs: parent sets are tiny but read on hot
+	// paths (piggyback encode, duplicate handling), so the sorted view is
+	// rebuilt into a reused buffer. Callers must not retain it.
+	parentScratch []ids.NodeID
+
 	// --- construction-time tracking (Figure 13) ---
 	firstDeactivateAt time.Time
 	constructedAt     time.Time
 }
 
+// neighborHint presizes the per-neighbor maps: the expanded active view of
+// the paper's configurations fits without a rehash, and thousands of
+// streams × neighbors no longer pay incremental growth churn.
+const neighborHint = 16
+
 func newStream(id wire.StreamID) *stream {
 	return &stream{
 		id:          id,
-		sparse:      make(map[uint32]struct{}),
-		parents:     make(map[ids.NodeID]time.Time),
+		parents:     make(map[ids.NodeID]time.Time, 4),
 		inactiveIn:  ids.NewSet(),
 		outInactive: ids.NewSet(),
 		depth:       wire.NoDepth,
-		firstHeard:  make(map[ids.NodeID]time.Time),
-		peers:       make(map[ids.NodeID]*peerInfo),
-		cooldown:    make(map[ids.NodeID]time.Time),
+		firstHeard:  make(map[ids.NodeID]time.Time, neighborHint),
+		peers:       make(map[ids.NodeID]*peerInfo, neighborHint),
+		cooldown:    make(map[ids.NodeID]time.Time, 4),
 	}
 }
 
@@ -106,8 +221,7 @@ func (s *stream) isDelivered(seq uint32) bool {
 	if seq < s.contigUpTo {
 		return true
 	}
-	_, ok := s.sparse[seq]
-	return ok
+	return s.sparse.has(seq)
 }
 
 // markDelivered records seq and advances the contiguous prefix. The first
@@ -118,18 +232,23 @@ func (s *stream) markDelivered(seq uint32) {
 		s.started = true
 		s.base = seq
 		s.contigUpTo = seq
+		s.sparse.reset(seq)
 	}
 	if s.isDelivered(seq) {
 		return
 	}
-	s.sparse[seq] = struct{}{}
-	for {
-		if _, ok := s.sparse[s.contigUpTo]; !ok {
-			break
-		}
-		delete(s.sparse, s.contigUpTo)
+	if seq == s.contigUpTo {
 		s.contigUpTo++
+		for s.sparse.has(s.contigUpTo) {
+			s.sparse.clear(s.contigUpTo)
+			s.sparseN--
+			s.contigUpTo++
+		}
+		s.sparse.compact(s.contigUpTo)
+		return
 	}
+	s.sparse.set(seq)
+	s.sparseN++
 }
 
 // gapsBelow lists undelivered seqs in [contigUpTo, upTo), capped at max.
@@ -183,13 +302,16 @@ func (s *stream) isParent(peer ids.NodeID) bool {
 	return ok
 }
 
-// parentIDs returns the current parents, ascending.
+// parentIDs returns the current parents, ascending, in a reused buffer that
+// is valid until the next parentIDs call on this stream. Callers that hand
+// the slice out (the public API) must clone it.
 func (s *stream) parentIDs() []ids.NodeID {
-	out := make([]ids.NodeID, 0, len(s.parents))
+	out := s.parentScratch[:0]
 	for id := range s.parents {
 		out = append(out, id)
 	}
 	ids.Sort(out)
+	s.parentScratch = out
 	return out
 }
 

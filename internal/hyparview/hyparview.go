@@ -125,6 +125,22 @@ type Protocol struct {
 	metrics           Metrics
 	kaTimer           node.Timer
 	shuffleTimer      node.Timer
+	kaTickFn          func()
+	shuffleTickFn     func()
+
+	// activeSnap caches the sorted connected-member list Active returns;
+	// activeDirty marks it stale after a view mutation. The upper layer
+	// (BRISA parent selection) walks the active view on every delivery, so
+	// rebuilding the sorted snapshot per call dominated the allocation
+	// profile at 1k+ nodes.
+	activeSnap  []ids.NodeID
+	activeDirty bool
+	// kaScratch and scratch are reused iteration buffers (keep-alive round
+	// and walk-forwarding candidate filters respectively). They are
+	// distinct because a keep-alive round can evict members, which uses
+	// scratch via evictRandom.
+	kaScratch []ids.NodeID
+	scratch   []ids.NodeID
 }
 
 // Kinds returns the wire kinds this protocol owns, for Mux registration.
@@ -146,10 +162,11 @@ func New(cfg Config) *Protocol {
 		cfg.ExpansionFactor = 1
 	}
 	return &Protocol{
-		cfg:     cfg,
-		active:  make(map[ids.NodeID]*neighbor),
-		passive: ids.NewSet(),
-		dials:   make(map[ids.NodeID]*dial),
+		cfg:         cfg,
+		active:      make(map[ids.NodeID]*neighbor, 2*cfg.ActiveSize),
+		passive:     ids.NewSet(),
+		dials:       make(map[ids.NodeID]*dial),
+		activeDirty: true,
 	}
 }
 
@@ -161,6 +178,8 @@ func (p *Protocol) maxActive() int {
 // Start implements node.Proto.
 func (p *Protocol) Start(env node.Env) {
 	p.env = env
+	p.kaTickFn = p.keepAliveTick
+	p.shuffleTickFn = p.shuffleTick
 	p.scheduleKeepAlive()
 	p.scheduleShuffle()
 }
@@ -188,17 +207,27 @@ func (p *Protocol) Join(contact ids.NodeID) {
 	p.env.Connect(contact)
 }
 
-// Active returns the connected active-view members, ascending.
+// Active returns the connected active-view members, ascending. The returned
+// slice is a cached snapshot owned by the protocol, valid until the next
+// view change: callers iterate it (or copy it) but must not mutate or
+// retain it.
 func (p *Protocol) Active() []ids.NodeID {
-	out := make([]ids.NodeID, 0, len(p.active))
-	for id, nb := range p.active {
-		if nb.connected {
-			out = append(out, id)
+	if p.activeDirty {
+		p.activeSnap = p.activeSnap[:0]
+		for id, nb := range p.active {
+			if nb.connected {
+				p.activeSnap = append(p.activeSnap, id)
+			}
 		}
+		ids.Sort(p.activeSnap)
+		p.activeDirty = false
 	}
-	ids.Sort(out)
-	return out
+	return p.activeSnap
 }
+
+// invalidateActive marks the cached Active snapshot stale. Call after any
+// change to the active map or to a member's connected flag.
+func (p *Protocol) invalidateActive() { p.activeDirty = true }
 
 // ActiveContains reports whether peer is a connected active neighbor.
 func (p *Protocol) ActiveContains(peer ids.NodeID) bool {
@@ -230,6 +259,7 @@ func (p *Protocol) addActive(peer ids.NodeID) {
 		if !nb.connected {
 			nb.connected = true
 			nb.lastSeen = p.env.Now()
+			p.invalidateActive()
 			p.notifyUp(peer)
 		}
 		return
@@ -239,6 +269,7 @@ func (p *Protocol) addActive(peer ids.NodeID) {
 	}
 	p.passive.Remove(peer)
 	p.active[peer] = &neighbor{connected: true, lastSeen: p.env.Now()}
+	p.invalidateActive()
 	p.notifyUp(peer)
 }
 
@@ -261,12 +292,13 @@ func (p *Protocol) startActiveDial(peer ids.NodeID, priority bool) {
 // it via Disconnect (the receiver closes the connection). exclude is never
 // chosen.
 func (p *Protocol) evictRandom(exclude ids.NodeID) {
-	candidates := make([]ids.NodeID, 0, len(p.active))
+	candidates := p.scratch[:0]
 	for id := range p.active {
 		if id != exclude {
 			candidates = append(candidates, id)
 		}
 	}
+	p.scratch = candidates
 	if len(candidates) == 0 {
 		return
 	}
@@ -274,6 +306,7 @@ func (p *Protocol) evictRandom(exclude ids.NodeID) {
 	victim := candidates[p.env.Rand().Intn(len(candidates))]
 	nb := p.active[victim]
 	delete(p.active, victim)
+	p.invalidateActive()
 	p.metrics.Evictions++
 	if nb.connected {
 		p.env.Send(victim, wire.Disconnect{})
@@ -293,6 +326,7 @@ func (p *Protocol) removeActive(peer ids.NodeID, addToPassive bool) {
 		return
 	}
 	delete(p.active, peer)
+	p.invalidateActive()
 	if nb.connected {
 		p.notifyDown(peer)
 	}
@@ -313,8 +347,9 @@ func (p *Protocol) addPassive(peer ids.NodeID) {
 		return
 	}
 	for p.passive.Len() >= p.cfg.PassiveSize {
-		snap := p.passive.Snapshot()
+		snap := p.passive.AppendSorted(p.scratch[:0])
 		p.passive.Remove(snap[p.env.Rand().Intn(len(snap))])
+		p.scratch = snap[:0]
 	}
 	p.passive.Add(peer)
 }
@@ -397,6 +432,7 @@ func (p *Protocol) ConnUp(peer ids.NodeID) {
 		}
 		p.passive.Remove(peer)
 		p.active[peer] = &neighbor{connected: false, lastSeen: p.env.Now(), rtt: rtt}
+		p.invalidateActive()
 	case dialTemp:
 		for _, m := range d.queued {
 			p.env.Send(peer, m)
@@ -452,7 +488,7 @@ func (p *Protocol) Receive(from ids.NodeID, m wire.Message) {
 func (p *Protocol) onJoin(from ids.NodeID) {
 	p.metrics.JoinsHandled++
 	p.addActive(from)
-	fj := wire.ForwardJoin{Joiner: from, TTL: p.cfg.ARWL}
+	var fj wire.Message = wire.ForwardJoin{Joiner: from, TTL: p.cfg.ARWL}
 	for _, peer := range p.Active() {
 		if peer != from {
 			p.env.Send(peer, fj)
@@ -475,12 +511,13 @@ func (p *Protocol) onForwardJoin(from ids.NodeID, m wire.ForwardJoin) {
 	}
 	// Forward the walk to a random active peer other than the sender and
 	// the joiner itself.
-	var candidates []ids.NodeID
+	candidates := p.scratch[:0]
 	for _, peer := range p.Active() {
 		if peer != from && peer != joiner {
 			candidates = append(candidates, peer)
 		}
 	}
+	p.scratch = candidates
 	if len(candidates) == 0 {
 		p.startActiveDial(joiner, true)
 		return
@@ -516,9 +553,11 @@ func (p *Protocol) onNeighborReply(from ids.NodeID, m wire.NeighborReply) {
 	if m.Accept {
 		nb.connected = true
 		nb.lastSeen = p.env.Now()
+		p.invalidateActive()
 		p.notifyUp(from)
 	} else {
 		delete(p.active, from)
+		p.invalidateActive()
 		p.env.Close(from)
 		p.metrics.PromotionRejects++
 		p.addPassive(from) // keep it around; it was alive, just full
@@ -534,7 +573,7 @@ func (p *Protocol) scheduleShuffle() {
 	}
 	// Jitter the first shuffle to avoid lock-step rounds across the network.
 	delay := p.cfg.ShufflePeriod/2 + time.Duration(p.env.Rand().Int63n(int64(p.cfg.ShufflePeriod)))
-	p.shuffleTimer = p.env.After(delay, p.shuffleTick)
+	p.shuffleTimer = p.env.After(delay, p.shuffleTickFn)
 }
 
 func (p *Protocol) shuffleTick() {
@@ -542,7 +581,7 @@ func (p *Protocol) shuffleTick() {
 		return
 	}
 	defer func() {
-		p.shuffleTimer = p.env.After(p.cfg.ShufflePeriod, p.shuffleTick)
+		p.shuffleTimer = p.env.After(p.cfg.ShufflePeriod, p.shuffleTickFn)
 	}()
 	active := p.Active()
 	if len(active) == 0 {
@@ -568,12 +607,13 @@ func (p *Protocol) onShuffle(from ids.NodeID, m wire.Shuffle) {
 		ttl--
 	}
 	if ttl > 0 && p.activeConnectedCount() > 1 {
-		var candidates []ids.NodeID
+		candidates := p.scratch[:0]
 		for _, peer := range p.Active() {
 			if peer != from && peer != m.Origin {
 				candidates = append(candidates, peer)
 			}
 		}
+		p.scratch = candidates
 		if len(candidates) > 0 {
 			next := candidates[p.env.Rand().Intn(len(candidates))]
 			p.env.Send(next, wire.Shuffle{Origin: m.Origin, TTL: ttl, Nodes: m.Nodes})
@@ -630,7 +670,7 @@ func (p *Protocol) scheduleKeepAlive() {
 		return
 	}
 	delay := p.cfg.KeepAlivePeriod/2 + time.Duration(p.env.Rand().Int63n(int64(p.cfg.KeepAlivePeriod)))
-	p.kaTimer = p.env.After(delay, p.keepAliveTick)
+	p.kaTimer = p.env.After(delay, p.kaTickFn)
 }
 
 func (p *Protocol) keepAliveTick() {
@@ -638,21 +678,27 @@ func (p *Protocol) keepAliveTick() {
 		return
 	}
 	defer func() {
-		p.kaTimer = p.env.After(p.cfg.KeepAlivePeriod, p.keepAliveTick)
+		p.kaTimer = p.env.After(p.cfg.KeepAlivePeriod, p.kaTickFn)
 	}()
 	var blob []byte
 	if p.cfg.Piggyback != nil {
 		blob = p.cfg.Piggyback()
 	}
 	now := p.env.Now()
+	// One interface conversion for the whole round: Send takes a
+	// wire.Message, and boxing the struct per neighbor shows up at scale.
+	var ka wire.Message = wire.KeepAlive{SentAt: now.UnixNano(), Piggyback: blob}
 	// Iterate in sorted order, not map order: each Send draws from the
 	// shared RNG stream (latency sampling on the simulator), so the send
 	// order must be identical across runs for a seed to reproduce a run.
-	members := make([]ids.NodeID, 0, len(p.active))
+	// The buffer is reused across rounds; the loop body may evict members
+	// but only ever touches kaScratch through this local.
+	members := p.kaScratch[:0]
 	for id := range p.active {
 		members = append(members, id)
 	}
 	ids.Sort(members)
+	p.kaScratch = members
 	for _, id := range members {
 		nb := p.active[id]
 		if !nb.connected {
@@ -667,7 +713,7 @@ func (p *Protocol) keepAliveTick() {
 			p.removeActive(id, false)
 			continue
 		}
-		p.env.Send(id, wire.KeepAlive{SentAt: now.UnixNano(), Piggyback: blob})
+		p.env.Send(id, ka)
 	}
 }
 

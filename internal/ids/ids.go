@@ -10,7 +10,7 @@ package ids
 import (
 	"fmt"
 	"net"
-	"sort"
+	"slices"
 	"strconv"
 )
 
@@ -78,9 +78,23 @@ func Parse(s string) (NodeID, error) {
 }
 
 // Sort orders a slice of identifiers in place (ascending). Handy for
-// deterministic iteration over map keys in tests and logs.
+// deterministic iteration over map keys in tests and logs. slices.Sort
+// (not sort.Slice) keeps the determinism sorts on the simulator's hot
+// paths free of comparator-closure and reflect.Swapper allocations.
 func Sort(s []NodeID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
+}
+
+// AppendSorted appends the set's members to dst in ascending order and
+// returns the extended slice — the allocation-free variant of Snapshot for
+// hot paths that reuse a scratch buffer.
+func (s *Set) AppendSorted(dst []NodeID) []NodeID {
+	start := len(dst)
+	for id := range s.m {
+		dst = append(dst, id)
+	}
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Contains reports whether s contains id.

@@ -400,22 +400,24 @@ func (n *Node) Send(to ids.NodeID, m wire.Message) {
 	if !ok {
 		return // no established connection: dropped, like a broken stream
 	}
-	frame := wire.Marshal(m)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	// Frame into a pooled buffer — length header and body in one write —
+	// so a node sending at full rate allocates nothing per message.
+	bufp := wire.GetBuffer()
+	buf := append(*bufp, 0, 0, 0, 0)
+	buf = wire.AppendFrame(buf, m)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	c.wmu.Lock()
-	_, err := c.w.Write(hdr[:])
-	if err == nil {
-		_, err = c.w.Write(frame)
-	}
+	_, err := c.w.Write(buf)
 	if err == nil {
 		err = c.w.Flush()
 	}
 	if err == nil {
 		c.msgsOut.Add(1)
-		c.bytesOut.Add(uint64(len(hdr) + len(frame)))
+		c.bytesOut.Add(uint64(len(buf)))
 	}
 	c.wmu.Unlock()
+	*bufp = buf[:0]
+	wire.PutBuffer(bufp)
 	if err != nil {
 		n.dropConn(to, c, err)
 	}

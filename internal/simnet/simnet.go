@@ -10,14 +10,20 @@
 // Determinism: all randomness flows from Options.Seed, and simultaneous
 // events are ordered by scheduling sequence number, so a run is a pure
 // function of (seed, workload). Structural tests rely on this.
+//
+// Engine: virtual time is an int64 nanosecond offset from the epoch, and the
+// event queue is an index-tracking binary heap over a slab-allocated event
+// arena with a free list. Fired and cancelled events return to the free
+// list; cancelling a timer or crashing a node removes its events from the
+// heap outright (no tombstones), so QueueLen reflects live work and the
+// steady-state hot path (Send → deliver) allocates nothing.
 package simnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/ids"
@@ -114,32 +120,30 @@ type Options struct {
 // epoch is the virtual time origin. An arbitrary fixed instant.
 var epoch = time.Unix(1_000_000_000, 0)
 
-// event is one scheduled callback.
+// noEvent marks an arena slot as not queued.
+const noEvent = int32(-1)
+
+// event is one scheduled callback, stored by value in the Network's arena.
+// Either msg is set (a typed message-delivery event: the Send hot path needs
+// no closure) or fn is (timers, connection lifecycle, experiment callbacks).
 type event struct {
-	at   time.Time
-	seq  uint64
-	fn   func()
-	dead *bool // when non-nil and true at fire time, the event is skipped
-}
+	at      int64 // virtual nanoseconds since the epoch
+	seq     uint64
+	heapIdx int32  // position in Network.heap, noEvent when not queued
+	gen     uint32 // bumped on release; validates timer handles
 
-type eventQueue []*event
+	// owner, when non-nil, ties the event to a node's life: Crash and
+	// Shutdown remove the node's events from the queue.
+	owner *simNode
+	fn    func()
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	// Typed delivery payload (msg != nil).
+	msg   wire.Message
+	from  ids.NodeID
+	conn  *conn
+	size  int32
+	phase Phase
+	cls   uint8
 }
 
 // connKey normalizes an unordered node pair.
@@ -152,13 +156,14 @@ func keyOf(a, b ids.NodeID) connKey {
 	return connKey{a, b}
 }
 
-// conn tracks one connection between two nodes.
+// conn tracks one connection between two nodes. Times are virtual-clock
+// nanosecond offsets.
 type conn struct {
 	a, b         ids.NodeID
 	aUp, bUp     bool // each endpoint's view of "established"
 	closed       bool
-	lastDeliverA time.Time // FIFO floor for messages delivered to a
-	lastDeliverB time.Time // FIFO floor for messages delivered to b
+	lastDeliverA int64 // FIFO floor for messages delivered to a
+	lastDeliverB int64 // FIFO floor for messages delivered to b
 }
 
 func (c *conn) up(id ids.NodeID) bool {
@@ -182,25 +187,36 @@ type simNode struct {
 	handler      node.Handler
 	env          *env
 	alive        bool
-	dead         bool // pointer target for event skipping; inverse of alive
 	usage        Usage
-	bootAt       time.Time
-	egressFreeAt time.Time // when the shared uplink next becomes idle
-	cpuFreeAt    time.Time // when the receive path next becomes idle
+	bootAt       int64
+	egressFreeAt int64 // when the shared uplink next becomes idle
+	cpuFreeAt    int64 // when the receive path next becomes idle
 }
 
 // Network is the simulator instance.
 type Network struct {
-	opts    Options
-	now     time.Time
-	queue   eventQueue
-	seq     uint64
-	rng     *rand.Rand
+	opts  Options
+	nowNS int64 // virtual nanoseconds since the epoch
+	seq   uint64
+	fired uint64
+	rng   *rand.Rand
+
+	// Event storage: a growable arena indexed by the heap, plus the free
+	// list of released slots. Events are addressed by arena index only —
+	// the arena's backing array moves when it grows.
+	events []event
+	free   []int32
+	heap   []int32
+
 	nodes   map[ids.NodeID]*simNode
 	order   []ids.NodeID // insertion order, for deterministic iteration
 	conns   map[connKey]*conn
 	phase   Phase
 	latency LatencyModel
+
+	// scratch buffers reused across calls to keep rare paths allocation-free.
+	scratchKeys []connKey
+	scratchIdxs []int32
 
 	// Tap, when set, observes every delivered message (for tests/debug).
 	Tap func(from, to ids.NodeID, m wire.Message)
@@ -216,7 +232,6 @@ func New(opts Options) *Network {
 	}
 	n := &Network{
 		opts:    opts,
-		now:     epoch,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		nodes:   make(map[ids.NodeID]*simNode),
 		conns:   make(map[connKey]*conn),
@@ -226,10 +241,10 @@ func New(opts Options) *Network {
 }
 
 // Now returns the current virtual time.
-func (n *Network) Now() time.Time { return n.now }
+func (n *Network) Now() time.Time { return epoch.Add(time.Duration(n.nowNS)) }
 
 // Since returns the duration elapsed since the virtual epoch.
-func (n *Network) Since() time.Duration { return n.now.Sub(epoch) }
+func (n *Network) Since() time.Duration { return time.Duration(n.nowNS) }
 
 // Epoch returns the virtual time origin.
 func Epoch() time.Time { return epoch }
@@ -241,60 +256,227 @@ func (n *Network) Rand() *rand.Rand { return n.rng }
 // SetPhase switches the bandwidth-accounting phase.
 func (n *Network) SetPhase(p Phase) { n.phase = p }
 
-// schedule enqueues fn at time at; dead, when non-nil, cancels the event if
-// *dead at fire time.
-func (n *Network) schedule(at time.Time, dead *bool, fn func()) *event {
-	if at.Before(n.now) {
-		at = n.now
+// ------------------------------------------------------------ event arena
+
+// alloc takes an arena slot off the free list, growing the arena when none
+// is available. The slot's gen survives reuse.
+func (n *Network) alloc() int32 {
+	if len(n.free) > 0 {
+		idx := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		return idx
+	}
+	n.events = append(n.events, event{heapIdx: noEvent})
+	return int32(len(n.events) - 1)
+}
+
+// release returns a slot to the free list, dropping payload references so
+// fired closures and messages become collectable, and bumping gen so stale
+// timer handles cannot cancel the slot's next tenant.
+func (n *Network) release(idx int32) {
+	ev := &n.events[idx]
+	ev.fn = nil
+	ev.msg = nil
+	ev.owner = nil
+	ev.conn = nil
+	ev.gen++
+	n.free = append(n.free, idx)
+}
+
+// ------------------------------------------------------------- event heap
+//
+// A hand-rolled binary heap over arena indices, ordered by (at, seq). Each
+// event tracks its heap position so cancellation removes it in O(log n)
+// without tombstones; hand-rolling (vs container/heap) avoids the interface
+// boxing on every push/pop of the hottest loop in the simulator.
+
+func (n *Network) heapLess(a, b int32) bool {
+	ea, eb := &n.events[a], &n.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (n *Network) heapSwap(i, j int) {
+	h := n.heap
+	h[i], h[j] = h[j], h[i]
+	n.events[h[i]].heapIdx = int32(i)
+	n.events[h[j]].heapIdx = int32(j)
+}
+
+func (n *Network) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !n.heapLess(n.heap[i], n.heap[parent]) {
+			break
+		}
+		n.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores heap order below i; it reports whether i moved.
+func (n *Network) siftDown(i int) bool {
+	start := i
+	length := len(n.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < length && n.heapLess(n.heap[l], n.heap[smallest]) {
+			smallest = l
+		}
+		if r < length && n.heapLess(n.heap[r], n.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return i != start
+		}
+		n.heapSwap(i, smallest)
+		i = smallest
+	}
+}
+
+func (n *Network) heapPush(idx int32) {
+	n.events[idx].heapIdx = int32(len(n.heap))
+	n.heap = append(n.heap, idx)
+	n.siftUp(len(n.heap) - 1)
+}
+
+// heapPop removes and returns the earliest event's arena index.
+func (n *Network) heapPop() int32 {
+	top := n.heap[0]
+	last := len(n.heap) - 1
+	if last > 0 {
+		n.heap[0] = n.heap[last]
+		n.events[n.heap[0]].heapIdx = 0
+	}
+	n.heap = n.heap[:last]
+	if last > 1 {
+		n.siftDown(0)
+	}
+	n.events[top].heapIdx = noEvent
+	return top
+}
+
+// heapRemove deletes the event at heap position pos.
+func (n *Network) heapRemove(pos int) {
+	idx := n.heap[pos]
+	last := len(n.heap) - 1
+	if pos != last {
+		n.heap[pos] = n.heap[last]
+		n.events[n.heap[pos]].heapIdx = int32(pos)
+	}
+	n.heap = n.heap[:last]
+	if pos < last {
+		if !n.siftDown(pos) {
+			n.siftUp(pos)
+		}
+	}
+	n.events[idx].heapIdx = noEvent
+}
+
+// ------------------------------------------------------------- scheduling
+
+// scheduleEvent allocates and enqueues a bare event at atNS owned by owner
+// (nil for experiment-level events), returning its arena index for the
+// caller to fill in a payload.
+func (n *Network) scheduleEvent(atNS int64, owner *simNode) int32 {
+	if atNS < n.nowNS {
+		atNS = n.nowNS
 	}
 	n.seq++
-	ev := &event{at: at, seq: n.seq, fn: fn, dead: dead}
-	heap.Push(&n.queue, ev)
-	return ev
+	idx := n.alloc()
+	ev := &n.events[idx]
+	ev.at = atNS
+	ev.seq = n.seq
+	ev.owner = owner
+	n.heapPush(idx)
+	return idx
+}
+
+// schedule enqueues fn at the virtual offset atNS; owner, when non-nil,
+// removes the event if the node dies first.
+func (n *Network) schedule(atNS int64, owner *simNode, fn func()) int32 {
+	idx := n.scheduleEvent(atNS, owner)
+	n.events[idx].fn = fn
+	return idx
 }
 
 // After schedules an experiment-level callback (not tied to a node's life).
 func (n *Network) After(d time.Duration, fn func()) {
-	n.schedule(n.now.Add(d), nil, fn)
+	n.schedule(n.nowNS+int64(d), nil, fn)
 }
 
 // At schedules an experiment-level callback at an absolute offset from the
 // epoch.
 func (n *Network) At(offset time.Duration, fn func()) {
-	n.schedule(epoch.Add(offset), nil, fn)
+	n.schedule(int64(offset), nil, fn)
+}
+
+// removeOwnedEvents drops every queued event owned by sn — its pending
+// timers, deliveries addressed to it, and lifecycle callbacks — so a dead
+// node leaves nothing behind in the queue.
+func (n *Network) removeOwnedEvents(sn *simNode) {
+	idxs := n.scratchIdxs[:0]
+	for _, idx := range n.heap {
+		if n.events[idx].owner == sn {
+			idxs = append(idxs, idx)
+		}
+	}
+	for _, idx := range idxs {
+		n.heapRemove(int(n.events[idx].heapIdx))
+		n.release(idx)
+	}
+	n.scratchIdxs = idxs[:0]
 }
 
 // Step executes the next event. It reports false when the queue is empty.
 func (n *Network) Step() bool {
-	for n.queue.Len() > 0 {
-		ev := heap.Pop(&n.queue).(*event)
-		if ev.fn == nil {
-			continue // cancelled timer
+	if len(n.heap) == 0 {
+		return false
+	}
+	idx := n.heapPop()
+	ev := &n.events[idx]
+	n.nowNS = ev.at
+	n.fired++
+	if ev.msg != nil {
+		// Typed delivery: copy the payload out, recycle the slot, then run
+		// the receive path (which may schedule into the freed slot).
+		to := ev.owner
+		c, from, m := ev.conn, ev.from, ev.msg
+		size, phase, cls := ev.size, ev.phase, ev.cls
+		n.release(idx)
+		if !c.closed && c.up(to.id) {
+			to.usage.DownBytes[phase][cls] += uint64(size)
+			to.usage.DownMessages[phase]++
+			if n.Tap != nil {
+				n.Tap(from, to.id, m)
+			}
+			to.handler.Receive(from, m)
 		}
-		n.now = ev.at
-		if ev.dead != nil && *ev.dead {
-			continue
-		}
-		ev.fn()
 		return true
 	}
-	return false
+	fn := ev.fn
+	n.release(idx)
+	fn()
+	return true
 }
 
 // RunUntil processes events with timestamps <= the epoch offset and then
 // advances the clock to exactly that offset.
 func (n *Network) RunUntil(offset time.Duration) {
-	deadline := epoch.Add(offset)
-	for n.queue.Len() > 0 && !n.queue[0].at.After(deadline) {
+	deadline := int64(offset)
+	for len(n.heap) > 0 && n.events[n.heap[0]].at <= deadline {
 		n.Step()
 	}
-	if n.now.Before(deadline) {
-		n.now = deadline
+	if n.nowNS < deadline {
+		n.nowNS = deadline
 	}
 }
 
 // RunFor advances the simulation by d from the current time.
-func (n *Network) RunFor(d time.Duration) { n.RunUntil(n.now.Add(d).Sub(epoch)) }
+func (n *Network) RunFor(d time.Duration) { n.RunUntil(time.Duration(n.nowNS + int64(d))) }
 
 // Drain runs events until the queue is empty or maxEvents is hit (guarding
 // against periodic timers keeping the queue alive forever). It returns the
@@ -316,27 +498,29 @@ func (n *Network) AddNode(id ids.NodeID, h node.Handler) {
 	if _, exists := n.nodes[id]; exists {
 		panic(fmt.Sprintf("simnet: duplicate node %v", id))
 	}
-	sn := &simNode{id: id, handler: h, alive: true, bootAt: n.now}
+	sn := &simNode{id: id, handler: h, alive: true, bootAt: n.nowNS}
 	sn.env = &env{net: n, node: sn, rng: rand.New(rand.NewSource(n.rng.Int63()))}
 	n.nodes[id] = sn
 	n.order = append(n.order, id)
-	n.schedule(n.now, &sn.dead, func() { h.Start(sn.env) })
+	n.schedule(n.nowNS, sn, func() { h.Start(sn.env) })
 }
 
 // Crash kills a node without warning. Its peers' failure detectors fire
-// after DetectDelay; in-flight messages to and from it are lost.
+// after DetectDelay; in-flight messages to and from it are lost (its queued
+// events are removed).
 func (n *Network) Crash(id ids.NodeID) {
 	sn, ok := n.nodes[id]
 	if !ok || !sn.alive {
 		return
 	}
 	sn.alive = false
-	sn.dead = true
+	n.removeOwnedEvents(sn)
 	n.dropConnsOf(sn, ErrPeerCrashed, n.opts.DetectDelay)
 }
 
 // Shutdown stops a node gracefully: Stop runs, connections close, and peers
-// observe an orderly ConnDown after one network latency.
+// observe an orderly ConnDown after one network latency. Like Crash, the
+// node's queued events are removed.
 func (n *Network) Shutdown(id ids.NodeID) {
 	sn, ok := n.nodes[id]
 	if !ok || !sn.alive {
@@ -344,7 +528,7 @@ func (n *Network) Shutdown(id ids.NodeID) {
 	}
 	sn.handler.Stop()
 	sn.alive = false
-	sn.dead = true
+	n.removeOwnedEvents(sn)
 	n.dropConnsOf(sn, ErrPeerClosed, 0)
 }
 
@@ -352,17 +536,26 @@ func (n *Network) dropConnsOf(sn *simNode, cause error, extraDelay time.Duration
 	// Collect and sort the victim's connections before processing: latency
 	// sampling consumes the shared RNG per connection, so map iteration
 	// order here would make runs diverge under one seed.
-	keys := make([]connKey, 0, 8)
+	keys := n.scratchKeys[:0]
 	for key := range n.conns {
 		if key.lo == sn.id || key.hi == sn.id {
 			keys = append(keys, key)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].lo != keys[j].lo {
-			return keys[i].lo < keys[j].lo
+	slices.SortFunc(keys, func(a, b connKey) int {
+		if a.lo != b.lo {
+			if a.lo < b.lo {
+				return -1
+			}
+			return 1
 		}
-		return keys[i].hi < keys[j].hi
+		if a.hi < b.hi {
+			return -1
+		}
+		if a.hi > b.hi {
+			return 1
+		}
+		return 0
 	})
 	for _, key := range keys {
 		c := n.conns[key]
@@ -376,12 +569,13 @@ func (n *Network) dropConnsOf(sn *simNode, cause error, extraDelay time.Duration
 		if peer == nil || !peer.alive || !c.up(peerID) {
 			continue
 		}
-		delay := n.sampleLatency(sn.id, peerID) + extraDelay
+		delay := int64(n.sampleLatency(sn.id, peerID) + extraDelay)
 		downed := sn.id
-		n.schedule(n.now.Add(delay), &peer.dead, func() {
+		n.schedule(n.nowNS+delay, peer, func() {
 			peer.handler.ConnDown(downed, cause)
 		})
 	}
+	n.scratchKeys = keys[:0]
 }
 
 // Alive reports whether the node exists and has not crashed or shut down.
@@ -418,8 +612,17 @@ func (n *Network) ResetUsage() {
 	}
 }
 
+// QueueLen returns the number of live queued events. Cancelled timers and
+// dead nodes' events are removed from the queue outright, so — unlike a
+// tombstone design — this counts only work that will actually execute.
+func (n *Network) QueueLen() int { return len(n.heap) }
+
 // PendingEvents returns the number of queued events (for tests).
-func (n *Network) PendingEvents() int { return n.queue.Len() }
+func (n *Network) PendingEvents() int { return n.QueueLen() }
+
+// EventsFired returns the total number of events executed so far — the
+// simulator's work metric, used by the scale benchmarks to report events/s.
+func (n *Network) EventsFired() uint64 { return n.fired }
 
 // EstimateLatency samples the latency model for a pair — experiment
 // harnesses use it for "direct point-to-point" baselines (Figure 9).
@@ -435,7 +638,7 @@ func (n *Network) sampleLatency(from, to ids.NodeID) time.Duration {
 	return d
 }
 
-func classOf(m wire.Message) int {
+func classOf(m wire.Message) uint8 {
 	if m.Kind().IsControl() {
 		return 0
 	}
@@ -451,7 +654,7 @@ type env struct {
 }
 
 func (e *env) ID() ids.NodeID   { return e.node.id }
-func (e *env) Now() time.Time   { return e.net.now }
+func (e *env) Now() time.Time   { return e.net.Now() }
 func (e *env) Rand() *rand.Rand { return e.rng }
 
 func (e *env) Log(format string, args ...any) {
@@ -461,21 +664,27 @@ func (e *env) Log(format string, args ...any) {
 	}
 }
 
+// simTimer is a handle to a queued arena event. The gen check makes Stop a
+// safe no-op after the event fired (and its slot was possibly reused).
 type simTimer struct {
-	ev *event
+	net *Network
+	idx int32
+	gen uint32
 }
 
 func (t *simTimer) Stop() bool {
-	if t.ev == nil || t.ev.fn == nil {
-		return false
+	ev := &t.net.events[t.idx]
+	if ev.gen != t.gen || ev.heapIdx == noEvent {
+		return false // already fired, cancelled, or slot reused
 	}
-	t.ev.fn = nil // the queue skips nil-fn events
-	return false
+	t.net.heapRemove(int(ev.heapIdx))
+	t.net.release(t.idx)
+	return true
 }
 
 func (e *env) After(d time.Duration, fn func()) node.Timer {
-	ev := e.net.schedule(e.net.now.Add(d), &e.node.dead, fn)
-	return &simTimer{ev: ev}
+	idx := e.net.schedule(e.net.nowNS+int64(d), e.node, fn)
+	return &simTimer{net: e.net, idx: idx, gen: e.net.events[idx].gen}
 }
 
 func (e *env) Connect(to ids.NodeID) {
@@ -491,24 +700,24 @@ func (e *env) Connect(to ids.NodeID) {
 	peer, ok := net.nodes[to]
 	if !ok || !peer.alive || to == e.node.id {
 		// Dial fails after a timeout-ish delay.
-		net.schedule(net.now.Add(net.opts.DetectDelay), &self.dead, func() {
+		net.schedule(net.nowNS+int64(net.opts.DetectDelay), self, func() {
 			self.handler.ConnDown(to, ErrDialFailed)
 		})
 		return
 	}
 	c := &conn{a: key.lo, b: key.hi}
 	net.conns[key] = c
-	oneWay := net.sampleLatency(self.id, to)
+	oneWay := int64(net.sampleLatency(self.id, to))
 	// SYN reaches the peer after one latency; the dialer's side is up after
 	// a full round trip.
-	net.schedule(net.now.Add(oneWay), &peer.dead, func() {
+	net.schedule(net.nowNS+oneWay, peer, func() {
 		if c.closed {
 			return
 		}
 		c.setUp(to, true)
 		peer.handler.ConnUp(self.id)
 	})
-	net.schedule(net.now.Add(2*oneWay), &self.dead, func() {
+	net.schedule(net.nowNS+2*oneWay, self, func() {
 		if c.closed {
 			return
 		}
@@ -535,9 +744,9 @@ func (e *env) Close(to ids.NodeID) {
 	if !ok || !peer.alive || !c.up(to) {
 		return
 	}
-	delay := net.sampleLatency(e.node.id, to)
+	delay := int64(net.sampleLatency(e.node.id, to))
 	self := e.node.id
-	net.schedule(net.now.Add(delay), &peer.dead, func() {
+	net.schedule(net.nowNS+delay, peer, func() {
 		peer.handler.ConnDown(self, ErrPeerClosed)
 	})
 }
@@ -569,53 +778,51 @@ func (e *env) Send(to ids.NodeID, m wire.Message) {
 		return // will surface as ConnDown via the crash path
 	}
 	// Departure: the node's shared uplink serializes all outgoing bytes.
-	depart := net.now
+	depart := net.nowNS
 	if net.opts.NodeBandwidth > 0 {
-		if self.egressFreeAt.After(depart) {
+		if self.egressFreeAt > depart {
 			depart = self.egressFreeAt
 		}
-		depart = depart.Add(time.Duration(int64(size) * int64(time.Second) / net.opts.NodeBandwidth))
+		depart += int64(size) * int64(time.Second) / net.opts.NodeBandwidth
 		self.egressFreeAt = depart
 	}
-	delay := net.sampleLatency(self.id, to)
+	delay := int64(net.sampleLatency(self.id, to))
 	if net.opts.Bandwidth > 0 {
-		delay += time.Duration(int64(size) * int64(time.Second) / net.opts.Bandwidth)
+		delay += int64(size) * int64(time.Second) / net.opts.Bandwidth
 	}
-	arrive := depart.Add(delay)
+	arrive := depart + delay
 	if net.opts.ProcessingDelay != nil {
 		// The receiver's CPU serializes message handling: service starts
 		// when both the message has arrived and the CPU is idle.
-		if peer.cpuFreeAt.After(arrive) {
+		if peer.cpuFreeAt > arrive {
 			arrive = peer.cpuFreeAt
 		}
 		if d := net.opts.ProcessingDelay(net.rng); d > 0 {
-			arrive = arrive.Add(d)
+			arrive += int64(d)
 		}
 		peer.cpuFreeAt = arrive
 	}
 	// Enforce per-direction FIFO, like a TCP stream.
-	var floor *time.Time
+	var floor *int64
 	if to == c.a {
 		floor = &c.lastDeliverA
 	} else {
 		floor = &c.lastDeliverB
 	}
-	if arrive.Before(*floor) {
+	if arrive < *floor {
 		arrive = *floor
 	}
 	*floor = arrive
-	from := self.id
-	net.schedule(arrive, &peer.dead, func() {
-		if c.closed || !c.up(to) {
-			return
-		}
-		peer.usage.DownBytes[phase][cls] += uint64(size)
-		peer.usage.DownMessages[phase]++
-		if net.Tap != nil {
-			net.Tap(from, to, m)
-		}
-		peer.handler.Receive(from, m)
-	})
+	// Typed delivery event: the hot path allocates nothing once the arena
+	// is warm.
+	idx := net.scheduleEvent(arrive, peer)
+	ev := &net.events[idx]
+	ev.msg = m
+	ev.from = self.id
+	ev.conn = c
+	ev.size = int32(size)
+	ev.phase = phase
+	ev.cls = cls
 }
 
 var _ node.Env = (*env)(nil)
@@ -623,6 +830,6 @@ var _ node.Env = (*env)(nil)
 // SortedNodeIDs returns all alive node ids in ascending order (test helper).
 func (n *Network) SortedNodeIDs() []ids.NodeID {
 	out := n.NodeIDs()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

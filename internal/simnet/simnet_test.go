@@ -305,3 +305,134 @@ func TestQuickLogNormalDelayBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// nullNode ignores everything — the receiver for allocation measurements.
+type nullNode struct {
+	node.BaseProto
+	env node.Env
+}
+
+func (s *nullNode) Start(env node.Env) { s.env = env }
+
+// TestScheduleAndStepAllocs pins the scheduler's hot-path allocation cost:
+// once the event arena is warm, scheduling a callback and executing it
+// reuses pooled slots and allocates nothing.
+func TestScheduleAndStepAllocs(t *testing.T) {
+	n := New(Options{Seed: 1, Latency: FixedLatency(time.Millisecond)})
+	fn := func() {}
+	// Warm the arena.
+	for i := 0; i < 64; i++ {
+		n.After(time.Duration(i), fn)
+	}
+	for n.Step() {
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		n.After(time.Millisecond, fn)
+		if !n.Step() {
+			t.Fatal("no event to step")
+		}
+	}); allocs != 0 {
+		t.Errorf("schedule+Step allocates %.2f objects per event, want 0", allocs)
+	}
+}
+
+// TestSendDeliverAllocs pins the message hot path: a Send on an established
+// connection and its delivery are typed events through the pooled arena —
+// zero allocations per hop at steady state.
+func TestSendDeliverAllocs(t *testing.T) {
+	n := New(Options{Seed: 1, Latency: FixedLatency(time.Millisecond)})
+	a, b := &nullNode{}, &nullNode{}
+	n.AddNode(1, a)
+	n.AddNode(2, b)
+	n.RunFor(time.Millisecond)
+	a.env.Connect(2)
+	n.RunFor(20 * time.Millisecond)
+	if !a.env.Connected(2) {
+		t.Fatal("connection not established")
+	}
+	// Hoist the interface conversion: protocols hand Send pre-boxed
+	// wire.Message values, so boxing is not part of the measured path.
+	var msg wire.Message = wire.Data{Stream: 1, Seq: 1, Payload: make([]byte, 256)}
+	// Warm the arena, then measure.
+	for i := 0; i < 64; i++ {
+		a.env.Send(2, msg)
+	}
+	n.RunFor(time.Second)
+	if allocs := testing.AllocsPerRun(200, func() {
+		a.env.Send(2, msg)
+		if !n.Step() {
+			t.Fatal("no delivery to step")
+		}
+	}); allocs != 0 {
+		t.Errorf("Send+deliver allocates %.2f objects per hop, want 0", allocs)
+	}
+}
+
+// TestCancelledTimerIsRemoved locks in true removal: a stopped timer leaves
+// the queue immediately instead of lingering as a tombstone until its fire
+// time.
+func TestCancelledTimerIsRemoved(t *testing.T) {
+	n := New(Options{Seed: 1})
+	a := &echoNode{}
+	n.AddNode(1, a)
+	n.RunFor(time.Millisecond)
+	base := n.QueueLen()
+	tm := a.env.After(time.Hour, func() { t.Fatal("cancelled timer fired") })
+	if n.QueueLen() != base+1 {
+		t.Fatalf("queue = %d, want %d", n.QueueLen(), base+1)
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop reported not-pending for a pending timer")
+	}
+	if n.QueueLen() != base {
+		t.Fatalf("queue after Stop = %d, want %d (tombstone leak)", n.QueueLen(), base)
+	}
+	if tm.Stop() {
+		t.Error("second Stop reported pending")
+	}
+}
+
+// TestClosedNodeLeavesNoEvents is the regression test for the tombstone
+// leak: a node with pending periodic timers that is crashed or shut down
+// early leaves no events behind in the queue.
+func TestClosedNodeLeavesNoEvents(t *testing.T) {
+	for _, kill := range []struct {
+		name string
+		do   func(n *Network, id ids.NodeID)
+	}{
+		{"crash", func(n *Network, id ids.NodeID) { n.Crash(id) }},
+		{"shutdown", func(n *Network, id ids.NodeID) { n.Shutdown(id) }},
+	} {
+		t.Run(kill.name, func(t *testing.T) {
+			n := New(Options{Seed: 1, Latency: FixedLatency(time.Millisecond)})
+			a, b := &echoNode{}, &echoNode{}
+			n.AddNode(1, a)
+			n.AddNode(2, b)
+			n.RunFor(time.Millisecond)
+			a.env.Connect(2)
+			n.RunFor(20 * time.Millisecond)
+			// Node 2 carries pending work: periodic-style timers far in the
+			// future and an in-flight delivery headed its way.
+			var period func()
+			period = func() { b.env.After(time.Minute, period) }
+			b.env.After(time.Minute, period)
+			b.env.After(time.Hour, func() {})
+			a.env.Send(2, wire.Join{})
+			kill.do(n, 2)
+			// Every event owned by node 2 is gone; what remains (node 1's
+			// ConnDown notification) drains without reviving anything.
+			for _, idx := range n.heap {
+				if n.events[idx].owner != nil && n.events[idx].owner.id == 2 {
+					t.Fatalf("dead node still owns queued event at %v", n.events[idx].at)
+				}
+			}
+			n.RunFor(time.Hour)
+			if got := n.QueueLen(); got != 0 {
+				t.Fatalf("queue after drain = %d, want 0", got)
+			}
+			if len(b.received) != 0 {
+				t.Error("dead node received a message")
+			}
+		})
+	}
+}

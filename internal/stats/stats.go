@@ -1,6 +1,13 @@
 // Package stats provides the small statistics toolkit the evaluation
 // harness uses: percentile summaries, CDF series (the paper plots CDFs for
 // most figures), and online moments.
+//
+// Sample is exact up to maxExact observations — every value retained,
+// percentiles computed from the sorted data, bit-for-bit reproducible — and
+// switches to a bounded streaming summary beyond that: a fixed-size
+// deterministic centroid histogram (Ben-Haim & Tom-Tov style, closest-pair
+// merging) plus exact running n/mean/min/max. A 10k-node run's report is
+// therefore O(1) memory per distribution instead of O(observations).
 package stats
 
 import (
@@ -11,32 +18,201 @@ import (
 	"time"
 )
 
+const (
+	// maxExact is how many observations a Sample retains verbatim before
+	// compressing. Every paper-reproduction experiment stays below it, so
+	// their numbers are exactly what the retained-sample implementation
+	// produced.
+	maxExact = 8192
+	// maxCentroids bounds the compressed summary.
+	maxCentroids = 512
+	// flushEvery is the pending-buffer size in compressed mode; pending
+	// observations merge into the centroid set in sorted batches.
+	flushEvery = 512
+)
+
+// centroid is one bucket of a compressed sample: count observations with the
+// given mean.
+type centroid struct {
+	mean  float64
+	count uint64
+}
+
 // Sample is a mutable collection of float64 observations.
 type Sample struct {
-	xs     []float64
+	xs     []float64 // exact observations, or the pending buffer once compressed
 	sorted bool
+
+	// Streaming state, engaged once the sample compresses (cents != nil).
+	cents    []centroid
+	n        uint64
+	sum      float64
+	min, max float64
 }
+
+// compressed reports whether the sample switched to the bounded summary.
+func (s *Sample) compressed() bool { return s.cents != nil }
 
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
+	if !s.compressed() {
+		s.xs = append(s.xs, v)
+		s.sorted = false
+		if len(s.xs) > maxExact {
+			s.compress()
+		}
+		return
+	}
+	s.n++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
 	s.xs = append(s.xs, v)
-	s.sorted = false
+	if len(s.xs) >= flushEvery {
+		s.flushPending()
+	}
 }
 
 // AddDuration appends a duration observation in seconds.
 func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 
-// Merge appends every observation of other.
-func (s *Sample) Merge(other *Sample) {
-	if other == nil || len(other.xs) == 0 {
-		return
+// compress converts the exact buffer into the streaming representation.
+func (s *Sample) compress() {
+	sort.Float64s(s.xs)
+	s.n = uint64(len(s.xs))
+	s.sum = 0
+	for _, v := range s.xs {
+		s.sum += v
 	}
-	s.xs = append(s.xs, other.xs...)
+	if len(s.xs) > 0 {
+		s.min, s.max = s.xs[0], s.xs[len(s.xs)-1]
+	} else {
+		// Identity elements, so the first observation (or merge) wins the
+		// comparison: a literal 0 here would corrupt Min/Max of all-positive
+		// or all-negative data merged into an empty sample.
+		s.min, s.max = math.Inf(1), math.Inf(-1)
+	}
+	s.cents = reduceCentroids(centroidsFromSorted(s.xs), maxCentroids)
+	s.xs = s.xs[:0]
 	s.sorted = false
 }
 
+// flushPending folds the pending buffer into the centroid set.
+func (s *Sample) flushPending() {
+	if len(s.xs) == 0 {
+		return
+	}
+	sort.Float64s(s.xs)
+	s.cents = reduceCentroids(
+		mergeSortedCentroids(s.cents, centroidsFromSorted(s.xs)), maxCentroids)
+	s.xs = s.xs[:0]
+}
+
+// centroidsFromSorted coalesces equal values of a sorted slice.
+func centroidsFromSorted(xs []float64) []centroid {
+	out := make([]centroid, 0, min(len(xs), 2*maxCentroids))
+	for _, v := range xs {
+		if k := len(out); k > 0 && out[k-1].mean == v {
+			out[k-1].count++
+			continue
+		}
+		out = append(out, centroid{mean: v, count: 1})
+	}
+	return out
+}
+
+// mergeSortedCentroids merges two mean-ascending centroid lists.
+func mergeSortedCentroids(a, b []centroid) []centroid {
+	out := make([]centroid, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].mean <= b[j].mean {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// reduceCentroids merges the closest adjacent pair (lowest index on ties —
+// deterministic) until at most max centroids remain.
+func reduceCentroids(cs []centroid, max int) []centroid {
+	for len(cs) > max {
+		best, bestGap := 0, math.Inf(1)
+		for i := 0; i+1 < len(cs); i++ {
+			if gap := cs[i+1].mean - cs[i].mean; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		a, b := cs[best], cs[best+1]
+		total := a.count + b.count
+		cs[best] = centroid{
+			mean:  (a.mean*float64(a.count) + b.mean*float64(b.count)) / float64(total),
+			count: total,
+		}
+		cs = append(cs[:best+1], cs[best+2:]...)
+	}
+	return cs
+}
+
+// Merge appends every observation of other. While both samples are exact and
+// fit the retention bound this is lossless; otherwise the result is the
+// bounded summary of the union.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || other.Len() == 0 {
+		return
+	}
+	if !s.compressed() && !other.compressed() && len(s.xs)+len(other.xs) <= maxExact {
+		s.xs = append(s.xs, other.xs...)
+		s.sorted = false
+		return
+	}
+	if !s.compressed() {
+		s.compress()
+	}
+	if !other.compressed() {
+		for _, v := range other.xs {
+			s.Add(v)
+		}
+		return
+	}
+	// Both compressed: fold other's pending values, then its centroids.
+	var pendSum float64
+	for _, v := range other.xs {
+		pendSum += v
+		s.Add(v)
+	}
+	s.flushPending()
+	s.cents = reduceCentroids(mergeSortedCentroids(s.cents, other.cents), maxCentroids)
+	var cn uint64
+	for _, c := range other.cents {
+		cn += c.count
+	}
+	s.n += cn
+	s.sum += other.sum - pendSum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
 // Len returns the number of observations.
-func (s *Sample) Len() int { return len(s.xs) }
+func (s *Sample) Len() int {
+	if s.compressed() {
+		return int(s.n)
+	}
+	return len(s.xs)
+}
 
 func (s *Sample) sort() {
 	if !s.sorted {
@@ -47,6 +223,12 @@ func (s *Sample) sort() {
 
 // Min returns the smallest observation (0 if empty).
 func (s *Sample) Min() float64 {
+	if s.compressed() {
+		if s.n == 0 {
+			return 0
+		}
+		return s.min
+	}
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -56,6 +238,12 @@ func (s *Sample) Min() float64 {
 
 // Max returns the largest observation (0 if empty).
 func (s *Sample) Max() float64 {
+	if s.compressed() {
+		if s.n == 0 {
+			return 0
+		}
+		return s.max
+	}
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -63,8 +251,15 @@ func (s *Sample) Max() float64 {
 	return s.xs[len(s.xs)-1]
 }
 
-// Mean returns the arithmetic mean (0 if empty).
+// Mean returns the arithmetic mean (0 if empty). Exact in both modes (the
+// compressed mode keeps a running sum).
 func (s *Sample) Mean() float64 {
+	if s.compressed() {
+		if s.n == 0 {
+			return 0
+		}
+		return s.sum / float64(s.n)
+	}
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -75,9 +270,50 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.xs))
 }
 
+// valueAtRank interpolates the value at fractional rank r in [0, n-1] from
+// the centroid summary: piecewise linear through the centroid mid-ranks,
+// clamped to the exact min/max at the ends.
+func (s *Sample) valueAtRank(r float64) float64 {
+	s.flushPending()
+	last := float64(s.n - 1)
+	if r <= 0 {
+		return s.min
+	}
+	if r >= last {
+		return s.max
+	}
+	prevRank, prevVal := -0.5, s.min // virtual point just below rank 0
+	cum := uint64(0)
+	for _, c := range s.cents {
+		mid := float64(cum) + float64(c.count-1)/2
+		if r <= mid {
+			if mid == prevRank {
+				return c.mean
+			}
+			frac := (r - prevRank) / (mid - prevRank)
+			return prevVal + frac*(c.mean-prevVal)
+		}
+		prevRank, prevVal = mid, c.mean
+		cum += c.count
+	}
+	// r sits between the last mid-rank and the max.
+	if last == prevRank {
+		return s.max
+	}
+	frac := (r - prevRank) / (last - prevRank)
+	return prevVal + frac*(s.max-prevVal)
+}
+
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks.
+// interpolation between closest ranks (exact mode) or the centroid summary
+// (compressed mode).
 func (s *Sample) Percentile(p float64) float64 {
+	if s.compressed() {
+		if s.n == 0 {
+			return 0
+		}
+		return s.valueAtRank(p / 100 * float64(s.n-1))
+	}
 	n := len(s.xs)
 	if n == 0 {
 		return 0
@@ -141,15 +377,25 @@ type CDFPoint struct {
 // CDF returns up to points evenly spaced CDF points (plus the max), suitable
 // for plotting the paper's CDF figures.
 func (s *Sample) CDF(points int) []CDFPoint {
-	n := len(s.xs)
+	n := s.Len()
 	if n == 0 {
 		return nil
 	}
-	s.sort()
 	if points <= 1 || n == 1 {
-		return []CDFPoint{{Value: s.xs[n-1], Pct: 100}}
+		return []CDFPoint{{Value: s.Max(), Pct: 100}}
 	}
 	out := make([]CDFPoint, 0, points)
+	if s.compressed() {
+		for i := 0; i < points; i++ {
+			idx := (i * (n - 1)) / (points - 1)
+			out = append(out, CDFPoint{
+				Value: s.valueAtRank(float64(idx)),
+				Pct:   100 * float64(idx+1) / float64(n),
+			})
+		}
+		return out
+	}
+	s.sort()
 	for i := 0; i < points; i++ {
 		idx := (i * (n - 1)) / (points - 1)
 		out = append(out, CDFPoint{
@@ -162,6 +408,34 @@ func (s *Sample) CDF(points int) []CDFPoint {
 
 // FractionAtOrBelow returns the percentage of observations <= v.
 func (s *Sample) FractionAtOrBelow(v float64) float64 {
+	if s.compressed() {
+		if s.n == 0 {
+			return 0
+		}
+		s.flushPending()
+		if v < s.min {
+			return 0
+		}
+		if v >= s.max {
+			return 100
+		}
+		// Count whole centroids at or below v, interpolating within the
+		// straddling gap.
+		cum := uint64(0)
+		prevMean := s.min
+		for _, c := range s.cents {
+			if c.mean > v {
+				if c.mean > prevMean {
+					frac := (v - prevMean) / (c.mean - prevMean)
+					return 100 * (float64(cum) + frac*float64(c.count)/2) / float64(s.n)
+				}
+				break
+			}
+			cum += c.count
+			prevMean = c.mean
+		}
+		return 100 * float64(cum) / float64(s.n)
+	}
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -170,21 +444,46 @@ func (s *Sample) FractionAtOrBelow(v float64) float64 {
 	return 100 * float64(idx) / float64(len(s.xs))
 }
 
-// IntHistogram counts integer observations (depth and degree figures).
+// denseLimit bounds the IntHistogram's dense bucket array; values outside
+// [0, denseLimit) fall back to the sparse map, so a wild value cannot force
+// a giant allocation.
+const denseLimit = 1 << 16
+
+// IntHistogram counts integer observations (depth and degree figures). The
+// common domain — small non-negative values — lives in a dense counter
+// array; a map catches outliers, so memory stays bounded by the distinct
+// value range rather than the observation count.
 type IntHistogram struct {
-	counts map[int]int
-	total  int
+	dense    []int
+	overflow map[int]int
+	total    int
 }
 
 // NewIntHistogram returns an empty histogram.
 func NewIntHistogram() *IntHistogram {
-	return &IntHistogram{counts: make(map[int]int)}
+	return &IntHistogram{}
 }
 
 // Add counts one observation.
 func (h *IntHistogram) Add(v int) {
-	h.counts[v]++
 	h.total++
+	if v >= 0 && v < denseLimit {
+		if v >= len(h.dense) {
+			if v < cap(h.dense) {
+				h.dense = h.dense[:v+1]
+			} else {
+				nd := make([]int, v+1, max(v+1, 2*cap(h.dense)+8))
+				copy(nd, h.dense)
+				h.dense = nd
+			}
+		}
+		h.dense[v]++
+		return
+	}
+	if h.overflow == nil {
+		h.overflow = make(map[int]int)
+	}
+	h.overflow[v]++
 }
 
 // Total returns the number of observations.
@@ -196,16 +495,32 @@ func (h *IntHistogram) CDF() []CDFPoint {
 	if h.total == 0 {
 		return nil
 	}
-	values := make([]int, 0, len(h.counts))
-	for v := range h.counts {
-		values = append(values, v)
+	var lows, highs []int // overflow values below 0 and at or above denseLimit
+	for v := range h.overflow {
+		if v < 0 {
+			lows = append(lows, v)
+		} else {
+			highs = append(highs, v)
+		}
 	}
-	sort.Ints(values)
-	out := make([]CDFPoint, 0, len(values))
+	sort.Ints(lows)
+	sort.Ints(highs)
+	out := make([]CDFPoint, 0, len(lows)+len(highs)+16)
 	cum := 0
-	for _, v := range values {
-		cum += h.counts[v]
+	emit := func(v, count int) {
+		cum += count
 		out = append(out, CDFPoint{Value: float64(v), Pct: 100 * float64(cum) / float64(h.total)})
+	}
+	for _, v := range lows {
+		emit(v, h.overflow[v])
+	}
+	for v, count := range h.dense {
+		if count > 0 {
+			emit(v, count)
+		}
+	}
+	for _, v := range highs {
+		emit(v, h.overflow[v])
 	}
 	return out
 }

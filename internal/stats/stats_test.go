@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -200,5 +201,154 @@ func TestQuickHistogramTotal(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ------------------------------------------------------ streaming summaries
+
+func TestCompressedSampleStaysAccurate(t *testing.T) {
+	// Past the exact-retention bound the sample switches to the bounded
+	// centroid summary; quantiles must stay close to the exact answer and
+	// n/mean/min/max must stay exact.
+	r := rand.New(rand.NewSource(42))
+	var s Sample
+	var all []float64
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()*10 + 100
+		s.Add(v)
+		all = append(all, v)
+		sum += v
+	}
+	if !s.compressed() {
+		t.Fatal("sample should have compressed")
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	sort.Float64s(all)
+	if s.Min() != all[0] || s.Max() != all[n-1] {
+		t.Errorf("min/max = %g/%g, want %g/%g", s.Min(), s.Max(), all[0], all[n-1])
+	}
+	if got, want := s.Mean(), sum/n; math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	// Quantile error within a fraction of a standard deviation.
+	for _, p := range []float64{1, 5, 25, 50, 75, 90, 99} {
+		idx := int(p / 100 * float64(n-1))
+		exact := all[idx]
+		got := s.Percentile(p)
+		if math.Abs(got-exact) > 1.0 { // sigma = 10
+			t.Errorf("p%.0f = %g, exact %g", p, got, exact)
+		}
+	}
+	// CDF stays monotone in both axes.
+	points := s.CDF(100)
+	for i := 1; i < len(points); i++ {
+		if points[i].Value < points[i-1].Value || points[i].Pct < points[i-1].Pct {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, points[i-1], points[i])
+		}
+	}
+	// FractionAtOrBelow at the median is near 50%.
+	if got := s.FractionAtOrBelow(s.Median()); math.Abs(got-50) > 3 {
+		t.Errorf("FractionAtOrBelow(median) = %.1f", got)
+	}
+}
+
+func TestCompressedSampleIsDeterministic(t *testing.T) {
+	run := func() Summary {
+		r := rand.New(rand.NewSource(7))
+		var s Sample
+		for i := 0; i < 30000; i++ {
+			s.Add(r.ExpFloat64())
+		}
+		return s.Summarize()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same insertion order produced different summaries:\n%v\n%v", a, b)
+	}
+}
+
+func TestMergeAcrossModes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// exact + exact staying under the bound: lossless.
+	var a, b Sample
+	for i := 0; i < 100; i++ {
+		a.Add(r.Float64())
+		b.Add(r.Float64())
+	}
+	a.Merge(&b)
+	if a.Len() != 200 || a.compressed() {
+		t.Fatalf("small merge compressed: len=%d", a.Len())
+	}
+	// exact + big exact: compresses, counts stay exact.
+	var big Sample
+	for i := 0; i < maxExact; i++ {
+		big.Add(r.Float64() * 10)
+	}
+	a.Merge(&big)
+	if a.Len() != 200+maxExact {
+		t.Fatalf("merged len = %d, want %d", a.Len(), 200+maxExact)
+	}
+	// compressed + compressed.
+	var c Sample
+	for i := 0; i < maxExact+100; i++ {
+		c.Add(r.Float64() + 5)
+	}
+	if !c.compressed() {
+		t.Fatal("c should be compressed")
+	}
+	before := a.Len()
+	a.Merge(&c)
+	if a.Len() != before+c.Len() {
+		t.Fatalf("compressed merge len = %d, want %d", a.Len(), before+c.Len())
+	}
+	if a.Max() < 5 {
+		t.Errorf("merge lost the high range: max=%g", a.Max())
+	}
+}
+
+func TestIntHistogramOverflowValues(t *testing.T) {
+	h := NewIntHistogram()
+	h.Add(-3)
+	h.Add(2)
+	h.Add(2)
+	h.Add(denseLimit + 10)
+	points := h.CDF()
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[0].Value != -3 || points[1].Value != 2 || points[2].Value != float64(denseLimit+10) {
+		t.Fatalf("values out of order: %+v", points)
+	}
+	if points[2].Pct != 100 {
+		t.Errorf("final pct = %g", points[2].Pct)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestMergeCompressedIntoEmpty(t *testing.T) {
+	// Regression: compress() on an empty receiver must not anchor min/max
+	// at 0 — all-positive merged data would report Min()=0.
+	var big Sample
+	for i := 0; i < maxExact+100; i++ {
+		big.Add(5 + float64(i%100))
+	}
+	var s Sample
+	s.Merge(&big)
+	if got := s.Min(); got != 5 {
+		t.Errorf("Min after merge into empty = %g, want 5", got)
+	}
+	if got := s.Max(); got != 104 {
+		t.Errorf("Max after merge into empty = %g, want 104", got)
+	}
+	if got := s.Percentile(0); got != 5 {
+		t.Errorf("P0 after merge into empty = %g, want 5", got)
+	}
+	if s.Len() != big.Len() {
+		t.Errorf("Len = %d, want %d", s.Len(), big.Len())
 	}
 }

@@ -172,6 +172,26 @@ func (d *Decoder) NodeIDs() []ids.NodeID {
 	return out
 }
 
+// NodeIDsAppend reads a u16-prefixed identifier list into dst, returning the
+// extended slice and the subslice holding this list. Hot decode paths
+// (keep-alive piggybacks) pass a reused arena so per-message decoding does
+// not allocate.
+func (d *Decoder) NodeIDsAppend(dst []ids.NodeID) (arena, list []ids.NodeID) {
+	n := int(d.U16())
+	if d.Err != nil || n == 0 {
+		return dst, nil
+	}
+	if d.Off+n*ids.WireSize > len(d.B) {
+		d.fail()
+		return dst, nil
+	}
+	start := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, d.NodeID())
+	}
+	return dst, dst[start:]
+}
+
 // Bytes reads a u32-prefixed byte string. The returned slice aliases the
 // input buffer.
 func (d *Decoder) Bytes() []byte {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Kind identifies a message type on the wire. Kinds are grouped in ranges by
@@ -131,10 +132,36 @@ type Message interface {
 
 // Marshal encodes a message as kind byte + body.
 func Marshal(m Message) []byte {
-	b := make([]byte, 0, m.WireSize())
+	return AppendFrame(make([]byte, 0, m.WireSize()), m)
+}
+
+// AppendFrame appends the message's frame (kind byte + body) to b and
+// returns the extended slice — the allocation-free form of Marshal for
+// callers that manage their own buffers.
+func AppendFrame(b []byte, m Message) []byte {
 	b = append(b, byte(m.Kind()))
 	return m.AppendTo(b)
 }
+
+// bufPool recycles encode buffers across sends so the transport write path
+// costs O(1) allocations per message regardless of rate.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// GetBuffer borrows an empty encode buffer from the pool. Return it with
+// PutBuffer once the encoded bytes have been flushed.
+func GetBuffer() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// PutBuffer returns a borrowed buffer to the pool.
+func PutBuffer(bp *[]byte) { bufPool.Put(bp) }
 
 // Unmarshal decodes a frame produced by Marshal.
 func Unmarshal(frame []byte) (Message, error) {

@@ -203,3 +203,59 @@ func TestControlClassification(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeHotPathAllocs pins the allocation cost of the accounting and
+// framing hot paths: WireSize is arithmetic (zero allocations) and
+// AppendFrame into a pre-sized buffer reallocates nothing, so the simulator
+// charges bandwidth and the transport frames messages at O(1) allocations
+// per hop.
+func TestEncodeHotPathAllocs(t *testing.T) {
+	// Hoist the interface conversion: the transport holds its messages as
+	// wire.Message already, so boxing is not part of the measured path.
+	var msg Message = Data{
+		Stream:  7,
+		Seq:     42,
+		Depth:   3,
+		Path:    []ids.NodeID{1, 2, 3, 4},
+		Payload: make([]byte, 1024),
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if msg.WireSize() <= 0 {
+			t.Fatal("bad size")
+		}
+	}); allocs != 0 {
+		t.Errorf("WireSize allocates %.1f objects per call, want 0", allocs)
+	}
+	buf := make([]byte, 0, msg.WireSize())
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendFrame(buf[:0], msg)
+	}); allocs != 0 {
+		t.Errorf("AppendFrame into sized buffer allocates %.1f objects per call, want 0", allocs)
+	}
+	if len(buf) != msg.WireSize() {
+		t.Fatalf("frame length %d != WireSize %d", len(buf), msg.WireSize())
+	}
+	// The pooled buffer cycle stays allocation-free once warm.
+	if allocs := testing.AllocsPerRun(100, func() {
+		bp := GetBuffer()
+		*bp = AppendFrame(*bp, msg)
+		PutBuffer(bp)
+	}); allocs > 0.1 {
+		t.Errorf("pooled frame cycle allocates %.1f objects per call, want ~0", allocs)
+	}
+}
+
+// TestAppendFrameMatchesMarshal cross-checks the pooled framing against the
+// allocating reference encoder for every registered message type.
+func TestAppendFrameMatchesMarshal(t *testing.T) {
+	for _, m := range allMessages() {
+		ref := Marshal(m)
+		got := AppendFrame(nil, m)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("%v: AppendFrame differs from Marshal", m.Kind())
+		}
+		if len(ref) != m.WireSize() {
+			t.Errorf("%v: WireSize %d != encoded length %d", m.Kind(), m.WireSize(), len(ref))
+		}
+	}
+}

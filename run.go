@@ -3,7 +3,7 @@ package brisa
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -280,7 +280,7 @@ func sortedKeys[V any](m map[NodeID]V) []NodeID {
 	for id := range m {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
