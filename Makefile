@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-scale fmt vet
+.PHONY: all build test race bench bench-scale fuzz fmt vet
 
 all: build test
 
@@ -24,7 +24,14 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkScenarios -benchtime 1x .
 
 # bench-scale regenerates the engine-scale records (BENCH_scale.json):
-# single-stream tree dissemination at 1k, 2.5k and 10k nodes, reporting
-# wall-clock, allocations and simulator events/s.
+# tree dissemination at 1k, 2.5k and 10k nodes, single- and multi-stream
+# (scale-tree-4x2500), with a 1/2/8-worker sweep at 10k, reporting
+# wall-clock, allocations and simulator events/s per (scenario, workers).
 bench-scale:
 	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -timeout 30m .
+
+# fuzz runs the wire-codec fuzz targets briefly (CI runs the same smoke);
+# longer local sessions: go test -fuzz FuzzDecoder -fuzztime 5m ./internal/wire
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime 10s ./internal/wire

@@ -1,12 +1,21 @@
 package brisa_test
 
 // BenchmarkScale measures the simulation engine itself — not the protocol —
-// at sizes well past the paper's 512-node ceiling: a single-stream tree
-// dissemination at 1k, 2.5k and 10k nodes. Each sub-benchmark reports
-// wall-clock, allocations and simulator events/second, and the suite writes
-// the machine-readable records to BENCH_scale.json so the engine's
-// performance trajectory accumulates across revisions (`make bench-scale`
-// regenerates it; CI runs the 1k smoke and uploads the artifact).
+// at sizes well past the paper's 512-node ceiling: tree dissemination at 1k,
+// 2.5k and 10k nodes, single- and multi-stream, on 1/2/8 scheduler shards.
+// Each sub-benchmark reports wall-clock, allocations and simulator
+// events/second, and the suite writes the machine-readable records to
+// BENCH_scale.json so the engine's performance trajectory accumulates
+// across revisions (`make bench-scale` regenerates it; CI runs the 1k smoke
+// and uploads the artifact).
+//
+// The worker sweep records the same deterministic simulation executed on
+// 1, 2 and 8 shards (byte-identical Reports — see equivalence_test.go).
+// Interpreting the wall-clock spread needs the host's core count (recorded
+// per entry): on a single-core container the sharded scheduler can only
+// add synchronization overhead, which its inline-window fallback keeps
+// small; the parallel win exists only where GOMAXPROCS > 1 and windows are
+// dense enough to fan out.
 
 import (
 	"context"
@@ -21,38 +30,74 @@ import (
 	brisa "repro"
 )
 
-// scaleSizes are the network sizes the suite sweeps. CI smokes only the
-// first; `make bench-scale` runs all of them.
-var scaleSizes = []int{1000, 2500, 10000}
+// scaleCase is one swept configuration.
+type scaleCase struct {
+	nodes   int
+	streams int
+	workers int
+	ci      bool // part of the CI smoke (everything runs under make bench-scale)
+}
 
-// scaleScenario is the canonical engine-scale workload: one tree stream over
-// n nodes with a compressed join schedule (the default 50ms stagger would
-// spend most of the virtual time joining, which measures the bootstrap
-// schedule rather than the engine).
-func scaleScenario(nodes int) brisa.Scenario {
+// scaleCases is the sweep: the historical single-stream sizes, the
+// multi-stream record the single-stream suite was blind to, and the
+// worker-count sweep at 10k.
+var scaleCases = []scaleCase{
+	{nodes: 1000, streams: 1, workers: 1, ci: true},
+	{nodes: 2500, streams: 1, workers: 1},
+	{nodes: 2500, streams: 4, workers: 1},
+	{nodes: 10000, streams: 1, workers: 1},
+	{nodes: 10000, streams: 1, workers: 2},
+	{nodes: 10000, streams: 1, workers: 8},
+}
+
+func (c scaleCase) scenarioName() string {
+	return fmt.Sprintf("scale-tree-%dx%d", c.streams, c.nodes)
+}
+
+func (c scaleCase) benchName() string {
+	if c.streams == 1 {
+		return fmt.Sprintf("%d/w%d", c.nodes, c.workers)
+	}
+	return fmt.Sprintf("%dx%d/w%d", c.nodes, c.streams, c.workers)
+}
+
+// scaleScenario is the canonical engine-scale workload: tree dissemination
+// over n nodes with a compressed join schedule (the default 50ms stagger
+// would spend most of the virtual time joining, which measures the
+// bootstrap schedule rather than the engine). Multi-stream cases source
+// each stream from a distinct node, concurrently.
+func scaleScenario(c scaleCase) brisa.Scenario {
 	messages := 20
-	if nodes >= 10000 {
+	if c.nodes >= 10000 {
 		messages = 10
 	}
+	var ws []brisa.Workload
+	for s := 0; s < c.streams; s++ {
+		ws = append(ws, brisa.Workload{
+			Stream: brisa.StreamID(s + 1), Source: s,
+			Messages: messages, Payload: 256,
+		})
+	}
 	return brisa.Scenario{
-		Name: fmt.Sprintf("scale-tree-1x%d", nodes),
+		Name: c.scenarioName(),
 		Seed: 1,
 		Topology: brisa.Topology{
-			Nodes:         nodes,
+			Nodes:         c.nodes,
 			Peer:          brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
 			JoinInterval:  5 * time.Millisecond,
 			StabilizeTime: 10 * time.Second,
 		},
-		Workloads: []brisa.Workload{
-			{Stream: 1, Messages: messages, Payload: 256},
-		},
-		Drain: 5 * time.Second,
+		Workloads: ws,
+		Drain:     5 * time.Second,
 	}
 }
 
-// scaleRecord is one BENCH_scale.json entry.
+// scaleRecord is one BENCH_scale.json entry, keyed by (name, workers).
 type scaleRecord struct {
+	Name         string  `json:"name"`
 	Nodes        int     `json:"nodes"`
+	Streams      int     `json:"streams"`
+	Workers      int     `json:"workers"`
 	Messages     int     `json:"messages"`
 	WallMS       float64 `json:"wall_ms"`
 	Events       uint64  `json:"events"`
@@ -60,18 +105,20 @@ type scaleRecord struct {
 	Allocs       uint64  `json:"allocs"`
 	AllocMB      float64 `json:"alloc_mb"`
 	Reliability  float64 `json:"reliability"`
+	HostCPUs     int     `json:"host_cpus"`
 	GoVersion    string  `json:"go_version"`
 }
 
-// runScale executes one scale scenario and measures the engine: wall time,
+// runScale executes one scale case and measures the engine: wall time,
 // allocation count/volume (runtime.MemStats deltas around the run) and
 // simulator events executed.
-func runScale(tb testing.TB, nodes int) scaleRecord {
-	sc := scaleScenario(nodes)
-	c, err := sc.NewCluster()
+func runScale(tb testing.TB, cs scaleCase) scaleRecord {
+	sc := scaleScenario(cs)
+	c, err := brisa.SimRuntime{Workers: cs.workers}.NewCluster(sc)
 	if err != nil {
 		tb.Fatalf("%s: %v", sc.Name, err)
 	}
+	defer c.Close()
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -82,23 +129,32 @@ func runScale(tb testing.TB, nodes int) scaleRecord {
 	if err != nil {
 		tb.Fatalf("%s: %v", sc.Name, err)
 	}
-	sr := rep.Stream(1)
-	if sr == nil || sr.Reliability < 0.99 {
-		rel := -1.0
-		if sr != nil {
-			rel = sr.Reliability
+	minRel := 1.0
+	for _, w := range sc.Workloads {
+		sr := rep.Stream(w.Stream)
+		if sr == nil {
+			tb.Fatalf("%s: stream %d missing from report", sc.Name, w.Stream)
 		}
-		tb.Fatalf("%s: reliability %.4f, want >= 0.99", sc.Name, rel)
+		if sr.Reliability < minRel {
+			minRel = sr.Reliability
+		}
+	}
+	if minRel < 0.99 {
+		tb.Fatalf("%s: reliability %.4f, want >= 0.99", sc.Name, minRel)
 	}
 	events := c.Net.EventsFired()
 	rec := scaleRecord{
-		Nodes:       nodes,
+		Name:        sc.Name,
+		Nodes:       cs.nodes,
+		Streams:     cs.streams,
+		Workers:     cs.workers,
 		Messages:    sc.Workloads[0].Messages,
 		WallMS:      float64(wall.Microseconds()) / 1000,
 		Events:      events,
 		Allocs:      after.Mallocs - before.Mallocs,
 		AllocMB:     float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-		Reliability: sr.Reliability,
+		Reliability: minRel,
+		HostCPUs:    runtime.NumCPU(),
 		GoVersion:   runtime.Version(),
 	}
 	if wall > 0 {
@@ -107,18 +163,18 @@ func runScale(tb testing.TB, nodes int) scaleRecord {
 	return rec
 }
 
-// BenchmarkScale sweeps the engine-scale scenarios. Run a single size with
-// e.g. `-bench 'BenchmarkScale/1000$'`. After the sweep the collected
-// records are written to BENCH_scale.json.
+// BenchmarkScale sweeps the engine-scale cases. Run a single case with e.g.
+// `-bench 'BenchmarkScale/1000/w1'`. After the sweep the collected records
+// are written to BENCH_scale.json.
 func BenchmarkScale(b *testing.B) {
 	var records []scaleRecord
-	for _, nodes := range scaleSizes {
-		nodes := nodes
-		b.Run(fmt.Sprintf("%d", nodes), func(b *testing.B) {
+	for _, cs := range scaleCases {
+		cs := cs
+		b.Run(cs.benchName(), func(b *testing.B) {
 			b.ReportAllocs()
 			var last scaleRecord
 			for i := 0; i < b.N; i++ {
-				last = runScale(b, nodes)
+				last = runScale(b, cs)
 			}
 			b.ReportMetric(last.WallMS, "wall-ms")
 			b.ReportMetric(last.EventsPerSec, "events/s")
@@ -130,22 +186,38 @@ func BenchmarkScale(b *testing.B) {
 		return
 	}
 	// Merge with the existing file rather than overwrite: a filtered run
-	// (e.g. CI's 1k smoke) must not clobber the other sizes' records.
+	// (e.g. CI's 1k smoke) must not clobber the other cases' records.
+	type key struct {
+		name    string
+		workers int
+	}
 	if prev, err := os.ReadFile("BENCH_scale.json"); err == nil {
 		var old []scaleRecord
 		if json.Unmarshal(prev, &old) == nil {
-			fresh := make(map[int]bool, len(records))
+			fresh := make(map[key]bool, len(records))
 			for _, r := range records {
-				fresh[r.Nodes] = true
+				fresh[key{r.Name, r.Workers}] = true
 			}
 			for _, r := range old {
-				if !fresh[r.Nodes] {
+				if r.Name == "" {
+					continue // drop pre-PR5 schema entries (no name/workers)
+				}
+				if !fresh[key{r.Name, r.Workers}] {
 					records = append(records, r)
 				}
 			}
 		}
 	}
-	sort.Slice(records, func(i, j int) bool { return records[i].Nodes < records[j].Nodes })
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		if a.Nodes != b.Nodes {
+			return a.Nodes < b.Nodes
+		}
+		if a.Streams != b.Streams {
+			return a.Streams < b.Streams
+		}
+		return a.Workers < b.Workers
+	})
 	out, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
 		b.Fatalf("marshal records: %v", err)

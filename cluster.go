@@ -49,6 +49,20 @@ type ClusterConfig struct {
 	// ProcessingDelay, when set, adds per-message scheduling delay at
 	// receivers (see simnet.LogNormalDelay).
 	ProcessingDelay func(r *rand.Rand) time.Duration
+	// Workers is the number of scheduler shards the simulator partitions
+	// node actors across (default 1: the sequential engine). With
+	// Workers > 1 the conservative-lookahead scheduler runs shards on
+	// worker goroutines; results are byte-identical for every worker
+	// count, but shared instrumentation callbacks (Peer OnDeliver/OnEvent)
+	// then run concurrently and must be thread-safe. Requires a Latency
+	// model with a positive minimum delay (all built-in models qualify);
+	// otherwise the engine silently degrades to 1 worker. Call
+	// Cluster.Close when done to release the worker goroutines.
+	Workers int
+	// ParallelThreshold tunes when the sharded scheduler fans a window out
+	// to worker goroutines instead of running it inline (see
+	// simnet.Options.ParallelThreshold; tests use -1 to force fan-out).
+	ParallelThreshold int
 }
 
 // Cluster is a simulated BRISA deployment: N peers on a virtual network.
@@ -88,6 +102,9 @@ func (cfg ClusterConfig) Validate() error {
 	if cfg.LinkBandwidth < 0 {
 		return fmt.Errorf("brisa: ClusterConfig.LinkBandwidth must not be negative, got %d", cfg.LinkBandwidth)
 	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("brisa: ClusterConfig.Workers must not be negative, got %d", cfg.Workers)
+	}
 	if cfg.PeerConfig == nil && cfg.PeerConfigAt == nil {
 		if err := cfg.Peer.Validate(); err != nil {
 			return err
@@ -114,12 +131,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{
 		Net: simnet.New(simnet.Options{
-			Seed:            cfg.Seed,
-			Latency:         cfg.Latency,
-			DetectDelay:     cfg.DetectDelay,
-			NodeBandwidth:   cfg.NodeBandwidth,
-			Bandwidth:       cfg.LinkBandwidth,
-			ProcessingDelay: cfg.ProcessingDelay,
+			Seed:              cfg.Seed,
+			Latency:           cfg.Latency,
+			DetectDelay:       cfg.DetectDelay,
+			NodeBandwidth:     cfg.NodeBandwidth,
+			Bandwidth:         cfg.LinkBandwidth,
+			ProcessingDelay:   cfg.ProcessingDelay,
+			Workers:           cfg.Workers,
+			ParallelThreshold: cfg.ParallelThreshold,
 		}),
 		cfg:   cfg,
 		peers: make(map[NodeID]*Peer),
@@ -327,6 +346,15 @@ func (t *churnTarget) Join() {
 func (t *churnTarget) Fail()     { t.c.CrashRandom(t.protect...) }
 func (t *churnTarget) Size() int { return len(t.c.Net.NodeIDs()) }
 func (t *churnTarget) Stop()     {}
+
+// Close releases the simulator's worker goroutines (Workers > 1). It is
+// idempotent and safe on sequential clusters; a closed cluster still runs,
+// executing scheduler windows inline.
+func (c *Cluster) Close() { c.Net.Close() }
+
+// Workers returns the effective scheduler shard count (1 unless
+// ClusterConfig.Workers enabled sharding and the latency model supports it).
+func (c *Cluster) Workers() int { return c.Net.Workers() }
 
 // String summarizes the cluster state.
 func (c *Cluster) String() string {

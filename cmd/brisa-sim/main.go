@@ -45,6 +45,7 @@ func main() {
 		planet   = flag.Bool("planetlab", false, "use PlanetLab latencies instead of cluster")
 		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied 10s into dissemination")
 		runtime  = flag.String("runtime", "sim", "runtime: sim | live (loopback TCP)")
+		workers  = flag.Int("workers", 1, "simulator scheduler shards (sim runtime only); >1 runs node actors on worker goroutines, results are identical for every value")
 		asJSON   = flag.Bool("json", false, "print the report as JSON instead of text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	)
@@ -117,6 +118,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if sim, ok := rt.(brisa.SimRuntime); ok {
+		sim.Workers = *workers
+		rt = sim
+	} else if *workers != 1 {
+		fmt.Fprintf(os.Stderr, "-workers applies to the sim runtime only, ignored for %q\n", rt.Name())
 	}
 	// Ctrl-C aborts the run: the context unwinds workload generators,
 	// churn loops and probe drains on either runtime.

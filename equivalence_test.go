@@ -1,0 +1,134 @@
+package brisa_test
+
+// The sequential-vs-sharded equivalence harness — the contract that lets the
+// multi-core scheduler evolve without silently diverging from the engine the
+// paper reproductions were validated on.
+//
+// The sharded scheduler (internal/simnet, Workers > 1) was designed so that
+// the simulation outcome is a pure function of (seed, workload),
+// independent of the worker count: events are ordered by a key that no
+// execution interleaving can change, latency draws are per-sender streams
+// rather than a global RNG, and conservative lookahead windows keep shards
+// from ever observing each other mid-window. The harness enforces the
+// strongest checkable form of that claim: every golden scenario's full
+// Report JSON — the deterministic probes (reliability, delivered counts,
+// structure, traffic, repair counts) and the timing distributions
+// (latency/spread/duplicate percentiles) alike — must be byte-identical on
+// 1, 2 and 8 workers. Identical distributions subsume the "statistically
+// bounded agreement" a looser parallel engine would settle for.
+//
+// The engine-level half of the harness lives in internal/simnet
+// (TestShardedEquivalence), pinning raw transcripts: every delivery,
+// connection event and timestamp.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// equivalenceWorkerCounts are the sharded configurations checked against
+// the sequential engine. 8 intentionally exceeds this machine's core count
+// and the shard count stays correct regardless of parallel hardware.
+var equivalenceWorkerCounts = []int{2, 8}
+
+// TestEngineEquivalence runs every golden scenario on the sequential engine
+// and on each sharded configuration, requiring byte-identical Reports.
+func TestEngineEquivalence(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			want := runGolden(t, gc.sc, 1)
+			for _, workers := range equivalenceWorkerCounts {
+				got := runGolden(t, gc.sc, workers)
+				if !bytes.Equal(got, want) {
+					t.Errorf("workers=%d diverged from the sequential engine\nsequential:\n%s\nworkers=%d:\n%s",
+						workers, want, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEquivalenceForcedParallel re-runs the multistream golden with the
+// inline-window optimization disabled (every multi-shard window fans out to
+// worker goroutines), so the cross-goroutine code path is exercised at the
+// full protocol stack — and, in CI, under -race. A scenario this small
+// would otherwise mostly run inline.
+func TestEquivalenceForcedParallel(t *testing.T) {
+	gc := goldenCases()[1]
+	want := runGolden(t, gc.sc, 1)
+
+	cfg := brisa.ClusterConfig{
+		Nodes:             gc.sc.Topology.Nodes,
+		Peer:              gc.sc.Topology.Peer,
+		Seed:              gc.sc.Seed,
+		Workers:           4,
+		ParallelThreshold: -1,
+	}
+	c, err := brisa.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Workers(); got != 4 {
+		t.Fatalf("cluster Workers() = %d, want 4", got)
+	}
+	rep, err := brisa.Run(nil, brisa.SimRuntime{Cluster: c}, gc.sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := normalizeReport(t, rep); !bytes.Equal(got, want) {
+		t.Errorf("forced-parallel run diverged from the sequential engine\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestEquivalenceAcrossChunking pins a property the scenario runner relies
+// on: the sharded scheduler's window structure follows RunUntil deadlines,
+// and results must not depend on how virtual time is sliced into RunFor
+// chunks (the runner advances in 1s chunks to observe context
+// cancellation).
+func TestEquivalenceAcrossChunking(t *testing.T) {
+	run := func(workers int, chunk time.Duration) string {
+		c, err := brisa.NewCluster(brisa.ClusterConfig{
+			Nodes: 32, Seed: 3,
+			Peer:    brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.Bootstrap()
+		src := c.Peers()[0]
+		for i := 0; i < 20; i++ {
+			c.Net.After(time.Duration(i)*100*time.Millisecond, func() {
+				src.Publish(1, []byte("chunked"))
+			})
+		}
+		total := 10 * time.Second
+		for ran := time.Duration(0); ran < total; ran += chunk {
+			step := chunk
+			if rem := total - ran; rem < step {
+				step = rem
+			}
+			c.Net.RunFor(step)
+		}
+		out := ""
+		for _, p := range c.AlivePeers() {
+			out += fmt.Sprintf("%v=%d/%v;", p.ID(), p.DeliveredCount(1), p.Parents(1))
+		}
+		return out
+	}
+	want := run(1, 10*time.Second)
+	for _, workers := range []int{1, 2, 8} {
+		for _, chunk := range []time.Duration{77 * time.Millisecond, time.Second, 10 * time.Second} {
+			if got := run(workers, chunk); got != want {
+				t.Fatalf("workers=%d chunk=%v diverged:\nwant %s\ngot  %s", workers, chunk, want, got)
+			}
+		}
+	}
+}

@@ -171,30 +171,32 @@ func TestTable1ShapeDAGHasFewOrphans(t *testing.T) {
 
 func TestTable2ShapeOrdering(t *testing.T) {
 	t.Parallel()
-	r := RunTable2(0.12, 8)
-	// Parse latencies back out of the table for the ordering assertion.
+	// At 1/8 scale the per-message mean delay is noisy (a 64-node tree's
+	// depth swings several CPU-service times seed to seed), so the shape
+	// assertions run on seed-averaged metrics; completeness must hold on
+	// every seed individually.
+	seeds := []int64{1, 2, 3, 4, 5}
 	lat := map[string]float64{}
 	mean := map[string]float64{}
-	comp := map[string]string{}
-	for _, row := range r.Table.Rows {
-		var v, m float64
-		if _, err := sscanf(row[1], &v); err != nil {
-			t.Fatalf("bad latency cell %q", row[1])
-		}
-		if _, err := sscanf(row[3], &m); err != nil {
-			t.Fatalf("bad mean-delay cell %q", row[3])
-		}
-		lat[row[0]] = v
-		mean[row[0]] = m
-		comp[row[0]] = row[4]
-	}
-	t.Logf("latencies: %v", lat)
-	t.Logf("mean delays (ms): %v", mean)
-	for name, c := range comp {
-		if c != "100%" {
-			t.Errorf("%s completeness = %s, want 100%%", name, c)
+	for _, seed := range seeds {
+		r := RunTable2(0.12, seed)
+		for _, row := range r.Table.Rows {
+			var v, m float64
+			if _, err := sscanf(row[1], &v); err != nil {
+				t.Fatalf("bad latency cell %q", row[1])
+			}
+			if _, err := sscanf(row[3], &m); err != nil {
+				t.Fatalf("bad mean-delay cell %q", row[3])
+			}
+			lat[row[0]] += v / float64(len(seeds))
+			mean[row[0]] += m / float64(len(seeds))
+			if row[4] != "100%" {
+				t.Errorf("%s completeness = %s at seed %d, want 100%%", row[0], row[4], seed)
+			}
 		}
 	}
+	t.Logf("seed-averaged latencies: %v", lat)
+	t.Logf("seed-averaged mean delays (ms): %v", mean)
 	if lat["BRISA tree, view 4"] < lat["SimpleTree"]*0.8 {
 		t.Errorf("BRISA (%.2f) should be close to SimpleTree (%.2f), not far below", lat["BRISA tree, view 4"], lat["SimpleTree"])
 	}

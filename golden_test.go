@@ -1,11 +1,14 @@
 package brisa_test
 
-// Golden determinism test: one mid-size scenario's Report JSON, minus
-// wall-clock and toolchain metadata, is committed as a golden file. The
-// engine is a pure function of (seed, workload), so the report must come
-// back byte-identical run after run — and across engine refactors. The
-// golden file in testdata/ was produced by the pre-refactor time.Time-heap
-// engine; the pooled int64-clock scheduler must reproduce it exactly.
+// Golden determinism tests: a table of scenarios exercising every engine
+// subsystem, each with its Report JSON — minus wall-clock and toolchain
+// metadata — committed as a golden file. The engine is a pure function of
+// (seed, workload), so each report must come back byte-identical run after
+// run, and across engine refactors. The same table feeds the
+// sequential-vs-sharded equivalence harness (equivalence_test.go), which
+// re-runs every case on 2 and 8 scheduler shards and requires the identical
+// bytes — goldens are pinned on the sequential engine and cross-checked on
+// the sharded one.
 //
 // Regenerate (only when a deliberate behaviour change shifts the metrics)
 // with:
@@ -24,34 +27,97 @@ import (
 	brisa "repro"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_report.json from the current engine")
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden reports from the current engine")
 
-const goldenPath = "testdata/golden_report.json"
+// goldenCase is one pinned scenario.
+type goldenCase struct {
+	name string // sub-test name
+	file string // golden file under testdata/
+	sc   brisa.Scenario
+}
 
-// goldenScenario is a mid-size run exercising every engine subsystem the
-// refactor touched: the event scheduler (timers, churn removals), bandwidth
-// accounting (traffic probe), delivered-seq tracking (latency/duplicates),
-// and repair paths (churn + repairs probe).
-func goldenScenario() brisa.Scenario {
-	return brisa.Scenario{
-		Name: "golden-tree-1x64",
-		Seed: 7,
-		Topology: brisa.Topology{
-			Nodes: 64,
-			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+// goldenCases returns the pinned scenario table:
+//
+//   - tree: the original mid-size single-stream run — event scheduler
+//     (timers, churn removals), bandwidth accounting (traffic probe),
+//     delivered-seq tracking (latency/duplicates), repair paths.
+//   - multistream: four concurrent streams from four distinct sources, with
+//     the structure probe — cross-stream scheduling and per-stream
+//     reporting.
+//   - churn: sustained heavier churn with the repairs probe — orphan
+//     accounting, soft/hard repair split, recovery delays.
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name: "tree",
+			file: "testdata/golden_report.json",
+			sc: brisa.Scenario{
+				Name: "golden-tree-1x64",
+				Seed: 7,
+				Topology: brisa.Topology{
+					Nodes: 64,
+					Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+				},
+				Workloads: []brisa.Workload{
+					{Stream: 1, Messages: 30, Payload: 512},
+				},
+				Churn: &brisa.Churn{
+					Script: "from 0s to 4s const churn 5% each 2s",
+					Start:  2 * time.Second,
+				},
+				Probes: []brisa.Probe{
+					brisa.ProbeLatency, brisa.ProbeDuplicates,
+					brisa.ProbeConstruction, brisa.ProbeTraffic, brisa.ProbeRepairs,
+				},
+				Drain: 8 * time.Second,
+			},
 		},
-		Workloads: []brisa.Workload{
-			{Stream: 1, Messages: 30, Payload: 512},
+		{
+			name: "multistream",
+			file: "testdata/golden_report_multistream.json",
+			sc: brisa.Scenario{
+				Name: "golden-multistream-4x48",
+				Seed: 11,
+				Topology: brisa.Topology{
+					Nodes: 48,
+					Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+				},
+				Workloads: []brisa.Workload{
+					{Stream: 1, Source: 0, Messages: 12, Payload: 128},
+					{Stream: 2, Source: 1, Messages: 12, Payload: 256},
+					{Stream: 3, Source: 2, Messages: 12, Payload: 64, Start: 400 * time.Millisecond},
+					{Stream: 4, Source: 3, Messages: 12, Payload: 512, Interval: 300 * time.Millisecond},
+				},
+				Probes: []brisa.Probe{
+					brisa.ProbeLatency, brisa.ProbeDuplicates, brisa.ProbeStructure,
+				},
+				Drain: 6 * time.Second,
+			},
 		},
-		Churn: &brisa.Churn{
-			Script: "from 0s to 4s const churn 5% each 2s",
-			Start:  2 * time.Second,
+		{
+			name: "churn",
+			file: "testdata/golden_report_churn.json",
+			sc: brisa.Scenario{
+				Name: "golden-churn-1x64",
+				Seed: 13,
+				Topology: brisa.Topology{
+					Nodes: 64,
+					Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+				},
+				Workloads: []brisa.Workload{
+					{Stream: 1, Messages: 40, Payload: 256},
+				},
+				Churn: &brisa.Churn{
+					Script: "from 0s to 6s const churn 8% each 2s",
+					Start:  1 * time.Second,
+				},
+				Probes: []brisa.Probe{
+					brisa.ProbeLatency, brisa.ProbeDuplicates,
+					brisa.ProbeTraffic, brisa.ProbeRepairs,
+				},
+				Drain: 8 * time.Second,
+			},
 		},
-		Probes: []brisa.Probe{
-			brisa.ProbeLatency, brisa.ProbeDuplicates,
-			brisa.ProbeConstruction, brisa.ProbeTraffic, brisa.ProbeRepairs,
-		},
-		Drain: 8 * time.Second,
 	}
 }
 
@@ -76,38 +142,45 @@ func normalizeReport(t *testing.T, rep *brisa.Report) []byte {
 	return append(out, '\n')
 }
 
-func TestGoldenReport(t *testing.T) {
-	sc := goldenScenario()
-	run := func() []byte {
-		rep, err := brisa.RunSim(sc)
-		if err != nil {
-			t.Fatalf("run: %v", err)
-		}
-		return normalizeReport(t, rep)
-	}
-
-	first := run()
-	second := run()
-	if !bytes.Equal(first, second) {
-		t.Fatalf("two same-seed runs produced different reports:\nrun1:\n%s\nrun2:\n%s", first, second)
-	}
-
-	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, first, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %s (%d bytes)", goldenPath, len(first))
-		return
-	}
-
-	want, err := os.ReadFile(goldenPath)
+// runGolden executes one golden case on the given worker count and returns
+// the normalized report bytes.
+func runGolden(t *testing.T, sc brisa.Scenario, workers int) []byte {
+	t.Helper()
+	rep, err := brisa.Run(nil, brisa.SimRuntime{Workers: workers}, sc)
 	if err != nil {
-		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+		t.Fatalf("run: %v", err)
 	}
-	if !bytes.Equal(first, want) {
-		t.Fatalf("report diverged from golden file %s\ngot:\n%s\nwant:\n%s", goldenPath, first, want)
+	return normalizeReport(t, rep)
+}
+
+func TestGoldenReport(t *testing.T) {
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			first := runGolden(t, gc.sc, 1)
+			second := runGolden(t, gc.sc, 1)
+			if !bytes.Equal(first, second) {
+				t.Fatalf("two same-seed runs produced different reports:\nrun1:\n%s\nrun2:\n%s", first, second)
+			}
+
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(gc.file), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(gc.file, first, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", gc.file, len(first))
+				return
+			}
+
+			want, err := os.ReadFile(gc.file)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(first, want) {
+				t.Fatalf("report diverged from golden file %s\ngot:\n%s\nwant:\n%s", gc.file, first, want)
+			}
+		})
 	}
 }

@@ -73,6 +73,19 @@ func (p *Protocol) Stop() { p.stopped = true }
 // Metrics returns a snapshot of the counters.
 func (p *Protocol) Metrics() Metrics { return p.metrics }
 
+// Now returns the node-local clock the protocol runs on: virtual (and
+// shard-local, under the sharded simulator) time on simnet, wall time on
+// the live runtime. Only meaningful from the node's own actor callbacks
+// after Start; instrumentation that timestamps deliveries must use this
+// rather than a cluster-global clock, which is stale mid-window when the
+// simulator runs sharded.
+func (p *Protocol) Now() time.Time {
+	if p.env == nil {
+		return time.Time{}
+	}
+	return p.env.Now()
+}
+
 // Mode returns the configured structure mode.
 func (p *Protocol) Mode() Mode { return p.cfg.Mode }
 
@@ -408,6 +421,12 @@ func (p *Protocol) onData(from ids.NodeID, m wire.Data) {
 	} else {
 		pi.pathHasMe = pathContains(m.Path, p.env.ID())
 		pi.pathKnown = true
+		pi.lastHop = ids.Nil
+		if len(m.Path) >= 2 {
+			// m.Path ends with the sender itself; its predecessor is the
+			// node currently feeding the sender.
+			pi.lastHop = m.Path[len(m.Path)-2]
+		}
 	}
 
 	if st.isDelivered(m.Seq) {
@@ -818,14 +837,24 @@ func (p *Protocol) knownEligible(st *stream, peer ids.NodeID) bool {
 }
 
 // bestEligibleNeighbor picks the strategy-preferred eligible active-view
-// member that is not already a parent and not excluded.
-func (p *Protocol) bestEligibleNeighbor(st *stream, exclude ids.NodeID) (ids.NodeID, bool) {
+// member that is not already a parent and not excluded. failedVia, when not
+// Nil (repair context, tree mode), additionally bars candidates whose last
+// known path ran through that node: their position knowledge is exactly as
+// stale as ours, and adopting a fellow downstream node of the failed parent
+// is how two simultaneous repairs close a silent cycle. Barred candidates
+// leave the node to hard repair, whose flood re-bootstraps the subtree.
+func (p *Protocol) bestEligibleNeighbor(st *stream, exclude, failedVia ids.NodeID) (ids.NodeID, bool) {
 	var bestID ids.NodeID
 	var bestCand Candidate
 	found := false
 	for _, n := range p.cfg.PSS.Active() {
 		if n == exclude || st.isParent(n) || !p.knownEligible(st, n) {
 			continue
+		}
+		if failedVia != ids.Nil && p.cfg.Mode == ModeTree {
+			if pi, ok := st.peers[n]; ok && pi.lastHop == failedVia {
+				continue
+			}
 		}
 		c := p.candidate(st, n)
 		if !found || better(p.cfg.Strategy, c, bestCand) {
@@ -842,7 +871,7 @@ func (p *Protocol) acquireParents(st *stream) {
 		return
 	}
 	for len(st.parents) < p.cfg.Parents {
-		c, ok := p.bestEligibleNeighbor(st, ids.Nil)
+		c, ok := p.bestEligibleNeighbor(st, ids.Nil, ids.Nil)
 		if !ok {
 			return
 		}
@@ -910,7 +939,7 @@ func (p *Protocol) becameParentless(st *stream, cause ids.NodeID) {
 // repairOrAcquire implements §II-F: soft repair if any active-view member is
 // an eligible replacement, hard repair (flooding fallback) otherwise.
 func (p *Protocol) repairOrAcquire(st *stream, failed ids.NodeID) {
-	if c, ok := p.bestEligibleNeighbor(st, failed); ok {
+	if c, ok := p.bestEligibleNeighbor(st, failed, failed); ok {
 		p.metrics.SoftRepairs++
 		p.sendReactivate(st, c)
 		p.adoptParent(st, c)
@@ -968,7 +997,7 @@ func (p *Protocol) onFloodRepair(from ids.NodeID, m wire.FloodRepair) {
 		return
 	}
 	p.dropParent(st, from)
-	if c, ok := p.bestEligibleNeighbor(st, from); ok {
+	if c, ok := p.bestEligibleNeighbor(st, from, from); ok {
 		// Absorb the repair: a local replacement exists. The former parent
 		// will pick us (or another node) up through normal selection.
 		p.sendReactivate(st, c)
@@ -1119,7 +1148,7 @@ func (p *Protocol) checkProgress(st *stream, peer ids.NodeID, peerUpTo uint32) {
 		// can look eligible; bar it for a cooldown.
 		st.cooldown[par] = now.Add(p.cfg.ReadoptCooldown)
 	}
-	if c, ok := p.bestEligibleNeighbor(st, former[0]); ok {
+	if c, ok := p.bestEligibleNeighbor(st, former[0], former[0]); ok {
 		p.sendReactivate(st, c)
 		p.adoptParent(st, c)
 		p.requestRecent(st, c)

@@ -15,9 +15,16 @@ type peerInfo struct {
 	depth     uint16 // DAG depth label; wire.NoDepth if unknown
 	pathHasMe bool   // tree: the last path seen from this peer contains us
 	pathKnown bool
-	uptime    time.Duration
-	degree    int
-	at        time.Time
+	// lastHop is the peer's upstream node in the last path seen from it
+	// (tree mode). Repair uses it to refuse candidates that were fed by the
+	// node that just failed: two siblings of a dead parent would otherwise
+	// adopt each other on equally-stale knowledge and close a silent cycle
+	// that carries no data — invisible to the exact path check, and, with
+	// piggybacks disabled, to the stall detector too.
+	lastHop ids.NodeID
+	uptime  time.Duration
+	degree  int
+	at      time.Time
 	// parentIsMe reports that the peer's last piggyback listed us among
 	// its parents — adopting it would close a direct two-node cycle.
 	parentIsMe bool

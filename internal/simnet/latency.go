@@ -8,8 +8,16 @@ import (
 	"repro/internal/ids"
 )
 
-// LatencyModel produces one-way delays between node pairs. Implementations
-// must be deterministic given the RNG stream they are handed.
+// LatencyModel produces one-way delays between node pairs.
+//
+// Contract: Sample must be a pure function of (from, to, r) — any memoized
+// per-pair or per-node state must be derived deterministically from the pair
+// itself, never from call order, because with Options.Workers > 1 different
+// shards sample concurrently and in runs with different worker counts the
+// call order differs while the results must not. The built-in models follow
+// this by hashing the pair into private splitmix64 streams. Models should
+// also implement MinDelayer; without it the sharded scheduler has no safe
+// lookahead window and degrades to sequential execution.
 type LatencyModel interface {
 	// Sample returns the one-way delay for a message from -> to.
 	Sample(from, to ids.NodeID, r *rand.Rand) time.Duration
@@ -40,6 +48,9 @@ func (f FixedLatency) Sample(_, _ ids.NodeID, _ *rand.Rand) time.Duration {
 	return time.Duration(f)
 }
 
+// MinDelay implements MinDelayer.
+func (f FixedLatency) MinDelay() time.Duration { return time.Duration(f) }
+
 // UniformLatency draws each delay uniformly from [Min, Max].
 type UniformLatency struct {
 	Min, Max time.Duration
@@ -52,6 +63,9 @@ func (u UniformLatency) Sample(_, _ ids.NodeID, r *rand.Rand) time.Duration {
 	}
 	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)))
 }
+
+// MinDelay implements MinDelayer.
+func (u UniformLatency) MinDelay() time.Duration { return u.Min }
 
 // Cluster models the paper's testbed (1): a 1 Gbps switched LAN hosting all
 // nodes — sub-millisecond, narrowly distributed one-way delays.
@@ -67,21 +81,27 @@ func Cluster() LatencyModel {
 // the paper's delay-aware parent selection its advantage (Figure 9), so the
 // model reproduces it rather than sampling IID pair latencies:
 //
-//   - each node is assigned to one of Sites sites on first sight;
-//   - each ordered site pair draws a log-normal base delay once (median
-//     ~50 ms one-way, σ=0.6); the two directions are drawn independently,
-//     matching the paper's remark that "PlanetLab asymmetries deter direct
-//     communication between some nodes";
+//   - each node is hashed to one of Sites sites;
+//   - each ordered site pair carries a log-normal base delay (median
+//     ~50 ms one-way, σ=0.6, floored at the LAN minimum); the two
+//     directions are derived independently, matching the paper's remark
+//     that "PlanetLab asymmetries deter direct communication between some
+//     nodes";
 //   - each ordered node pair perturbs its site-pair base by ±15% (last-mile
 //     differences), fixed per pair;
 //   - every message adds ~5% jitter.
+//
+// All per-site and per-pair values are pure hashes of the identifiers (no
+// memoization), so the model is stateless: safe under concurrent sampling
+// from scheduler shards and independent of sampling order.
 type planetLab struct {
 	sites     int
 	mu, sigma float64
-	site      map[ids.NodeID]int
-	siteBase  map[[2]int]time.Duration
-	pairBase  map[[2]ids.NodeID]time.Duration
 }
+
+// planetLabFloor is the LAN-hop latency floor: no pair, same-site or not,
+// goes below it. It anchors MinDelay for the sharded scheduler.
+const planetLabFloor = 300 * time.Microsecond
 
 // PlanetLab returns the wide-area latency model with 20 sites.
 func PlanetLab() LatencyModel { return PlanetLabSites(20) }
@@ -92,56 +112,69 @@ func PlanetLabSites(sites int) LatencyModel {
 		sites = 1
 	}
 	return &planetLab{
-		sites:    sites,
-		mu:       math.Log(50e-3), // median 50 ms one-way across sites
-		sigma:    0.6,
-		site:     make(map[ids.NodeID]int),
-		siteBase: make(map[[2]int]time.Duration),
-		pairBase: make(map[[2]ids.NodeID]time.Duration),
+		sites: sites,
+		mu:    math.Log(50e-3), // median 50 ms one-way across sites
+		sigma: 0.6,
 	}
 }
 
-func (p *planetLab) siteOf(id ids.NodeID, r *rand.Rand) int {
-	s, ok := p.site[id]
-	if !ok {
-		s = r.Intn(p.sites)
-		p.site[id] = s
+// pl* salts separate the model's hash streams.
+const (
+	plSiteSalt = 0x706c_5349_5445
+	plBaseSalt = 0x706c_4241_5345
+	plPairSalt = 0x706c_5041_4952
+)
+
+// unit maps a hash to a float64 in [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// gauss derives a standard normal variate from a hash stream via Box-Muller.
+func gauss(h uint64) float64 {
+	u1 := unit(mix64(h))
+	u2 := unit(mix64(h ^ 0x9e3779b97f4a7c15))
+	if u1 < 1e-12 {
+		u1 = 1e-12
 	}
-	return s
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func (p *planetLab) siteOf(id ids.NodeID) int {
+	return int(mix64(uint64(id)^plSiteSalt) % uint64(p.sites))
 }
 
 // Sample implements LatencyModel.
 func (p *planetLab) Sample(from, to ids.NodeID, r *rand.Rand) time.Duration {
-	pairKey := [2]ids.NodeID{from, to}
-	base, ok := p.pairBase[pairKey]
-	if !ok {
-		sf, st := p.siteOf(from, r), p.siteOf(to, r)
-		var siteLat time.Duration
-		if sf == st {
-			// Same machine room: a LAN hop.
-			siteLat = 300*time.Microsecond + time.Duration(r.Int63n(int64(1200*time.Microsecond)))
-		} else {
-			siteKey := [2]int{sf, st}
-			siteLat, ok = p.siteBase[siteKey]
-			if !ok {
-				secs := math.Exp(p.mu + p.sigma*r.NormFloat64())
-				const ceiling = 0.6 // clamp pathological tail at 600 ms one-way
-				if secs > ceiling {
-					secs = ceiling
-				}
-				siteLat = time.Duration(secs * float64(time.Second))
-				p.siteBase[siteKey] = siteLat
-			}
+	sf, st := p.siteOf(from), p.siteOf(to)
+	var siteLat time.Duration
+	if sf == st {
+		// Same machine room: a LAN hop.
+		h := mix64(mix64(uint64(from)^plPairSalt) ^ uint64(to))
+		siteLat = planetLabFloor + time.Duration(unit(h)*float64(1200*time.Microsecond))
+	} else {
+		h := mix64(mix64(uint64(sf)^plBaseSalt) ^ uint64(st))
+		secs := math.Exp(p.mu + p.sigma*gauss(h))
+		const ceiling = 0.6 // clamp pathological tail at 600 ms one-way
+		if secs > ceiling {
+			secs = ceiling
 		}
-		// Per node pair: ±15% last-mile variation, fixed per pair.
-		factor := 0.85 + 0.30*r.Float64()
-		base = time.Duration(float64(siteLat) * factor)
-		p.pairBase[pairKey] = base
+		siteLat = time.Duration(secs * float64(time.Second))
+		if siteLat < planetLabFloor {
+			siteLat = planetLabFloor
+		}
 	}
+	// Per node pair: ±15% last-mile variation, fixed per pair.
+	h := mix64(mix64(uint64(from)^plPairSalt^0xabcd) ^ uint64(to))
+	base := time.Duration(float64(siteLat) * (0.85 + 0.30*unit(h)))
 	// Per message: up to +5% jitter.
 	jitterCap := int64(base) / 20
 	if jitterCap <= 0 {
 		return base
 	}
 	return base + time.Duration(r.Int63n(jitterCap))
+}
+
+// MinDelay implements MinDelayer: the LAN floor shrunk by the worst-case
+// last-mile perturbation.
+func (p *planetLab) MinDelay() time.Duration {
+	return time.Duration(0.85 * float64(planetLabFloor))
 }

@@ -1,0 +1,591 @@
+package simnet
+
+// Scheduler: the event arena, the per-shard binary heaps, and the two
+// execution modes — the sequential single-heap loop (Workers == 1) and the
+// conservative-lookahead sharded loop (Workers > 1).
+//
+// Sharded execution model. Node actors are partitioned round-robin across K
+// shards; each shard owns an event arena, a binary heap and an int64-ns
+// clock. Execution alternates between
+//
+//   - parallel windows: every shard executes its own events with
+//     at < horizon, where horizon never exceeds T + lookahead (T = the
+//     global minimum event time) and lookahead is the latency model's
+//     MinDelay. Any event a node schedules on another shard mid-window is a
+//     network transmission and therefore arrives at or after
+//     now + MinDelay >= horizon, so it cannot be missed by the receiving
+//     shard's current window; it is buffered in a per-shard outbox and
+//     merged at the barrier.
+//   - barriers: outboxes are flushed into the target heaps and
+//     experiment-level ("driver") events run with every shard parked, so
+//     they may touch any node (churn, publishes, metric snapshots).
+//
+// Determinism. Events are ordered by (at, src, seq) where src is the
+// *scheduling* node (ids.Nil for driver events) and seq a per-source
+// counter. This key is independent of execution interleaving, and events of
+// different shards inside one window cannot interact, so the simulation
+// outcome is a pure function of (seed, workload) — byte-identical for every
+// Workers value, including 1. The brisa-level equivalence harness
+// (equivalence_test.go at the repo root) pins this property.
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// noEvent marks an arena slot as not queued.
+const noEvent = int32(-1)
+
+// Event kinds. Connection lifecycle is typed rather than closure-based so
+// lifecycle events can cross shard boundaries by value.
+const (
+	evFn       uint8 = iota // fn callback: timers, driver events, node Start
+	evMsg                   // message delivery (receiver CPU not yet charged)
+	evMsgReady              // message delivery after receiver-CPU queueing
+	evSyn                   // dial request arriving at the acceptor
+	evAck                   // dialer-side handshake completion
+	evDown                  // connection-down notification
+)
+
+// event is one scheduled callback, stored by value in a shard's arena.
+type event struct {
+	at      int64      // virtual nanoseconds since the epoch
+	seq     uint64     // per-source sequence number (ties: same at, same src)
+	src     ids.NodeID // scheduling source: ids.Nil for driver events
+	heapIdx int32      // position in the shard heap, noEvent when not queued
+	gen     uint32     // bumped on release; validates timer handles
+	kind    uint8
+	cls     uint8
+	phase   Phase
+	size    int32
+	tokN    uint32 // connection token, with tokD
+	owner   *simNode
+	fn      func()
+	msg     wire.Message
+	from    ids.NodeID
+	tokD    ids.NodeID
+	cause   error
+}
+
+// shard is one scheduler partition: an event arena + heap + clock. The
+// driver (experiment-level events) is also a shard; with Workers == 1 the
+// driver and the single node shard are the same object, which recovers the
+// plain single-heap sequential engine.
+type shard struct {
+	net   *Network
+	idx   int // position in Network.shards; -1 for a dedicated driver shard
+	nowNS int64
+	fired uint64
+
+	// Event storage: a growable arena indexed by the heap, plus the free
+	// list of released slots. Events are addressed by arena index only —
+	// the arena's backing array moves when it grows.
+	events []event
+	free   []int32
+	heap   []int32
+
+	// outbox buffers events emitted to other shards during a parallel
+	// window, one slice per destination shard; the coordinator flushes them
+	// into the destination heaps at the barrier.
+	outbox [][]event
+
+	// latRnd wraps latSrc: the latency-sampling RNG, re-seeded per draw from
+	// (seed, from, to, per-sender counter) so draws are a pure function of
+	// the pair history, independent of global execution order.
+	latSrc *hashSource
+	latRnd *rand.Rand
+
+	scratchIdxs []int32
+}
+
+func newShard(n *Network, idx int) *shard {
+	src := &hashSource{}
+	return &shard{net: n, idx: idx, latSrc: src, latRnd: rand.New(src)}
+}
+
+// ------------------------------------------------------------- event arena
+
+// alloc takes an arena slot off the free list, growing the arena when none
+// is available. The slot's gen survives reuse.
+func (s *shard) alloc() int32 {
+	if len(s.free) > 0 {
+		idx := s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+		return idx
+	}
+	s.events = append(s.events, event{heapIdx: noEvent})
+	return int32(len(s.events) - 1)
+}
+
+// release returns a slot to the free list, dropping payload references so
+// fired closures and messages become collectable, and bumping gen so stale
+// timer handles cannot cancel the slot's next tenant.
+func (s *shard) release(idx int32) {
+	ev := &s.events[idx]
+	ev.fn = nil
+	ev.msg = nil
+	ev.owner = nil
+	ev.cause = nil
+	ev.gen++
+	s.free = append(s.free, idx)
+}
+
+// ------------------------------------------------------------- event heap
+//
+// A hand-rolled binary heap over arena indices, ordered by (at, src, seq).
+// Each event tracks its heap position so cancellation removes it in
+// O(log n) without tombstones.
+
+// eventLess is the scheduler's total order: (at, src, seq). Both the
+// per-shard heaps and the cross-shard minimum search use this one
+// comparator — the determinism guarantee hangs on them never diverging.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+func (s *shard) less(a, b int32) bool {
+	return eventLess(&s.events[a], &s.events[b])
+}
+
+func (s *shard) heapSwap(i, j int) {
+	h := s.heap
+	h[i], h[j] = h[j], h[i]
+	s.events[h[i]].heapIdx = int32(i)
+	s.events[h[j]].heapIdx = int32(j)
+}
+
+func (s *shard) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores heap order below i; it reports whether i moved.
+func (s *shard) siftDown(i int) bool {
+	start := i
+	length := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < length && s.less(s.heap[l], s.heap[smallest]) {
+			smallest = l
+		}
+		if r < length && s.less(s.heap[r], s.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return i != start
+		}
+		s.heapSwap(i, smallest)
+		i = smallest
+	}
+}
+
+func (s *shard) heapPush(idx int32) {
+	s.events[idx].heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// heapPop removes and returns the earliest event's arena index.
+func (s *shard) heapPop() int32 {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	if last > 0 {
+		s.heap[0] = s.heap[last]
+		s.events[s.heap[0]].heapIdx = 0
+	}
+	s.heap = s.heap[:last]
+	if last > 1 {
+		s.siftDown(0)
+	}
+	s.events[top].heapIdx = noEvent
+	return top
+}
+
+// heapRemove deletes the event at heap position pos.
+func (s *shard) heapRemove(pos int) {
+	idx := s.heap[pos]
+	last := len(s.heap) - 1
+	if pos != last {
+		s.heap[pos] = s.heap[last]
+		s.events[s.heap[pos]].heapIdx = int32(pos)
+	}
+	s.heap = s.heap[:last]
+	if pos < last {
+		if !s.siftDown(pos) {
+			s.siftUp(pos)
+		}
+	}
+	s.events[idx].heapIdx = noEvent
+}
+
+// minAt returns the earliest queued event time, or ok == false when empty.
+func (s *shard) minAt() (int64, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.events[s.heap[0]].at, true
+}
+
+// ------------------------------------------------------------- scheduling
+
+// put allocates a slot on this shard, fills it from ev, and enqueues it.
+func (s *shard) put(ev event) int32 {
+	idx := s.alloc()
+	gen := s.events[idx].gen
+	ev.gen = gen
+	ev.heapIdx = noEvent
+	s.events[idx] = ev
+	s.heapPush(idx)
+	return idx
+}
+
+// emit routes an event scheduled from shard s onto the target shard: a
+// direct heap push when single-threaded (sequential mode, barriers, or the
+// target is s itself), the outbox during a parallel window. Outbox routing
+// is safe because every cross-shard event is a network transmission with
+// at >= now + lookahead, beyond every horizon of the current window.
+func (s *shard) emit(target *shard, ev event) int32 {
+	if target != s && s.net.inWindow {
+		s.outbox[target.idx] = append(s.outbox[target.idx], ev)
+		return noEvent
+	}
+	return target.put(ev)
+}
+
+// flushOutboxes merges every shard's outbox into the destination heaps.
+// Barrier context only.
+func (n *Network) flushOutboxes() {
+	for _, s := range n.shards {
+		for j, box := range s.outbox {
+			if len(box) == 0 {
+				continue
+			}
+			dst := n.shards[j]
+			for i := range box {
+				dst.put(box[i])
+				box[i] = event{} // drop msg/owner references
+			}
+			s.outbox[j] = box[:0]
+		}
+	}
+}
+
+// removeOwnedEvents drops every queued event owned by sn — its pending
+// timers, deliveries addressed to it, and lifecycle callbacks — so a dead
+// node leaves nothing behind. Barrier context only (outboxes are empty).
+func (n *Network) removeOwnedEvents(sn *simNode) {
+	for _, s := range n.allShards() {
+		idxs := s.scratchIdxs[:0]
+		for _, idx := range s.heap {
+			if s.events[idx].owner == sn {
+				idxs = append(idxs, idx)
+			}
+		}
+		for _, idx := range idxs {
+			s.heapRemove(int(s.events[idx].heapIdx))
+			s.release(idx)
+		}
+		s.scratchIdxs = idxs[:0]
+	}
+}
+
+// allShards returns the node shards plus the driver shard when distinct
+// (precomputed: the scheduler loop iterates it every window).
+func (n *Network) allShards() []*shard { return n.all }
+
+// ---------------------------------------------------------------- running
+
+// Step executes the globally next event. It reports false when every queue
+// is empty. With Workers > 1 this is the sequential fallback used by
+// Drain and step-wise tests; RunUntil/RunFor use the windowed scheduler.
+func (n *Network) Step() bool {
+	s := n.minShard()
+	if s == nil {
+		return false
+	}
+	n.stepShard(s)
+	return true
+}
+
+// minShard returns the shard holding the globally earliest event (driver
+// events win ties, matching the (at, src, seq) order since src == ids.Nil).
+func (n *Network) minShard() *shard {
+	var best *shard
+	for _, s := range n.allShards() {
+		if len(s.heap) == 0 {
+			continue
+		}
+		if best == nil || eventLess(&s.events[s.heap[0]], &best.events[best.heap[0]]) {
+			best = s
+		}
+	}
+	return best
+}
+
+// RunUntil processes events with timestamps <= the epoch offset and then
+// advances every clock to exactly that offset.
+func (n *Network) RunUntil(offset time.Duration) {
+	deadline := int64(offset)
+	if len(n.shards) == 1 {
+		s := n.shards[0]
+		for len(s.heap) > 0 && s.events[s.heap[0]].at <= deadline {
+			n.stepShard(s)
+		}
+	} else {
+		n.runSharded(deadline)
+	}
+	for _, s := range n.allShards() {
+		if s.nowNS < deadline {
+			s.nowNS = deadline
+		}
+	}
+}
+
+// runSharded is the conservative-lookahead loop. Driver events run at
+// barriers (every shard parked, clocks aligned); node events run in windows
+// of at most lookahead virtual nanoseconds.
+func (n *Network) runSharded(deadline int64) {
+	for {
+		t := int64(0)
+		any := false
+		for _, s := range n.allShards() {
+			if at, ok := s.minAt(); ok && (!any || at < t) {
+				t, any = at, true
+			}
+		}
+		if !any || t > deadline {
+			return
+		}
+		// Align clocks: t is the global minimum, so no shard regresses.
+		for _, s := range n.allShards() {
+			if s.nowNS < t {
+				s.nowNS = t
+			}
+		}
+		if at, ok := n.driver.minAt(); ok && at == t {
+			// Barrier work: run every driver event at exactly t, including
+			// ones they newly schedule at t.
+			for {
+				at, ok := n.driver.minAt()
+				if !ok || at > t {
+					break
+				}
+				n.stepShard(n.driver)
+			}
+			continue
+		}
+		horizon := t + n.lookaheadNS
+		if at, ok := n.driver.minAt(); ok && at < horizon {
+			horizon = at
+		}
+		if deadline+1 < horizon {
+			horizon = deadline + 1
+		}
+		n.runWindow(horizon)
+		n.flushOutboxes()
+	}
+}
+
+// runWindow executes one parallel window: every shard runs its events with
+// at < horizon. Sparse windows run inline on the coordinator — the result
+// is identical (shards cannot interact within a window), only cheaper than
+// waking workers for a handful of events.
+func (n *Network) runWindow(horizon int64) {
+	active := n.activeScratch[:0]
+	for _, s := range n.shards {
+		if at, ok := s.minAt(); ok && at < horizon {
+			active = append(active, s)
+		}
+	}
+	n.activeScratch = active[:0]
+	if len(active) == 0 {
+		return
+	}
+	before := n.eventsFiredLocked()
+	parallel := len(active) > 1 && !n.closed &&
+		(n.parallelMin < 0 || n.lastWindowEvents >= n.parallelMin)
+	if !parallel {
+		for _, s := range active {
+			s.runTo(horizon)
+		}
+	} else {
+		n.startWorkers()
+		n.inWindow = true
+		for _, s := range active {
+			n.workCh[s.idx] <- horizon
+		}
+		for range active {
+			<-n.doneCh
+		}
+		n.inWindow = false
+	}
+	n.lastWindowEvents = int(n.eventsFiredLocked() - before)
+}
+
+// runTo executes this shard's events strictly below horizon.
+func (s *shard) runTo(horizon int64) {
+	for len(s.heap) > 0 && s.events[s.heap[0]].at < horizon {
+		s.net.stepShard(s)
+	}
+}
+
+// startWorkers lazily spawns one goroutine per shard. Close releases them.
+func (n *Network) startWorkers() {
+	if n.workersUp {
+		return
+	}
+	n.workersUp = true
+	n.workCh = make([]chan int64, len(n.shards))
+	n.doneCh = make(chan struct{}, len(n.shards))
+	for i, s := range n.shards {
+		ch := make(chan int64)
+		n.workCh[i] = ch
+		go func(s *shard, ch chan int64) {
+			for h := range ch {
+				s.runTo(h)
+				n.doneCh <- struct{}{}
+			}
+		}(s, ch)
+	}
+}
+
+// Close releases the worker goroutines of a sharded network. It is
+// idempotent and safe on never-parallel networks; after Close the network
+// still runs, executing windows inline on the calling goroutine.
+func (n *Network) Close() {
+	if n.closed {
+		return
+	}
+	n.closed = true
+	if n.workersUp {
+		for _, ch := range n.workCh {
+			close(ch)
+		}
+		n.workersUp = false
+	}
+}
+
+// RunFor advances the simulation by d from the current driver time.
+func (n *Network) RunFor(d time.Duration) {
+	n.RunUntil(time.Duration(n.driver.nowNS + int64(d)))
+}
+
+// Drain runs events until the queues are empty or maxEvents is hit
+// (guarding against periodic timers keeping the queue alive forever). It
+// returns the number of events executed.
+func (n *Network) Drain(maxEvents int) int {
+	count := 0
+	for count < maxEvents && n.Step() {
+		count++
+	}
+	return count
+}
+
+// QueueLen returns the number of live queued events. Cancelled timers and
+// dead nodes' events are removed from the queues outright, so — unlike a
+// tombstone design — this counts only work that will actually execute.
+func (n *Network) QueueLen() int {
+	total := 0
+	for _, s := range n.allShards() {
+		total += len(s.heap)
+	}
+	return total
+}
+
+// PendingEvents returns the number of queued events (for tests).
+func (n *Network) PendingEvents() int { return n.QueueLen() }
+
+// EventsFired returns the total number of events executed so far — the
+// simulator's work metric, used by the scale benchmarks to report events/s.
+// Call between runs (not from inside callbacks of a parallel window).
+func (n *Network) EventsFired() uint64 { return n.eventsFiredLocked() }
+
+func (n *Network) eventsFiredLocked() uint64 {
+	var total uint64
+	for _, s := range n.allShards() {
+		total += s.fired
+	}
+	return total
+}
+
+// Workers returns the effective shard count: Options.Workers, degraded to 1
+// when the latency model declares no positive MinDelay (no safe lookahead).
+func (n *Network) Workers() int { return len(n.shards) }
+
+// Lookahead returns the conservative synchronization window width (zero in
+// sequential mode).
+func (n *Network) Lookahead() time.Duration {
+	if len(n.shards) == 1 {
+		return 0
+	}
+	return time.Duration(n.lookaheadNS)
+}
+
+// ------------------------------------------------------------ hash source
+
+// hashSource is a splitmix64 rand.Source64. The engine re-seeds it per
+// latency draw from a hash of (seed, from, to, counter), making every draw
+// a pure function of the pair's history — the property that keeps sharded
+// execution equivalent to sequential execution.
+type hashSource struct{ s uint64 }
+
+func (h *hashSource) Uint64() uint64 {
+	v := mix64(h.s)
+	h.s += 0x9e3779b97f4a7c15
+	return v
+}
+
+func (h *hashSource) Int63() int64 { return int64(h.Uint64() >> 1) }
+
+func (h *hashSource) Seed(seed int64) { h.s = uint64(seed) }
+
+// mix64 advances a splitmix64 state by one step and returns the mixed value.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// mixLat folds the simulation seed, the directed pair and the per-sender
+// draw counter into one 64-bit latency-stream seed.
+func mixLat(seed int64, from, to ids.NodeID, counter uint64) uint64 {
+	h := mix64(uint64(seed) ^ 0x8f1bbcdcbfa53e0b)
+	h = mix64(h ^ uint64(from))
+	h = mix64(h ^ uint64(to))
+	return mix64(h ^ counter)
+}
+
+// defaultParallelMin scales the inline-window threshold with the shard
+// count: waking K workers only pays off when the window holds enough events.
+func defaultParallelMin(workers int) int { return 2 * workers }
+
+// maxWorkers bounds Options.Workers to something sane: enough shards to
+// oversubscribe the machine for testing, not enough to drown it.
+func maxWorkers() int {
+	c := runtime.NumCPU()
+	if c < 4 {
+		c = 4
+	}
+	return 8 * c
+}

@@ -7,16 +7,19 @@
 // configurable delay), and per-node bandwidth is accounted from the real
 // encoded size of every message.
 //
-// Determinism: all randomness flows from Options.Seed, and simultaneous
-// events are ordered by scheduling sequence number, so a run is a pure
-// function of (seed, workload). Structural tests rely on this.
+// Determinism: every latency draw is a pure function of (seed, sender,
+// receiver, per-sender draw counter), each node's protocol RNG is seeded at
+// boot, and simultaneous events are ordered by (time, scheduling node,
+// per-node sequence number) — so a run is a pure function of
+// (seed, workload). Structural tests rely on this.
 //
-// Engine: virtual time is an int64 nanosecond offset from the epoch, and the
-// event queue is an index-tracking binary heap over a slab-allocated event
-// arena with a free list. Fired and cancelled events return to the free
-// list; cancelling a timer or crashing a node removes its events from the
-// heap outright (no tombstones), so QueueLen reflects live work and the
-// steady-state hot path (Send → deliver) allocates nothing.
+// Engine: virtual time is an int64 nanosecond offset from the epoch, and
+// events live in index-tracking binary heaps over slab-allocated arenas with
+// free lists (true removal, no tombstones; the steady-state Send → deliver
+// hot path allocates nothing). With Options.Workers > 1 node actors are
+// sharded across worker goroutines under a conservative-lookahead scheduler
+// (see sched.go); the simulation outcome is byte-identical for every worker
+// count.
 package simnet
 
 import (
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/ids"
@@ -113,112 +117,114 @@ type Options struct {
 	// — flooding, high-fanout gossip — queue behind their own processing,
 	// and first-arrival order becomes noisy under load. Nil disables it.
 	ProcessingDelay func(r *rand.Rand) time.Duration
+	// Workers is the number of scheduler shards node actors are partitioned
+	// across (default 1: the sequential engine). With Workers > 1 the
+	// conservative-lookahead scheduler runs shards on separate goroutines;
+	// the simulation outcome is byte-identical for every worker count.
+	// Requires a latency model implementing MinDelayer with a positive
+	// minimum (the lookahead window); otherwise the engine silently
+	// degrades to 1 worker. When Workers > 1, instrumentation callbacks
+	// (Logf, Tap, protocol-level OnDeliver/OnEvent) run on shard goroutines
+	// and must be safe for concurrent use.
+	Workers int
+	// ParallelThreshold is the minimum number of events executed in the
+	// previous window for the next window to be fanned out to worker
+	// goroutines; sparser windows run inline on the coordinator, which is
+	// cheaper and bit-identical. 0 means the default (2×Workers); negative
+	// forces every multi-shard window onto the workers (tests).
+	ParallelThreshold int
 	// Logf, when set, receives debug lines from env.Log.
 	Logf func(format string, args ...any)
+}
+
+// MinDelayer is implemented by latency models that can guarantee a lower
+// bound on every sampled delay. The sharded scheduler uses it as the
+// conservative lookahead window: events between nodes of different shards
+// are at least MinDelay apart, so windows of that width are causally safe.
+type MinDelayer interface {
+	// MinDelay returns a positive lower bound on every Sample result.
+	MinDelay() time.Duration
 }
 
 // epoch is the virtual time origin. An arbitrary fixed instant.
 var epoch = time.Unix(1_000_000_000, 0)
 
-// noEvent marks an arena slot as not queued.
-const noEvent = int32(-1)
+// Half-connection states.
+const (
+	hcDialing uint8 = iota
+	hcUp
+)
 
-// event is one scheduled callback, stored by value in the Network's arena.
-// Either msg is set (a typed message-delivery event: the Send hot path needs
-// no closure) or fn is (timers, connection lifecycle, experiment callbacks).
-type event struct {
-	at      int64 // virtual nanoseconds since the epoch
-	seq     uint64
-	heapIdx int32  // position in Network.heap, noEvent when not queued
-	gen     uint32 // bumped on release; validates timer handles
-
-	// owner, when non-nil, ties the event to a node's life: Crash and
-	// Shutdown remove the node's events from the queue.
-	owner *simNode
-	fn    func()
-
-	// Typed delivery payload (msg != nil).
-	msg   wire.Message
-	from  ids.NodeID
-	conn  *conn
-	size  int32
-	phase Phase
-	cls   uint8
+// halfConn is one endpoint's view of a connection. Unlike a shared
+// connection object, a half lives entirely on its node's shard: state
+// transitions happen on handshake/teardown events delivered to the owner,
+// and the FIFO floor is written by the owner when it sends. The token pair
+// (tokD, tokN) identifies the connection instance — deliveries carry it, so
+// traffic from a torn-down connection cannot leak into a successor between
+// the same nodes.
+type halfConn struct {
+	state     uint8
+	tokD      ids.NodeID // dialer that opened this connection instance
+	tokN      uint32     // dialer's dial counter at open
+	sendFloor int64      // FIFO floor for traffic this endpoint sends
 }
 
-// connKey normalizes an unordered node pair.
-type connKey struct{ lo, hi ids.NodeID }
-
-func keyOf(a, b ids.NodeID) connKey {
-	if a > b {
-		a, b = b, a
-	}
-	return connKey{a, b}
-}
-
-// conn tracks one connection between two nodes. Times are virtual-clock
-// nanosecond offsets.
-type conn struct {
-	a, b         ids.NodeID
-	aUp, bUp     bool // each endpoint's view of "established"
-	closed       bool
-	lastDeliverA int64 // FIFO floor for messages delivered to a
-	lastDeliverB int64 // FIFO floor for messages delivered to b
-}
-
-func (c *conn) up(id ids.NodeID) bool {
-	if id == c.a {
-		return c.aUp
-	}
-	return c.bUp
-}
-
-func (c *conn) setUp(id ids.NodeID, v bool) {
-	if id == c.a {
-		c.aUp = v
-	} else {
-		c.bUp = v
-	}
-}
-
-// simNode is the per-node runtime state.
+// simNode is the per-node runtime state. All fields are owned by the node's
+// shard (or touched only at barriers, when every shard is parked).
 type simNode struct {
-	id           ids.NodeID
-	handler      node.Handler
-	env          *env
-	alive        bool
-	usage        Usage
-	bootAt       int64
+	id      ids.NodeID
+	handler node.Handler
+	env     *env
+	shard   *shard
+	alive   bool
+	usage   Usage
+
+	conns map[ids.NodeID]*halfConn
+
+	evSeq   uint64 // per-source event sequence counter (tie-break key)
+	latSeq  uint64 // latency draw counter (latency stream position)
+	dialSeq uint32 // connection token counter
+
 	egressFreeAt int64 // when the shared uplink next becomes idle
 	cpuFreeAt    int64 // when the receive path next becomes idle
+	delayRng     *rand.Rand
 }
 
 // Network is the simulator instance.
 type Network struct {
-	opts  Options
-	nowNS int64 // virtual nanoseconds since the epoch
-	seq   uint64
-	fired uint64
-	rng   *rand.Rand
-
-	// Event storage: a growable arena indexed by the heap, plus the free
-	// list of released slots. Events are addressed by arena index only —
-	// the arena's backing array moves when it grows.
-	events []event
-	free   []int32
-	heap   []int32
-
-	nodes   map[ids.NodeID]*simNode
-	order   []ids.NodeID // insertion order, for deterministic iteration
-	conns   map[connKey]*conn
-	phase   Phase
+	opts    Options
+	rng     *rand.Rand
 	latency LatencyModel
 
+	nodes map[ids.NodeID]*simNode
+	order []ids.NodeID // insertion order, for deterministic iteration
+	phase Phase
+
+	// Scheduler state (see sched.go). driver aliases shards[0] when
+	// Workers == 1.
+	driver           *shard
+	shards           []*shard
+	all              []*shard // shards + driver when distinct (scheduler-loop scratch)
+	activeScratch    []*shard
+	lookaheadNS      int64
+	parallelMin      int
+	lastWindowEvents int
+	inWindow         bool
+	workersUp        bool
+	closed           bool
+	workCh           []chan int64
+	doneCh           chan struct{}
+
+	driverSeq uint64 // event sequence counter for driver-scheduled events
+	estSeq    uint64 // latency draw counter for EstimateLatency
+
+	logMu sync.Mutex
+
 	// scratch buffers reused across calls to keep rare paths allocation-free.
-	scratchKeys []connKey
-	scratchIdxs []int32
+	scratchPeers []ids.NodeID
 
 	// Tap, when set, observes every delivered message (for tests/debug).
+	// With Workers > 1 it runs on shard goroutines.
 	Tap func(from, to ids.NodeID, m wire.Message)
 }
 
@@ -230,408 +236,277 @@ func New(opts Options) *Network {
 	if opts.DetectDelay == 0 {
 		opts.DetectDelay = 200 * time.Millisecond
 	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if max := maxWorkers(); workers > max {
+		workers = max
+	}
+	var lookahead int64
+	if workers > 1 {
+		md, ok := opts.Latency.(MinDelayer)
+		if !ok || md.MinDelay() <= 0 {
+			// No safe lookahead window: degrade to the sequential engine.
+			workers = 1
+		} else {
+			lookahead = int64(md.MinDelay())
+		}
+	}
 	n := &Network{
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		nodes:   make(map[ids.NodeID]*simNode),
-		conns:   make(map[connKey]*conn),
-		latency: opts.Latency,
+		opts:        opts,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		latency:     opts.Latency,
+		nodes:       make(map[ids.NodeID]*simNode),
+		lookaheadNS: lookahead,
+		parallelMin: opts.ParallelThreshold,
+	}
+	if n.parallelMin == 0 {
+		n.parallelMin = defaultParallelMin(workers)
+	}
+	n.shards = make([]*shard, workers)
+	for i := range n.shards {
+		n.shards[i] = newShard(n, i)
+		n.shards[i].outbox = make([][]event, workers)
+	}
+	if workers == 1 {
+		n.driver = n.shards[0]
+		n.all = n.shards
+	} else {
+		n.driver = newShard(n, -1)
+		n.all = append(append([]*shard{}, n.shards...), n.driver)
 	}
 	return n
 }
 
-// Now returns the current virtual time.
-func (n *Network) Now() time.Time { return epoch.Add(time.Duration(n.nowNS)) }
+// Now returns the current virtual time (driver perspective: between runs
+// this is the RunUntil deadline; inside a driver event, the event's time).
+func (n *Network) Now() time.Time { return epoch.Add(time.Duration(n.driver.nowNS)) }
 
 // Since returns the duration elapsed since the virtual epoch.
-func (n *Network) Since() time.Duration { return time.Duration(n.nowNS) }
+func (n *Network) Since() time.Duration { return time.Duration(n.driver.nowNS) }
 
 // Epoch returns the virtual time origin.
 func Epoch() time.Time { return epoch }
 
 // Rand returns the network-level RNG for workload decisions (node choice,
-// churn victims). Protocol code must use its node env's RNG instead.
+// churn victims). Protocol code must use its node env's RNG instead. Driver
+// context only (experiment callbacks, between runs).
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
-// SetPhase switches the bandwidth-accounting phase.
+// SetPhase switches the bandwidth-accounting phase. Driver context only.
 func (n *Network) SetPhase(p Phase) { n.phase = p }
-
-// ------------------------------------------------------------ event arena
-
-// alloc takes an arena slot off the free list, growing the arena when none
-// is available. The slot's gen survives reuse.
-func (n *Network) alloc() int32 {
-	if len(n.free) > 0 {
-		idx := n.free[len(n.free)-1]
-		n.free = n.free[:len(n.free)-1]
-		return idx
-	}
-	n.events = append(n.events, event{heapIdx: noEvent})
-	return int32(len(n.events) - 1)
-}
-
-// release returns a slot to the free list, dropping payload references so
-// fired closures and messages become collectable, and bumping gen so stale
-// timer handles cannot cancel the slot's next tenant.
-func (n *Network) release(idx int32) {
-	ev := &n.events[idx]
-	ev.fn = nil
-	ev.msg = nil
-	ev.owner = nil
-	ev.conn = nil
-	ev.gen++
-	n.free = append(n.free, idx)
-}
-
-// ------------------------------------------------------------- event heap
-//
-// A hand-rolled binary heap over arena indices, ordered by (at, seq). Each
-// event tracks its heap position so cancellation removes it in O(log n)
-// without tombstones; hand-rolling (vs container/heap) avoids the interface
-// boxing on every push/pop of the hottest loop in the simulator.
-
-func (n *Network) heapLess(a, b int32) bool {
-	ea, eb := &n.events[a], &n.events[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
-	}
-	return ea.seq < eb.seq
-}
-
-func (n *Network) heapSwap(i, j int) {
-	h := n.heap
-	h[i], h[j] = h[j], h[i]
-	n.events[h[i]].heapIdx = int32(i)
-	n.events[h[j]].heapIdx = int32(j)
-}
-
-func (n *Network) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !n.heapLess(n.heap[i], n.heap[parent]) {
-			break
-		}
-		n.heapSwap(i, parent)
-		i = parent
-	}
-}
-
-// siftDown restores heap order below i; it reports whether i moved.
-func (n *Network) siftDown(i int) bool {
-	start := i
-	length := len(n.heap)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < length && n.heapLess(n.heap[l], n.heap[smallest]) {
-			smallest = l
-		}
-		if r < length && n.heapLess(n.heap[r], n.heap[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			return i != start
-		}
-		n.heapSwap(i, smallest)
-		i = smallest
-	}
-}
-
-func (n *Network) heapPush(idx int32) {
-	n.events[idx].heapIdx = int32(len(n.heap))
-	n.heap = append(n.heap, idx)
-	n.siftUp(len(n.heap) - 1)
-}
-
-// heapPop removes and returns the earliest event's arena index.
-func (n *Network) heapPop() int32 {
-	top := n.heap[0]
-	last := len(n.heap) - 1
-	if last > 0 {
-		n.heap[0] = n.heap[last]
-		n.events[n.heap[0]].heapIdx = 0
-	}
-	n.heap = n.heap[:last]
-	if last > 1 {
-		n.siftDown(0)
-	}
-	n.events[top].heapIdx = noEvent
-	return top
-}
-
-// heapRemove deletes the event at heap position pos.
-func (n *Network) heapRemove(pos int) {
-	idx := n.heap[pos]
-	last := len(n.heap) - 1
-	if pos != last {
-		n.heap[pos] = n.heap[last]
-		n.events[n.heap[pos]].heapIdx = int32(pos)
-	}
-	n.heap = n.heap[:last]
-	if pos < last {
-		if !n.siftDown(pos) {
-			n.siftUp(pos)
-		}
-	}
-	n.events[idx].heapIdx = noEvent
-}
 
 // ------------------------------------------------------------- scheduling
 
-// scheduleEvent allocates and enqueues a bare event at atNS owned by owner
-// (nil for experiment-level events), returning its arena index for the
-// caller to fill in a payload.
-func (n *Network) scheduleEvent(atNS int64, owner *simNode) int32 {
-	if atNS < n.nowNS {
-		atNS = n.nowNS
-	}
-	n.seq++
-	idx := n.alloc()
-	ev := &n.events[idx]
-	ev.at = atNS
-	ev.seq = n.seq
-	ev.owner = owner
-	n.heapPush(idx)
-	return idx
-}
-
-// schedule enqueues fn at the virtual offset atNS; owner, when non-nil,
-// removes the event if the node dies first.
-func (n *Network) schedule(atNS int64, owner *simNode, fn func()) int32 {
-	idx := n.scheduleEvent(atNS, owner)
-	n.events[idx].fn = fn
-	return idx
-}
-
 // After schedules an experiment-level callback (not tied to a node's life).
+// Driver events run at scheduler barriers: every shard is parked, so the
+// callback may touch any node (publish, churn, metric snapshots).
 func (n *Network) After(d time.Duration, fn func()) {
-	n.schedule(n.nowNS+int64(d), nil, fn)
+	n.scheduleDriver(n.driver.nowNS+int64(d), fn)
 }
 
 // At schedules an experiment-level callback at an absolute offset from the
 // epoch.
 func (n *Network) At(offset time.Duration, fn func()) {
-	n.schedule(int64(offset), nil, fn)
+	n.scheduleDriver(int64(offset), fn)
 }
 
-// removeOwnedEvents drops every queued event owned by sn — its pending
-// timers, deliveries addressed to it, and lifecycle callbacks — so a dead
-// node leaves nothing behind in the queue.
-func (n *Network) removeOwnedEvents(sn *simNode) {
-	idxs := n.scratchIdxs[:0]
-	for _, idx := range n.heap {
-		if n.events[idx].owner == sn {
-			idxs = append(idxs, idx)
-		}
+func (n *Network) scheduleDriver(atNS int64, fn func()) {
+	if atNS < n.driver.nowNS {
+		atNS = n.driver.nowNS
 	}
-	for _, idx := range idxs {
-		n.heapRemove(int(n.events[idx].heapIdx))
-		n.release(idx)
-	}
-	n.scratchIdxs = idxs[:0]
+	n.driverSeq++
+	n.driver.put(event{at: atNS, seq: n.driverSeq, src: ids.Nil, kind: evFn, fn: fn})
 }
 
-// Step executes the next event. It reports false when the queue is empty.
-func (n *Network) Step() bool {
-	if len(n.heap) == 0 {
-		return false
+// scheduleNode enqueues a node-scheduled event; src/seq are stamped from the
+// scheduling node, the owner keys lifecycle removal, and target selects the
+// shard (the owner's shard for everything but dialer-side handshake events).
+func (n *Network) scheduleNode(from *simNode, target *shard, ev event) int32 {
+	if ev.at < from.shard.nowNS {
+		ev.at = from.shard.nowNS
 	}
-	idx := n.heapPop()
-	ev := &n.events[idx]
-	n.nowNS = ev.at
-	n.fired++
-	if ev.msg != nil {
-		// Typed delivery: copy the payload out, recycle the slot, then run
-		// the receive path (which may schedule into the freed slot).
-		to := ev.owner
-		c, from, m := ev.conn, ev.from, ev.msg
-		size, phase, cls := ev.size, ev.phase, ev.cls
-		n.release(idx)
-		if !c.closed && c.up(to.id) {
-			to.usage.DownBytes[phase][cls] += uint64(size)
-			to.usage.DownMessages[phase]++
-			if n.Tap != nil {
-				n.Tap(from, to.id, m)
-			}
-			to.handler.Receive(from, m)
-		}
-		return true
-	}
-	fn := ev.fn
-	n.release(idx)
-	fn()
-	return true
+	ev.src = from.id
+	from.evSeq++
+	ev.seq = from.evSeq
+	return from.shard.emit(target, ev)
 }
 
-// RunUntil processes events with timestamps <= the epoch offset and then
-// advances the clock to exactly that offset.
-func (n *Network) RunUntil(offset time.Duration) {
-	deadline := int64(offset)
-	for len(n.heap) > 0 && n.events[n.heap[0]].at <= deadline {
-		n.Step()
-	}
-	if n.nowNS < deadline {
-		n.nowNS = deadline
+// stepShard executes shard s's next event. The shard's clock advances to
+// the event time.
+func (n *Network) stepShard(s *shard) {
+	idx := s.heapPop()
+	ev := &s.events[idx]
+	s.nowNS = ev.at
+	s.fired++
+	switch ev.kind {
+	case evFn:
+		fn := ev.fn
+		s.release(idx)
+		fn()
+	case evMsg, evMsgReady:
+		n.deliver(s, idx)
+	case evSyn:
+		n.onSyn(s, idx)
+	case evAck:
+		n.onAck(s, idx)
+	case evDown:
+		n.onDown(s, idx)
 	}
 }
 
-// RunFor advances the simulation by d from the current time.
-func (n *Network) RunFor(d time.Duration) { n.RunUntil(time.Duration(n.nowNS + int64(d))) }
-
-// Drain runs events until the queue is empty or maxEvents is hit (guarding
-// against periodic timers keeping the queue alive forever). It returns the
-// number of events executed.
-func (n *Network) Drain(maxEvents int) int {
-	count := 0
-	for count < maxEvents && n.Step() {
-		count++
-	}
-	return count
-}
-
-// AddNode boots a node with the given handler. Start runs as an event at the
-// current virtual time.
-func (n *Network) AddNode(id ids.NodeID, h node.Handler) {
-	if !id.Valid() {
-		panic(fmt.Sprintf("simnet: invalid node id %d", uint64(id)))
-	}
-	if _, exists := n.nodes[id]; exists {
-		panic(fmt.Sprintf("simnet: duplicate node %v", id))
-	}
-	sn := &simNode{id: id, handler: h, alive: true, bootAt: n.nowNS}
-	sn.env = &env{net: n, node: sn, rng: rand.New(rand.NewSource(n.rng.Int63()))}
-	n.nodes[id] = sn
-	n.order = append(n.order, id)
-	n.schedule(n.nowNS, sn, func() { h.Start(sn.env) })
-}
-
-// Crash kills a node without warning. Its peers' failure detectors fire
-// after DetectDelay; in-flight messages to and from it are lost (its queued
-// events are removed).
-func (n *Network) Crash(id ids.NodeID) {
-	sn, ok := n.nodes[id]
-	if !ok || !sn.alive {
+// deliver runs the receive path of a message event: connection-token check,
+// optional receiver-CPU queueing, accounting, handler dispatch.
+func (n *Network) deliver(s *shard, idx int32) {
+	ev := &s.events[idx]
+	to := ev.owner
+	hc := to.conns[ev.from]
+	if hc == nil || hc.tokD != ev.tokD || hc.tokN != ev.tokN {
+		// The connection this message traveled on is gone (closed, crashed,
+		// or replaced by a newer dial): the bytes vanish with it.
+		s.release(idx)
 		return
 	}
-	sn.alive = false
-	n.removeOwnedEvents(sn)
-	n.dropConnsOf(sn, ErrPeerCrashed, n.opts.DetectDelay)
+	if n.opts.ProcessingDelay != nil && ev.kind == evMsg {
+		// Receiver CPU: service starts when both the message has arrived
+		// and the CPU is idle. Requeue the same slot at the service
+		// completion instant (the (src, seq) key is kept, so per-sender
+		// FIFO order survives the requeue).
+		d := n.opts.ProcessingDelay(to.delayRng)
+		if d < 0 {
+			d = 0
+		}
+		svc := ev.at
+		if to.cpuFreeAt > svc {
+			svc = to.cpuFreeAt
+		}
+		svc += int64(d)
+		to.cpuFreeAt = svc
+		if svc > ev.at {
+			ev.kind = evMsgReady
+			ev.at = svc
+			s.heapPush(idx)
+			return
+		}
+	}
+	if hc.state == hcDialing {
+		// Data from the acceptor can arrive exactly with (or, under the
+		// deterministic tie-break, ahead of) the dialer's own handshake
+		// completion; an established stream implies the connection is up.
+		hc.state = hcUp
+		to.handler.ConnUp(ev.from)
+	}
+	from, m := ev.from, ev.msg
+	size, phase, cls := ev.size, ev.phase, ev.cls
+	s.release(idx)
+	to.usage.DownBytes[phase][cls] += uint64(size)
+	to.usage.DownMessages[phase]++
+	if n.Tap != nil {
+		n.Tap(from, to.id, m)
+	}
+	to.handler.Receive(from, m)
 }
 
-// Shutdown stops a node gracefully: Stop runs, connections close, and peers
-// observe an orderly ConnDown after one network latency. Like Crash, the
-// node's queued events are removed.
-func (n *Network) Shutdown(id ids.NodeID) {
-	sn, ok := n.nodes[id]
-	if !ok || !sn.alive {
+// onSyn handles a dial request arriving at the acceptor.
+func (n *Network) onSyn(s *shard, idx int32) {
+	ev := &s.events[idx]
+	to, from := ev.owner, ev.from
+	tokD, tokN := ev.tokD, ev.tokN
+	s.release(idx)
+	if !n.nodeAlive(from) {
+		// The dialer died while the request was in flight; its side was
+		// already torn down, so accepting would create a ghost connection.
 		return
 	}
-	sn.handler.Stop()
-	sn.alive = false
-	n.removeOwnedEvents(sn)
-	n.dropConnsOf(sn, ErrPeerClosed, 0)
-}
-
-func (n *Network) dropConnsOf(sn *simNode, cause error, extraDelay time.Duration) {
-	// Collect and sort the victim's connections before processing: latency
-	// sampling consumes the shared RNG per connection, so map iteration
-	// order here would make runs diverge under one seed.
-	keys := n.scratchKeys[:0]
-	for key := range n.conns {
-		if key.lo == sn.id || key.hi == sn.id {
-			keys = append(keys, key)
+	hc := to.conns[from]
+	switch {
+	case hc == nil:
+		to.conns[from] = &halfConn{state: hcUp, tokD: tokD, tokN: tokN}
+	case hc.state == hcDialing:
+		// Crossed simultaneous dials: both sides adopt the token of the
+		// lower-id dialer, deterministically converging on one connection
+		// instance. Each side's own handshake-completion event then finds
+		// the half already up and stays quiet.
+		if tokD < hc.tokD {
+			hc.tokD, hc.tokN = tokD, tokN
 		}
+		hc.state = hcUp
+	default:
+		// A fresh dial over a half we still consider up: the peer closed and
+		// re-dialed before our ConnDown arrived. Adopt the new instance.
+		hc.tokD, hc.tokN = tokD, tokN
+		hc.sendFloor = 0
 	}
-	slices.SortFunc(keys, func(a, b connKey) int {
-		if a.lo != b.lo {
-			if a.lo < b.lo {
-				return -1
-			}
-			return 1
+	to.handler.ConnUp(from)
+}
+
+// onAck handles the dialer-side handshake completion.
+func (n *Network) onAck(s *shard, idx int32) {
+	ev := &s.events[idx]
+	self, peer := ev.owner, ev.from
+	tokD, tokN := ev.tokD, ev.tokN
+	s.release(idx)
+	hc := self.conns[peer]
+	if hc == nil || hc.tokD != tokD || hc.tokN != tokN {
+		// Our dial was torn down (we closed mid-dial, the peer died, or a
+		// crossed dial adopted the other token and completed already).
+		if hc == nil && !n.nodeAlive(peer) {
+			self.handler.ConnDown(peer, ErrDialFailed)
 		}
-		if a.hi < b.hi {
-			return -1
-		}
-		if a.hi > b.hi {
-			return 1
-		}
-		return 0
-	})
-	for _, key := range keys {
-		c := n.conns[key]
-		peerID := key.lo
-		if peerID == sn.id {
-			peerID = key.hi
-		}
-		peer := n.nodes[peerID]
-		c.closed = true
-		delete(n.conns, key)
-		if peer == nil || !peer.alive || !c.up(peerID) {
-			continue
-		}
-		delay := int64(n.sampleLatency(sn.id, peerID) + extraDelay)
-		downed := sn.id
-		n.schedule(n.nowNS+delay, peer, func() {
-			peer.handler.ConnDown(downed, cause)
-		})
+		return
 	}
-	n.scratchKeys = keys[:0]
-}
-
-// Alive reports whether the node exists and has not crashed or shut down.
-func (n *Network) Alive(id ids.NodeID) bool {
-	sn, ok := n.nodes[id]
-	return ok && sn.alive
-}
-
-// NodeIDs returns all alive nodes in insertion order.
-func (n *Network) NodeIDs() []ids.NodeID {
-	out := make([]ids.NodeID, 0, len(n.order))
-	for _, id := range n.order {
-		if n.nodes[id].alive {
-			out = append(out, id)
-		}
+	if hc.state == hcUp {
+		return // already established by a crossed dial or early data
 	}
-	return out
-}
-
-// Usage returns a node's traffic counters. Counters survive crashes so
-// experiments can still read them.
-func (n *Network) Usage(id ids.NodeID) Usage {
-	if sn, ok := n.nodes[id]; ok {
-		return sn.usage
+	if !n.nodeAlive(peer) {
+		// Peer died during the handshake; surface a failed dial.
+		delete(self.conns, peer)
+		self.handler.ConnDown(peer, ErrDialFailed)
+		return
 	}
-	return Usage{}
+	hc.state = hcUp
+	self.handler.ConnUp(peer)
 }
 
-// ResetUsage zeroes all traffic counters (e.g., between experiment phases
-// that must be measured independently).
-func (n *Network) ResetUsage() {
-	for _, sn := range n.nodes {
-		sn.usage = Usage{}
+// onDown handles a connection-down notification (peer closed, peer crash
+// detected, or a failed dial). State removal is token-guarded — a newer
+// connection between the same pair is left alone — but the handler callback
+// is unconditional, mirroring how a TCP stack surfaces errors for streams
+// the application may have already replaced.
+func (n *Network) onDown(s *shard, idx int32) {
+	ev := &s.events[idx]
+	to, from, cause := ev.owner, ev.from, ev.cause
+	tokD, tokN := ev.tokD, ev.tokN
+	s.release(idx)
+	if hc := to.conns[from]; hc != nil && hc.tokD == tokD && hc.tokN == tokN {
+		delete(to.conns, from)
 	}
+	to.handler.ConnDown(from, cause)
 }
 
-// QueueLen returns the number of live queued events. Cancelled timers and
-// dead nodes' events are removed from the queue outright, so — unlike a
-// tombstone design — this counts only work that will actually execute.
-func (n *Network) QueueLen() int { return len(n.heap) }
+// ---------------------------------------------------------------- latency
 
-// PendingEvents returns the number of queued events (for tests).
-func (n *Network) PendingEvents() int { return n.QueueLen() }
-
-// EventsFired returns the total number of events executed so far — the
-// simulator's work metric, used by the scale benchmarks to report events/s.
-func (n *Network) EventsFired() uint64 { return n.fired }
+// pairLatency samples the one-way delay for a message from -> to, drawing
+// from the sender's deterministic per-pair stream on the given shard's RNG.
+func (n *Network) pairLatency(s *shard, from *simNode, to ids.NodeID) int64 {
+	s.latSrc.s = mixLat(n.opts.Seed, from.id, to, from.latSeq)
+	from.latSeq++
+	d := n.latency.Sample(from.id, to, s.latRnd)
+	if d < 0 {
+		d = 0
+	}
+	return int64(d)
+}
 
 // EstimateLatency samples the latency model for a pair — experiment
-// harnesses use it for "direct point-to-point" baselines (Figure 9).
+// harnesses use it for "direct point-to-point" baselines (Figure 9). It
+// draws from a driver-owned stream, so it does not perturb the pair's
+// in-simulation latency sequence. Driver context only.
 func (n *Network) EstimateLatency(from, to ids.NodeID) time.Duration {
-	return n.sampleLatency(from, to)
-}
-
-func (n *Network) sampleLatency(from, to ids.NodeID) time.Duration {
-	d := n.latency.Sample(from, to, n.rng)
+	n.driver.latSrc.s = mixLat(n.opts.Seed^0x51ab_f00d, from, to, n.estSeq)
+	n.estSeq++
+	d := n.latency.Sample(from, to, n.driver.latRnd)
 	if d < 0 {
 		d = 0
 	}
@@ -645,6 +520,158 @@ func classOf(m wire.Message) uint8 {
 	return 1
 }
 
+// ------------------------------------------------------------- membership
+
+// AddNode boots a node with the given handler, assigning it to the next
+// shard round-robin. Start runs as an event at the current virtual time.
+// Driver context only.
+func (n *Network) AddNode(id ids.NodeID, h node.Handler) {
+	if !id.Valid() {
+		panic(fmt.Sprintf("simnet: invalid node id %d", uint64(id)))
+	}
+	if _, exists := n.nodes[id]; exists {
+		panic(fmt.Sprintf("simnet: duplicate node %v", id))
+	}
+	sn := &simNode{
+		id:      id,
+		handler: h,
+		alive:   true,
+		shard:   n.shards[len(n.order)%len(n.shards)],
+		conns:   make(map[ids.NodeID]*halfConn),
+	}
+	sn.env = &env{net: n, node: sn, rng: rand.New(rand.NewSource(n.rng.Int63()))}
+	if n.opts.ProcessingDelay != nil {
+		sn.delayRng = rand.New(rand.NewSource(n.rng.Int63()))
+	}
+	n.nodes[id] = sn
+	n.order = append(n.order, id)
+	// Start is driver-originated and therefore lives on the driver shard:
+	// node shards hold only node-originated (non-Nil src) events, which
+	// keeps the (at, src, seq) tie-break identical between the sequential
+	// and the sharded scheduler (driver events always precede same-instant
+	// node events, in driver-sequence order).
+	n.driverSeq++
+	n.driver.put(event{at: n.driver.nowNS, seq: n.driverSeq, src: ids.Nil, kind: evFn, owner: sn,
+		fn: func() { h.Start(sn.env) }})
+}
+
+func (n *Network) nodeAlive(id ids.NodeID) bool {
+	sn, ok := n.nodes[id]
+	return ok && sn.alive
+}
+
+// Crash kills a node without warning. Its peers' failure detectors fire
+// after DetectDelay; in-flight messages to and from it are lost (its queued
+// events are removed). Driver context only.
+func (n *Network) Crash(id ids.NodeID) {
+	sn, ok := n.nodes[id]
+	if !ok || !sn.alive {
+		return
+	}
+	sn.alive = false
+	n.removeOwnedEvents(sn)
+	n.dropConnsOf(sn, ErrPeerCrashed, n.opts.DetectDelay)
+}
+
+// Shutdown stops a node gracefully: Stop runs, connections close, and peers
+// observe an orderly ConnDown after one network latency. Like Crash, the
+// node's queued events are removed. Driver context only.
+func (n *Network) Shutdown(id ids.NodeID) {
+	sn, ok := n.nodes[id]
+	if !ok || !sn.alive {
+		return
+	}
+	sn.handler.Stop()
+	sn.alive = false
+	n.removeOwnedEvents(sn)
+	n.dropConnsOf(sn, ErrPeerClosed, 0)
+}
+
+// dropConnsOf tears down every connection of a dying node: the peers' halves
+// are removed immediately (in-flight traffic on the connection dies with the
+// token) and each previously-established peer gets a ConnDown notification
+// after one network latency plus extraDelay. Barrier context: it touches
+// other nodes' halves directly.
+func (n *Network) dropConnsOf(sn *simNode, cause error, extraDelay time.Duration) {
+	// Sort the victim's peers: latency sampling consumes the dying node's
+	// draw counter per connection, so map iteration order here would make
+	// runs diverge under one seed.
+	peers := n.scratchPeers[:0]
+	for id := range sn.conns {
+		peers = append(peers, id)
+	}
+	slices.Sort(peers)
+	for _, peerID := range peers {
+		hc := sn.conns[peerID]
+		delete(sn.conns, peerID)
+		peer := n.nodes[peerID]
+		if peer == nil || !peer.alive {
+			continue
+		}
+		phc := peer.conns[sn.id]
+		if phc == nil || phc.tokD != hc.tokD || phc.tokN != hc.tokN {
+			continue // the peer never saw, or already replaced, this instance
+		}
+		wasUp := phc.state == hcUp
+		delete(peer.conns, sn.id)
+		if !wasUp {
+			// The peer was still dialing us: its own handshake-completion
+			// event will find the half gone and us dead, and surface
+			// ErrDialFailed.
+			continue
+		}
+		// Driver-originated, so driver-shard resident (see AddNode): the
+		// notification executes at a barrier, where touching the peer is
+		// safe regardless of its shard.
+		delay := int64(time.Duration(n.pairLatency(n.driver, sn, peerID)) + extraDelay)
+		n.driverSeq++
+		n.driver.put(event{
+			at: n.driver.nowNS + delay, seq: n.driverSeq, src: ids.Nil,
+			kind: evDown, owner: peer, from: sn.id,
+			tokD: hc.tokD, tokN: hc.tokN, cause: cause,
+		})
+	}
+	n.scratchPeers = peers[:0]
+}
+
+// Alive reports whether the node exists and has not crashed or shut down.
+func (n *Network) Alive(id ids.NodeID) bool { return n.nodeAlive(id) }
+
+// NodeIDs returns all alive nodes in insertion order. Driver context only.
+func (n *Network) NodeIDs() []ids.NodeID {
+	out := make([]ids.NodeID, 0, len(n.order))
+	for _, id := range n.order {
+		if n.nodes[id].alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Usage returns a node's traffic counters. Counters survive crashes so
+// experiments can still read them. Driver context only.
+func (n *Network) Usage(id ids.NodeID) Usage {
+	if sn, ok := n.nodes[id]; ok {
+		return sn.usage
+	}
+	return Usage{}
+}
+
+// ResetUsage zeroes all traffic counters (e.g., between experiment phases
+// that must be measured independently). Driver context only.
+func (n *Network) ResetUsage() {
+	for _, sn := range n.nodes {
+		sn.usage = Usage{}
+	}
+}
+
+// SortedNodeIDs returns all alive node ids in ascending order (test helper).
+func (n *Network) SortedNodeIDs() []ids.NodeID {
+	out := n.NodeIDs()
+	slices.Sort(out)
+	return out
+}
+
 // ---------------------------------------------------------------- node env
 
 type env struct {
@@ -653,107 +680,115 @@ type env struct {
 	rng  *rand.Rand
 }
 
-func (e *env) ID() ids.NodeID   { return e.node.id }
-func (e *env) Now() time.Time   { return e.net.Now() }
+func (e *env) ID() ids.NodeID { return e.node.id }
+
+// Now returns the node's shard-local virtual time — inside a callback, the
+// current event's timestamp.
+func (e *env) Now() time.Time {
+	return epoch.Add(time.Duration(e.node.shard.nowNS))
+}
+
 func (e *env) Rand() *rand.Rand { return e.rng }
 
 func (e *env) Log(format string, args ...any) {
-	if e.net.opts.Logf != nil {
-		prefix := fmt.Sprintf("[%8.3fs %v] ", e.net.Since().Seconds(), e.node.id)
-		e.net.opts.Logf(prefix+format, args...)
+	if e.net.opts.Logf == nil {
+		return
 	}
+	e.net.logMu.Lock()
+	defer e.net.logMu.Unlock()
+	prefix := fmt.Sprintf("[%8.3fs %v] ", (time.Duration(e.node.shard.nowNS)).Seconds(), e.node.id)
+	e.net.opts.Logf(prefix+format, args...)
 }
 
 // simTimer is a handle to a queued arena event. The gen check makes Stop a
-// safe no-op after the event fired (and its slot was possibly reused).
+// safe no-op after the event fired (and its slot was possibly reused). A
+// timer is always created and stopped on its node's own shard.
 type simTimer struct {
-	net *Network
-	idx int32
-	gen uint32
+	shard *shard
+	idx   int32
+	gen   uint32
 }
 
 func (t *simTimer) Stop() bool {
-	ev := &t.net.events[t.idx]
+	ev := &t.shard.events[t.idx]
 	if ev.gen != t.gen || ev.heapIdx == noEvent {
 		return false // already fired, cancelled, or slot reused
 	}
-	t.net.heapRemove(int(ev.heapIdx))
-	t.net.release(t.idx)
+	t.shard.heapRemove(int(ev.heapIdx))
+	t.shard.release(t.idx)
 	return true
 }
 
 func (e *env) After(d time.Duration, fn func()) node.Timer {
-	idx := e.net.schedule(e.net.nowNS+int64(d), e.node, fn)
-	return &simTimer{net: e.net, idx: idx, gen: e.net.events[idx].gen}
+	sn := e.node
+	s := sn.shard
+	idx := e.net.scheduleNode(sn, s, event{
+		at: s.nowNS + int64(d), kind: evFn, owner: sn, fn: fn,
+	})
+	return &simTimer{shard: s, idx: idx, gen: s.events[idx].gen}
 }
 
 func (e *env) Connect(to ids.NodeID) {
 	net := e.net
-	if !e.node.alive {
+	self := e.node
+	if !self.alive {
 		return
 	}
-	key := keyOf(e.node.id, to)
-	if c, ok := net.conns[key]; ok && !c.closed {
+	if _, exists := self.conns[to]; exists {
 		return // already open or dialing
 	}
-	self := e.node
 	peer, ok := net.nodes[to]
-	if !ok || !peer.alive || to == e.node.id {
+	if !ok || !peer.alive || to == self.id {
 		// Dial fails after a timeout-ish delay.
-		net.schedule(net.nowNS+int64(net.opts.DetectDelay), self, func() {
-			self.handler.ConnDown(to, ErrDialFailed)
+		net.scheduleNode(self, self.shard, event{
+			at:   self.shard.nowNS + int64(net.opts.DetectDelay),
+			kind: evDown, owner: self, from: to, cause: ErrDialFailed,
 		})
 		return
 	}
-	c := &conn{a: key.lo, b: key.hi}
-	net.conns[key] = c
-	oneWay := int64(net.sampleLatency(self.id, to))
-	// SYN reaches the peer after one latency; the dialer's side is up after
-	// a full round trip.
-	net.schedule(net.nowNS+oneWay, peer, func() {
-		if c.closed {
-			return
-		}
-		c.setUp(to, true)
-		peer.handler.ConnUp(self.id)
+	self.dialSeq++
+	hc := &halfConn{state: hcDialing, tokD: self.id, tokN: self.dialSeq}
+	self.conns[to] = hc
+	oneWay := net.pairLatency(self.shard, self, to)
+	// The request reaches the peer after one latency; the dialer's side is
+	// up after a full round trip.
+	synAt := self.shard.nowNS + oneWay
+	hc.sendFloor = synAt
+	net.scheduleNode(self, peer.shard, event{
+		at: synAt, kind: evSyn, owner: peer, from: self.id,
+		tokD: hc.tokD, tokN: hc.tokN,
 	})
-	net.schedule(net.nowNS+2*oneWay, self, func() {
-		if c.closed {
-			return
-		}
-		if !net.Alive(to) {
-			// Peer died during the handshake; surface a failed dial.
-			self.handler.ConnDown(to, ErrDialFailed)
-			return
-		}
-		c.setUp(self.id, true)
-		self.handler.ConnUp(to)
+	net.scheduleNode(self, self.shard, event{
+		at: self.shard.nowNS + 2*oneWay, kind: evAck, owner: self, from: to,
+		tokD: hc.tokD, tokN: hc.tokN,
 	})
 }
 
 func (e *env) Close(to ids.NodeID) {
 	net := e.net
-	key := keyOf(e.node.id, to)
-	c, ok := net.conns[key]
-	if !ok || c.closed {
+	self := e.node
+	hc, ok := self.conns[to]
+	if !ok {
 		return
 	}
-	c.closed = true
-	delete(net.conns, key)
+	delete(self.conns, to)
 	peer, ok := net.nodes[to]
-	if !ok || !peer.alive || !c.up(to) {
+	if !ok || !peer.alive {
 		return
 	}
-	delay := int64(net.sampleLatency(e.node.id, to))
-	self := e.node.id
-	net.schedule(net.nowNS+delay, peer, func() {
-		peer.handler.ConnDown(self, ErrPeerClosed)
+	at := self.shard.nowNS + net.pairLatency(self.shard, self, to)
+	if at < hc.sendFloor {
+		at = hc.sendFloor // the notification rides the same FIFO stream
+	}
+	net.scheduleNode(self, peer.shard, event{
+		at: at, kind: evDown, owner: peer, from: self.id,
+		tokD: hc.tokD, tokN: hc.tokN, cause: ErrPeerClosed,
 	})
 }
 
 func (e *env) Connected(to ids.NodeID) bool {
-	c, ok := e.net.conns[keyOf(e.node.id, to)]
-	return ok && !c.closed && c.up(e.node.id)
+	hc, ok := e.node.conns[to]
+	return ok && hc.state == hcUp
 }
 
 func (e *env) Send(to ids.NodeID, m wire.Message) {
@@ -762,9 +797,8 @@ func (e *env) Send(to ids.NodeID, m wire.Message) {
 	if !self.alive {
 		return
 	}
-	key := keyOf(self.id, to)
-	c, ok := net.conns[key]
-	if !ok || c.closed || !c.up(self.id) {
+	hc, ok := self.conns[to]
+	if !ok || hc.state != hcUp {
 		return // no established connection: bytes go nowhere
 	}
 	size := m.WireSize()
@@ -778,7 +812,7 @@ func (e *env) Send(to ids.NodeID, m wire.Message) {
 		return // will surface as ConnDown via the crash path
 	}
 	// Departure: the node's shared uplink serializes all outgoing bytes.
-	depart := net.nowNS
+	depart := self.shard.nowNS
 	if net.opts.NodeBandwidth > 0 {
 		if self.egressFreeAt > depart {
 			depart = self.egressFreeAt
@@ -786,50 +820,23 @@ func (e *env) Send(to ids.NodeID, m wire.Message) {
 		depart += int64(size) * int64(time.Second) / net.opts.NodeBandwidth
 		self.egressFreeAt = depart
 	}
-	delay := int64(net.sampleLatency(self.id, to))
+	delay := net.pairLatency(self.shard, self, to)
 	if net.opts.Bandwidth > 0 {
 		delay += int64(size) * int64(time.Second) / net.opts.Bandwidth
 	}
 	arrive := depart + delay
-	if net.opts.ProcessingDelay != nil {
-		// The receiver's CPU serializes message handling: service starts
-		// when both the message has arrived and the CPU is idle.
-		if peer.cpuFreeAt > arrive {
-			arrive = peer.cpuFreeAt
-		}
-		if d := net.opts.ProcessingDelay(net.rng); d > 0 {
-			arrive += int64(d)
-		}
-		peer.cpuFreeAt = arrive
-	}
 	// Enforce per-direction FIFO, like a TCP stream.
-	var floor *int64
-	if to == c.a {
-		floor = &c.lastDeliverA
-	} else {
-		floor = &c.lastDeliverB
+	if arrive < hc.sendFloor {
+		arrive = hc.sendFloor
 	}
-	if arrive < *floor {
-		arrive = *floor
-	}
-	*floor = arrive
+	hc.sendFloor = arrive
 	// Typed delivery event: the hot path allocates nothing once the arena
-	// is warm.
-	idx := net.scheduleEvent(arrive, peer)
-	ev := &net.events[idx]
-	ev.msg = m
-	ev.from = self.id
-	ev.conn = c
-	ev.size = int32(size)
-	ev.phase = phase
-	ev.cls = cls
+	// is warm (and, cross-shard, nothing beyond outbox growth).
+	net.scheduleNode(self, peer.shard, event{
+		at: arrive, kind: evMsg, owner: peer, from: self.id, msg: m,
+		tokD: hc.tokD, tokN: hc.tokN,
+		size: int32(size), phase: phase, cls: cls,
+	})
 }
 
 var _ node.Env = (*env)(nil)
-
-// SortedNodeIDs returns all alive node ids in ascending order (test helper).
-func (n *Network) SortedNodeIDs() []ids.NodeID {
-	out := n.NodeIDs()
-	slices.Sort(out)
-	return out
-}

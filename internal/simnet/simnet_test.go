@@ -421,9 +421,11 @@ func TestClosedNodeLeavesNoEvents(t *testing.T) {
 			kill.do(n, 2)
 			// Every event owned by node 2 is gone; what remains (node 1's
 			// ConnDown notification) drains without reviving anything.
-			for _, idx := range n.heap {
-				if n.events[idx].owner != nil && n.events[idx].owner.id == 2 {
-					t.Fatalf("dead node still owns queued event at %v", n.events[idx].at)
+			for _, s := range n.allShards() {
+				for _, idx := range s.heap {
+					if s.events[idx].owner != nil && s.events[idx].owner.id == 2 {
+						t.Fatalf("dead node still owns queued event at %v", s.events[idx].at)
+					}
 				}
 			}
 			n.RunFor(time.Hour)

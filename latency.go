@@ -9,8 +9,17 @@ import (
 
 // LatencyModel produces one-way delays between simulated node pairs; set it
 // on ClusterConfig.Latency. The constructors below cover the paper's two
-// testbeds; implement the interface for custom topologies.
+// testbeds; implement the interface for custom topologies. Custom models
+// must derive any memoized per-pair state from the pair itself (not call
+// order) — see the interface's contract — and should implement MinDelayer
+// to be usable with the sharded scheduler (ClusterConfig.Workers > 1).
 type LatencyModel = simnet.LatencyModel
+
+// MinDelayer is implemented by latency models that guarantee a positive
+// lower bound on every sampled delay. The multi-core scheduler uses it as
+// its conservative lookahead window; models without it run sequentially.
+// All built-in models implement it.
+type MinDelayer = simnet.MinDelayer
 
 // FixedLatency applies the same delay to every message — predictable
 // timings for unit tests.

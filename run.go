@@ -11,20 +11,27 @@ import (
 	"repro/internal/stats"
 )
 
-// collector accumulates in-run measurements for every workload. The
-// simulator drives it from one goroutine; on the live runtime deliveries
-// arrive on each node's actor goroutine concurrently, so every method
-// locks.
+// collector accumulates in-run measurements for every workload.
+//
+// Concurrency/determinism design, shared by three execution shapes — the
+// sequential simulator (one goroutine), the sharded simulator (one
+// goroutine per scheduler shard) and the live runtime (one goroutine per
+// node): all hot-path accounting goes into per-node accumulators owned by
+// that node's actor, so deliveries need no cross-node lock and every
+// accumulator fills in a deterministic order. Shared state (publish
+// timestamps, registration) sits behind an RWMutex that the delivery path
+// only read-locks. Report folding iterates nodes in sorted id order, so
+// float summation order — and with it the Report JSON — is bit-identical
+// across runs and across simulator worker counts.
 type collector struct {
-	sc  Scenario
-	now func() time.Time
+	sc Scenario
 
-	mu sync.Mutex
+	mu sync.RWMutex
 	ws []*workloadState
-	// hardDelays collects hard-repair recovery delays across all streams
-	// (ProbeRepairs).
-	hardDelays *stats.Sample
-	cancels    []func()
+	// hard collects per-node hard-repair recovery delays (ProbeRepairs),
+	// merged in sorted node order by hardRepairDelays.
+	hard    map[NodeID]*stats.Sample
+	cancels []func()
 }
 
 // workloadState is the in-run state of one workload.
@@ -33,22 +40,26 @@ type workloadState struct {
 	source NodeID
 	pubAt  map[uint32]time.Time
 	pubs   int
-	// per-node delivery accounting, all keyed by node id.
-	delays      map[NodeID]*stats.Sample
-	first, last map[NodeID]time.Time
-	dups        map[NodeID]uint64
+	// accs holds one accumulator per instrumented node (the source's stays
+	// empty: the paper measures receptions).
+	accs map[NodeID]*nodeAcc
 }
 
-func newCollector(sc Scenario, now func() time.Time) *collector {
-	col := &collector{sc: sc, now: now, hardDelays: &stats.Sample{}}
+// nodeAcc is one node's delivery accounting for one workload. It is only
+// ever touched from that node's actor callbacks, serially.
+type nodeAcc struct {
+	delays      stats.Sample
+	first, last time.Time
+	dups        uint64
+}
+
+func newCollector(sc Scenario) *collector {
+	col := &collector{sc: sc, hard: make(map[NodeID]*stats.Sample)}
 	for _, w := range sc.Workloads {
 		col.ws = append(col.ws, &workloadState{
-			w:      w,
-			pubAt:  make(map[uint32]time.Time),
-			delays: make(map[NodeID]*stats.Sample),
-			first:  make(map[NodeID]time.Time),
-			last:   make(map[NodeID]time.Time),
-			dups:   make(map[NodeID]uint64),
+			w:     w,
+			pubAt: make(map[uint32]time.Time),
+			accs:  make(map[NodeID]*nodeAcc),
 		})
 	}
 	return col
@@ -71,68 +82,95 @@ func (col *collector) published(wi int, seq uint32, at time.Time) {
 	col.mu.Unlock()
 }
 
-// delivered records one delivery on a node. Source-local deliveries are
-// excluded: the paper measures receptions.
-func (col *collector) delivered(wi int, node NodeID, seq uint32, at time.Time) {
-	col.mu.Lock()
-	defer col.mu.Unlock()
+// delivered records one delivery into the node's accumulator.
+func (col *collector) delivered(wi int, acc *nodeAcc, id NodeID, seq uint32, at time.Time) {
+	col.mu.RLock()
 	ws := col.ws[wi]
-	if node == ws.source {
+	src := ws.source
+	var t0 time.Time
+	measured := false
+	if int(seq) > ws.w.Warmup {
+		t0, measured = ws.pubAt[seq]
+	}
+	col.mu.RUnlock()
+	if id == src {
 		return
 	}
-	if _, ok := ws.first[node]; !ok {
-		ws.first[node] = at
+	if acc.first.IsZero() {
+		acc.first = at
 	}
-	ws.last[node] = at
-	if int(seq) <= ws.w.Warmup {
-		return
-	}
-	if t0, ok := ws.pubAt[seq]; ok {
-		s := ws.delays[node]
-		if s == nil {
-			s = &stats.Sample{}
-			ws.delays[node] = s
-		}
-		s.AddDuration(at.Sub(t0))
+	acc.last = at
+	if measured {
+		acc.delays.AddDuration(at.Sub(t0))
 	}
 }
 
 // instrument attaches the collector to one peer: a delivery listener per
 // workload (when the latency probe is on) and one event listener for
 // duplicates and repair delays. It covers peers added mid-run by churn.
+// Delivery timestamps come from the peer's own clock (virtual and
+// shard-local on the simulator, wall on the live runtime).
 func (col *collector) instrument(p *Peer) {
 	id := p.ID()
+	now := p.brisa.Now
+	accs := make([]*nodeAcc, len(col.ws))
+	var hard *stats.Sample
+	wantDups := col.sc.probed(ProbeDuplicates)
+	wantRepairs := col.sc.probed(ProbeRepairs)
+	col.mu.Lock()
+	for wi := range col.ws {
+		acc := &nodeAcc{}
+		col.ws[wi].accs[id] = acc
+		accs[wi] = acc
+	}
+	if wantRepairs {
+		hard = &stats.Sample{}
+		col.hard[id] = hard
+	}
+	col.mu.Unlock()
 	if col.sc.probed(ProbeLatency) {
 		for wi := range col.ws {
-			wi := wi
+			wi, acc := wi, accs[wi]
 			cancel := p.brisa.SubscribeFn(col.ws[wi].w.Stream, func(seq uint32, _ []byte) {
-				col.delivered(wi, id, seq, col.now())
+				col.delivered(wi, acc, id, seq, now())
 			})
 			col.addCancel(cancel)
 		}
 	}
-	wantDups := col.sc.probed(ProbeDuplicates)
-	wantRepairs := col.sc.probed(ProbeRepairs)
 	if !wantDups && !wantRepairs {
 		return
 	}
 	cancel := p.brisa.SubscribeEvents(func(ev Event) {
 		switch {
 		case wantDups && ev.Type == EvDuplicate:
-			col.mu.Lock()
-			for _, ws := range col.ws {
-				if ws.w.Stream == ev.Stream && id != ws.source {
-					ws.dups[id]++
+			for wi := range col.ws {
+				if col.ws[wi].w.Stream != ev.Stream {
+					continue
+				}
+				col.mu.RLock()
+				src := col.ws[wi].source
+				col.mu.RUnlock()
+				if id != src {
+					accs[wi].dups++
 				}
 			}
-			col.mu.Unlock()
 		case wantRepairs && ev.Type == EvRepaired && ev.Hard:
-			col.mu.Lock()
-			col.hardDelays.AddDuration(ev.Dur)
-			col.mu.Unlock()
+			hard.AddDuration(ev.Dur)
 		}
 	})
 	col.addCancel(cancel)
+}
+
+// hardRepairDelays folds the per-node hard-repair samples in sorted node
+// order.
+func (col *collector) hardRepairDelays() *stats.Sample {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	out := &stats.Sample{}
+	for _, id := range sortedKeys(col.hard) {
+		out.Merge(col.hard[id])
+	}
+	return out
 }
 
 func (col *collector) addCancel(fn func()) {
@@ -199,18 +237,17 @@ func (col *collector) streamReport(wi int, survivors []peerSnapshot) *StreamRepo
 
 	if col.sc.probed(ProbeLatency) {
 		all, nodeMed, spread := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
-		// Fold in sorted node order: the maps' iteration order must not
-		// reach the output (float summation order), which stays
-		// bit-identical across runs of the deterministic simulator.
-		for _, id := range sortedKeys(ws.delays) {
-			s := ws.delays[id]
-			all.Merge(s)
-			nodeMed.Add(s.Median())
-		}
-		for _, id := range sortedKeys(ws.first) {
-			f := ws.first[id]
-			if l, ok := ws.last[id]; ok && l.After(f) {
-				spread.AddDuration(l.Sub(f))
+		// Fold in sorted node order: the accumulator map's iteration order
+		// must not reach the output (float summation order), which stays
+		// bit-identical across runs — and across simulator worker counts.
+		for _, id := range sortedKeys(ws.accs) {
+			acc := ws.accs[id]
+			if acc.delays.Len() > 0 {
+				all.Merge(&acc.delays)
+				nodeMed.Add(acc.delays.Median())
+			}
+			if !acc.first.IsZero() && acc.last.After(acc.first) {
+				spread.AddDuration(acc.last.Sub(acc.first))
 			}
 		}
 		sr.Delays, sr.NodeDelays, sr.Spread = all, nodeMed, spread
@@ -226,7 +263,11 @@ func (col *collector) streamReport(wi int, survivors []peerSnapshot) *StreamRepo
 			if snap.id == ws.source {
 				continue
 			}
-			d.Add(float64(ws.dups[snap.id]) / denom)
+			var dups uint64
+			if acc := ws.accs[snap.id]; acc != nil {
+				dups = acc.dups
+			}
+			d.Add(float64(dups) / denom)
 		}
 		sr.Duplicates = d
 	}
@@ -371,10 +412,13 @@ func (rt SimRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 	c := rt.Cluster
 	if c == nil {
+		cfg := sc.Topology.clusterConfig(sc.Seed)
+		cfg.Workers = rt.Workers
 		var err error
-		if c, err = NewCluster(sc.Topology.clusterConfig(sc.Seed)); err != nil {
+		if c, err = NewCluster(cfg); err != nil {
 			return nil, err
 		}
+		defer c.Close()
 	}
 	return c.runScenario(ctx, sc)
 }
@@ -458,7 +502,7 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 	}
 	peers := c.Peers()
 
-	col := newCollector(sc, c.Net.Now)
+	col := newCollector(sc)
 	for wi, w := range sc.Workloads {
 		col.setSource(wi, peers[w.Source].ID())
 	}
@@ -587,7 +631,7 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 		if minutes <= 0 {
 			minutes = rep.Elapsed.Minutes()
 		}
-		cr := &ChurnReport{Window: churnWindow, HardDelays: col.hardDelays}
+		cr := &ChurnReport{Window: churnWindow, HardDelays: col.hardRepairDelays()}
 		lost := float64(after.ParentsLost - before.ParentsLost)
 		orphans := float64(after.Orphans - before.Orphans)
 		soft := float64(after.SoftRepairs - before.SoftRepairs)

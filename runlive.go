@@ -55,7 +55,7 @@ func (rt LiveRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 		addr:    addr,
 		rng:     rand.New(rand.NewSource(sc.Seed)),
 		protect: make(map[NodeID]bool),
-		col:     newCollector(sc, time.Now),
+		col:     newCollector(sc),
 	}
 	defer ln.shutdown()
 	defer ln.col.detach()
@@ -193,7 +193,13 @@ func (rt LiveRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 	elapsed := time.Since(t0)
 
-	// Collection, mirroring the simulator's report fold.
+	// Collection, mirroring the simulator's report fold. Detach the
+	// collector first: its per-node accumulators are written lock-free on
+	// each node's actor, so no listener may start once folding begins.
+	// After detach (an atomic listener-snapshot swap) no new callback can
+	// fire, and the per-actor snapshot Do()s below order every callback
+	// that already ran before the fold that reads its accumulator.
+	ln.col.detach()
 	survivors := ln.aliveMembers()
 	rep := &Report{
 		Name:    sc.Name,
@@ -430,10 +436,7 @@ func (ln *liveNet) churnReport(window, elapsed time.Duration, before, after map[
 	if minutes <= 0 {
 		minutes = elapsed.Minutes()
 	}
-	ln.col.mu.Lock()
-	hard := ln.col.hardDelays
-	ln.col.mu.Unlock()
-	cr := &ChurnReport{Window: window, HardDelays: hard}
+	cr := &ChurnReport{Window: window, HardDelays: ln.col.hardRepairDelays()}
 	var lost, orphans, soft, hardN float64
 	for m, a := range after {
 		b := before[m] // zero for members created after the bracket opened

@@ -58,12 +58,40 @@ type SimRuntime struct {
 	// (bootstrapping it first if needed) instead of building a fresh one
 	// per run — the hook for callers that inspect or perturb the cluster
 	// between runs. A scenario with a zero Topology adopts the cluster's
-	// dimensions.
+	// dimensions. Workers is ignored then: the cluster was built with its
+	// own setting.
 	Cluster *Cluster
+
+	// Workers is the number of scheduler shards the simulator partitions
+	// node actors across (default 1: the sequential engine). With
+	// Workers > 1 independent node actors execute on worker goroutines
+	// under a conservative-lookahead scheduler; the Report is
+	// byte-identical for every worker count (the equivalence harness in
+	// the test suite pins this). See ClusterConfig.Workers for the
+	// callback-safety requirements.
+	Workers int
 }
 
 // Name implements Runtime.
 func (SimRuntime) Name() string { return "sim" }
+
+// NewCluster builds the simulated cluster this runtime's Run would build
+// for the scenario — topology, seed and Workers applied, not yet
+// bootstrapped. Use it when the cluster must outlive the run (reading
+// Net.EventsFired, perturbing state between runs):
+//
+//	c, err := brisa.SimRuntime{Workers: 8}.NewCluster(sc)
+//	defer c.Close()
+//	rep, err := brisa.Run(ctx, brisa.SimRuntime{Cluster: c}, sc)
+func (rt SimRuntime) NewCluster(sc Scenario) (*Cluster, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := sc.Topology.clusterConfig(sc.Seed)
+	cfg.Workers = rt.Workers
+	return NewCluster(cfg)
+}
 
 // LiveRuntime runs scenarios on real TCP nodes bound to loopback: one actor
 // goroutine per node, wall-clock time, real wire bytes. Churn scripts kill
