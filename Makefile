@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-scale fuzz fmt vet
+.PHONY: all build test race bench bench-scale bench-blob fuzz fmt vet
 
 all: build test
 
@@ -29,6 +29,13 @@ bench:
 # wall-clock, allocations and simulator events/s per (scenario, workers).
 bench-scale:
 	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -timeout 30m .
+
+# bench-blob regenerates the blob dissemination records (BENCH_blob.json):
+# a payload-size sweep (128 KiB..1 MiB, with and without erasure coding) on
+# the simulator plus one live loopback run, reporting per-node
+# reconstruction MB/s and broadcaster upload overhead per case.
+bench-blob:
+	$(GO) test -run '^$$' -bench BenchmarkBlob -benchtime 1x .
 
 # fuzz runs the wire-codec fuzz targets briefly (CI runs the same smoke);
 # longer local sessions: go test -fuzz FuzzDecoder -fuzztime 5m ./internal/wire

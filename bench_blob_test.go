@@ -1,0 +1,106 @@
+package brisa_test
+
+// Blob dissemination benchmarks: a payload-size sweep on the simulator plus
+// one live loopback run, reporting the subsystem's headline metrics (per-node
+// reconstruction MB/s, broadcaster upload overhead, reliability) and
+// accumulating the machine-readable per-run reports in BENCH_blob.json —
+// `make bench-blob` regenerates it, CI runs the same suite as a smoke.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// blobBenchCase is one blob dissemination configuration of the sweep.
+type blobBenchCase struct {
+	name string
+	rt   brisa.Runtime
+	sc   brisa.Scenario
+}
+
+func blobBenchCases() []blobBenchCase {
+	sim := func(name string, nodes, size, chunkSize, parity int) blobBenchCase {
+		total := 0
+		if parity > 0 {
+			total = (size+chunkSize-1)/chunkSize + parity
+		}
+		return blobBenchCase{
+			name: name,
+			rt:   brisa.SimRuntime{},
+			sc: brisa.Scenario{
+				Name:     name,
+				Seed:     1,
+				Topology: brisa.Topology{Nodes: nodes, Peer: brisa.Config{Mode: brisa.ModeTree, ViewSize: 4}},
+				BlobWorkloads: []brisa.BlobWorkload{
+					{Stream: 1, Size: size, ChunkSize: chunkSize, Total: total},
+				},
+				Probes: []brisa.Probe{brisa.ProbeLatency},
+				Drain:  15 * time.Second,
+			},
+		}
+	}
+	return []blobBenchCase{
+		sim("blob-sim-128KiB-plain", 128, 128<<10, 16<<10, 0),
+		sim("blob-sim-512KiB-plain", 128, 512<<10, 16<<10, 0),
+		sim("blob-sim-512KiB-parity8", 128, 512<<10, 16<<10, 8),
+		sim("blob-sim-1MiB-parity16", 128, 1<<20, 16<<10, 16),
+		{
+			name: "blob-live-256KiB",
+			rt:   brisa.LiveRuntime{},
+			sc: brisa.Scenario{
+				Name:     "blob-live-256KiB",
+				Topology: brisa.Topology{Nodes: 8, Peer: brisa.Config{Mode: brisa.ModeTree, ViewSize: 4}},
+				BlobWorkloads: []brisa.BlobWorkload{
+					{Stream: 1, Size: 256 << 10, ChunkSize: 32 << 10, Total: 10},
+				},
+				Drain: 15 * time.Second,
+			},
+		},
+	}
+}
+
+// BenchmarkBlob runs the blob sweep on both runtimes, reports each case's
+// headline metrics through b.ReportMetric, and writes the machine-readable
+// reports to BENCH_blob.json so the subsystem's trajectory accumulates
+// across revisions.
+func BenchmarkBlob(b *testing.B) {
+	var records []json.RawMessage
+	for i := 0; i < b.N; i++ {
+		records = records[:0]
+		for _, bc := range blobBenchCases() {
+			rep, err := brisa.Run(context.Background(), bc.rt, bc.sc)
+			if err != nil {
+				b.Fatalf("%s: %v", bc.name, err)
+			}
+			br := rep.Blob(1)
+			if br == nil {
+				b.Fatalf("%s: no blob stream report", bc.name)
+			}
+			if br.Reliability != 1 {
+				b.Fatalf("%s: blob reliability %.3f, want 1.0", bc.name, br.Reliability)
+			}
+			if br.Throughput != nil && br.Throughput.Len() > 0 {
+				b.ReportMetric(br.Throughput.Median(), unit("MBps:", bc.name))
+			}
+			b.ReportMetric(br.UploadOverheadPct, unit("upload-pct:", bc.name))
+			b.ReportMetric(float64(rep.Wall.Milliseconds()), unit("wall-ms:", bc.name))
+			raw, err := json.Marshal(rep)
+			if err != nil {
+				b.Fatalf("%s: marshal: %v", bc.name, err)
+			}
+			records = append(records, raw)
+		}
+	}
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal records: %v", err)
+	}
+	if err := os.WriteFile("BENCH_blob.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_blob.json: %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+package brisa_test
+
+// Scenario-level blob dissemination tests: the ISSUE acceptance run (a 1 MB
+// erasure-coded blob reaching ≥99% of 256 nodes under churn, byte-identical
+// across scheduler worker counts), the live-runtime blob path, and the
+// validation error paths for malformed blob workloads.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// TestBlobLargePayloadUnderChurn is the subsystem's acceptance run: one
+// 1 MiB blob, split into 64 data chunks of 16 KiB plus 16 parity (any 64 of
+// 80 reconstruct), disseminated to 256 nodes while 2% of them churn every
+// 2 s. At least 99% of surviving non-source nodes must hold the blob
+// byte-identically, and the full Report must be byte-identical on 1, 2 and
+// 8 scheduler workers.
+func TestBlobLargePayloadUnderChurn(t *testing.T) {
+	sc := brisa.Scenario{
+		Name: "blob-accept-1MiB-256",
+		Seed: 5,
+		Topology: brisa.Topology{
+			Nodes: 256,
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		},
+		BlobWorkloads: []brisa.BlobWorkload{
+			{Stream: 1, Size: 1 << 20, ChunkSize: 16 << 10, Total: 80},
+		},
+		Churn: &brisa.Churn{
+			Script: "from 0s to 6s const churn 2% each 2s",
+			Start:  500 * time.Millisecond,
+		},
+		Probes: []brisa.Probe{brisa.ProbeLatency},
+		Drain:  20 * time.Second,
+	}
+
+	run := func(workers int) ([]byte, *brisa.Report) {
+		rep, err := brisa.Run(context.Background(), brisa.SimRuntime{Workers: workers}, sc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return normalizeReport(t, rep), rep
+	}
+
+	want, rep := run(1)
+	br := rep.Blob(1)
+	if br == nil {
+		t.Fatal("report has no blob stream 1")
+	}
+	if br.Published != 1 || br.BlobBytes != 1<<20 {
+		t.Fatalf("published %d blobs / %d bytes, want 1 / %d", br.Published, br.BlobBytes, 1<<20)
+	}
+	if br.Reliability < 0.99 {
+		t.Fatalf("blob reliability %.4f, want >= 0.99\n%s", br.Reliability, rep)
+	}
+	if br.Latency == nil || br.Latency.Len() == 0 {
+		t.Fatal("no reconstruction latency samples")
+	}
+	if br.Throughput == nil || br.Throughput.Len() == 0 {
+		t.Fatal("no per-node throughput samples")
+	}
+	if br.UploadOverheadPct <= 0 {
+		t.Fatal("no broadcaster upload overhead recorded")
+	}
+
+	for _, workers := range []int{2, 8} {
+		if got, _ := run(workers); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d diverged from the sequential engine\nsequential:\n%s\nworkers=%d:\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestLiveBlobScenario runs a blob workload end-to-end on real loopback TCP
+// nodes through the unified Run entrypoint: chunks cross real sockets, and
+// the report must show every node reconstructing the payload.
+func TestLiveBlobScenario(t *testing.T) {
+	rep, err := brisa.Run(context.Background(), brisa.LiveRuntime{}, brisa.Scenario{
+		Name: "live-blob",
+		Topology: brisa.Topology{
+			Nodes: 6,
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		},
+		BlobWorkloads: []brisa.BlobWorkload{
+			// 96 KiB in 6 data chunks of 16 KiB plus 2 parity.
+			{Stream: 1, Size: 96 << 10, ChunkSize: 16 << 10, Total: 8},
+		},
+		Drain: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := rep.Blob(1)
+	if br == nil {
+		t.Fatal("report has no blob stream 1")
+	}
+	if br.Reliability != 1 {
+		t.Fatalf("live blob reliability %.3f, want 1.0\n%s", br.Reliability, rep)
+	}
+	if br.Latency == nil || br.Latency.Len() != 5 {
+		t.Fatalf("latency samples = %v, want 5 (one per non-source node)", br.Latency)
+	}
+	if br.UploadOverheadPct <= 0 {
+		t.Fatal("no broadcaster upload overhead recorded")
+	}
+	if !strings.Contains(rep.String(), "blob stream") {
+		t.Fatalf("report text misses the blob table:\n%s", rep)
+	}
+}
+
+// TestScenarioValidateBlobWorkloads pins the validation error paths for
+// malformed blob workloads.
+func TestScenarioValidateBlobWorkloads(t *testing.T) {
+	base := func() brisa.Scenario {
+		return brisa.Scenario{
+			Name: "bad-blob",
+			Topology: brisa.Topology{
+				Nodes: 8,
+				Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		sc   func() brisa.Scenario
+		want string
+	}{
+		{
+			name: "no workloads at all",
+			sc:   func() brisa.Scenario { return base() },
+			want: "has no workloads",
+		},
+		{
+			name: "zero size",
+			sc: func() brisa.Scenario {
+				sc := base()
+				sc.BlobWorkloads = []brisa.BlobWorkload{{Stream: 1, Size: 0}}
+				return sc
+			},
+			want: "positive Size",
+		},
+		{
+			name: "total below K",
+			sc: func() brisa.Scenario {
+				sc := base()
+				// 192 KiB at the 64 KiB default chunk size needs K=3 > Total.
+				sc.BlobWorkloads = []brisa.BlobWorkload{{Stream: 1, Size: 192 << 10, Total: 2}}
+				return sc
+			},
+			want: "K (3 data chunks) > N",
+		},
+		{
+			name: "parity beyond GF(256)",
+			sc: func() brisa.Scenario {
+				sc := base()
+				sc.BlobWorkloads = []brisa.BlobWorkload{{Stream: 1, Size: 1 << 20, ChunkSize: 4 << 10, Total: 300}}
+				return sc
+			},
+			want: "256",
+		},
+		{
+			name: "negative blob count",
+			sc: func() brisa.Scenario {
+				sc := base()
+				sc.BlobWorkloads = []brisa.BlobWorkload{{Stream: 1, Size: 1024, Blobs: -1}}
+				return sc
+			},
+			want: "negative Blobs",
+		},
+		{
+			name: "source out of range",
+			sc: func() brisa.Scenario {
+				sc := base()
+				sc.BlobWorkloads = []brisa.BlobWorkload{{Stream: 1, Size: 1024, Source: 8}}
+				return sc
+			},
+			want: "sources from node index 8",
+		},
+		{
+			name: "negative timing",
+			sc: func() brisa.Scenario {
+				sc := base()
+				sc.BlobWorkloads = []brisa.BlobWorkload{{Stream: 1, Size: 1024, Start: -time.Second}}
+				return sc
+			},
+			want: "negative timing",
+		},
+		{
+			name: "stream shared with a message workload",
+			sc: func() brisa.Scenario {
+				sc := base()
+				sc.Workloads = []brisa.Workload{{Stream: 1, Messages: 5}}
+				sc.BlobWorkloads = []brisa.BlobWorkload{{Stream: 1, Size: 1024}}
+				return sc
+			},
+			want: "duplicate workload for stream 1",
+		},
+		{
+			name: "stream shared between blob workloads",
+			sc: func() brisa.Scenario {
+				sc := base()
+				sc.BlobWorkloads = []brisa.BlobWorkload{
+					{Stream: 1, Size: 1024},
+					{Stream: 1, Size: 2048},
+				}
+				return sc
+			},
+			want: "duplicate workload for stream 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Run applies the documented defaults (chunk size, blob count)
+			// before validation — the path every user call takes.
+			_, err := brisa.Run(context.Background(), brisa.SimRuntime{}, tc.sc())
+			if err == nil {
+				t.Fatalf("Run accepted the scenario, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Run error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// nonBlobRuntime is a stub runtime without blob support, for the Run gate.
+type nonBlobRuntime struct{ supports *bool }
+
+func (nonBlobRuntime) Name() string { return "stub" }
+func (nonBlobRuntime) Run(ctx context.Context, sc brisa.Scenario) (*brisa.Report, error) {
+	return &brisa.Report{Name: sc.Name}, nil
+}
+
+// SupportsBlobs implements brisa.BlobCapable when supports is set.
+func (rt nonBlobRuntime) SupportsBlobs() bool { return rt.supports != nil && *rt.supports }
+
+// TestRunRejectsBlobsOnIncapableRuntime pins the Run gate: a scenario with
+// blob workloads is refused on a runtime that does not support them, before
+// the runtime ever sees it.
+func TestRunRejectsBlobsOnIncapableRuntime(t *testing.T) {
+	sc := brisa.Scenario{
+		Name:          "blob-on-stub",
+		Topology:      brisa.Topology{Nodes: 4, Peer: brisa.Config{Mode: brisa.ModeTree, ViewSize: 4}},
+		BlobWorkloads: []brisa.BlobWorkload{{Stream: 1, Size: 1024}},
+	}
+	_, err := brisa.Run(context.Background(), nonBlobRuntime{}, sc)
+	if err == nil || !strings.Contains(err.Error(), "does not support blobs") {
+		t.Fatalf("Run on a blob-incapable runtime: err = %v, want 'does not support blobs'", err)
+	}
+
+	no := false
+	if _, err := brisa.Run(context.Background(), nonBlobRuntime{supports: &no}, sc); err == nil ||
+		!strings.Contains(err.Error(), "does not support blobs") {
+		t.Fatalf("Run on a SupportsBlobs()==false runtime: err = %v, want 'does not support blobs'", err)
+	}
+
+	yes := true
+	if _, err := brisa.Run(context.Background(), nonBlobRuntime{supports: &yes}, sc); err != nil {
+		t.Fatalf("Run on a blob-capable runtime: %v", err)
+	}
+
+	// Without blob workloads the gate never applies.
+	sc.BlobWorkloads = nil
+	sc.Workloads = []brisa.Workload{{Stream: 1, Messages: 1}}
+	if _, err := brisa.Run(context.Background(), nonBlobRuntime{}, sc); err != nil {
+		t.Fatalf("Run without blob workloads on a stub runtime: %v", err)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/hyparview"
 	"repro/internal/ids"
@@ -72,6 +73,8 @@ type (
 	EventType = core.EventType
 	// Metrics are the BRISA protocol counters.
 	Metrics = core.Metrics
+	// BlobStats are the per-stream blob dissemination counters.
+	BlobStats = core.BlobStats
 )
 
 // Structure modes.
@@ -95,6 +98,8 @@ const (
 	EvConstructionDone = core.EvConstructionDone
 	EvDepthChange      = core.EvDepthChange
 	EvStallRepair      = core.EvStallRepair
+	EvBlobDeliver      = core.EvBlobDeliver
+	EvBlobDropped      = core.EvBlobDropped
 )
 
 // Parent selection strategies.
@@ -268,6 +273,45 @@ func (p *Peer) Join(contact NodeID) { p.pss.Join(contact) }
 func (p *Peer) Publish(stream StreamID, payload []byte) uint32 {
 	return p.brisa.Publish(stream, payload)
 }
+
+// BlobOptions tunes PublishBlob. The zero value means 64 KiB chunks with no
+// erasure coding.
+type BlobOptions struct {
+	// ChunkSize is the bytes per data chunk (default 64 KiB, max 1 MiB).
+	ChunkSize int
+	// Parity adds that many erasure-coded chunks (systematic Reed–Solomon
+	// over GF(256)): the blob splits into K data chunks and any K of the
+	// K+Parity total reconstruct it. Parity requires K+Parity ≤ 256.
+	Parity int
+}
+
+// PublishBlob splits a large payload into chunks and disseminates it over
+// the stream's emerged structure; receivers reassemble it and deliver it
+// through SubscribeBlobs. Missing chunks are pulled from neighbors via the
+// Have/Want repair path. Returns the per-stream blob id (from 1). The
+// caller must not modify data afterwards.
+func (p *Peer) PublishBlob(stream StreamID, data []byte, opts BlobOptions) (uint32, error) {
+	cs := opts.ChunkSize
+	if cs <= 0 {
+		cs = blob.DefaultChunkSize
+	}
+	if opts.Parity < 0 {
+		return 0, fmt.Errorf("brisa: Parity must not be negative, got %d", opts.Parity)
+	}
+	prm := blob.Params{ChunkSize: cs}
+	if opts.Parity > 0 {
+		k := (len(data) + cs - 1) / cs
+		prm.Total = k + opts.Parity
+	}
+	return p.brisa.PublishBlob(stream, data, prm)
+}
+
+// BlobsDelivered returns how many blobs of the stream this peer holds
+// intact (reconstructed or locally published).
+func (p *Peer) BlobsDelivered(stream StreamID) uint64 { return p.brisa.BlobsDelivered(stream) }
+
+// BlobStats returns the per-stream blob dissemination counters.
+func (p *Peer) BlobStats(stream StreamID) BlobStats { return p.brisa.BlobStats(stream) }
 
 // Neighbors returns the current HyParView active view. The slice is the
 // caller's to keep: the PSS-internal snapshot is copied out.

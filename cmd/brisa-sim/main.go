@@ -13,6 +13,8 @@
 //	brisa-sim -nodes 16 -streams 2 -messages 50 -runtime live
 //	brisa-sim -nodes 16 -messages 200 -runtime live -churn "from 0s to 10s const churn 10% each 2s"
 //	brisa-sim -nodes 10000 -messages 20 -cpuprofile cpu.out   # engine-scale run, profiled
+//	brisa-sim -nodes 256 -messages 0 -blob 1048576 -parity 16 # one 1 MiB erasure-coded blob
+//	brisa-sim -nodes 8 -messages 0 -blob 262144 -runtime live # blob over real sockets
 //
 // The -runtime flag resolves against brisa.Runtimes(); every scenario —
 // churn scripts and traffic probes included — runs on either runtime.
@@ -41,6 +43,10 @@ func main() {
 		messages = flag.Int("messages", 100, "messages to publish per stream")
 		payload  = flag.Int("payload", 1024, "payload bytes per message")
 		rate     = flag.Float64("rate", 5, "messages per second per stream")
+		blobSize = flag.Int("blob", 0, "publish a chunked large payload of this many bytes (0 = off); runs on either runtime")
+		blobs    = flag.Int("blobs", 1, "how many blobs to publish")
+		chunk    = flag.Int("chunk", 0, "blob chunk bytes (default 64 KiB)")
+		parity   = flag.Int("parity", 0, "extra erasure-coded chunks per blob: any K of K+parity reconstruct (0 = no coding)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		planet   = flag.Bool("planetlab", false, "use PlanetLab latencies instead of cluster")
 		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied 10s into dissemination")
@@ -101,13 +107,33 @@ func main() {
 		Drain: 30 * time.Second,
 	}
 	interval := time.Duration(float64(time.Second) / *rate)
-	for s := 0; s < *streams; s++ {
-		sc.Workloads = append(sc.Workloads, brisa.Workload{
-			Stream:   brisa.StreamID(s + 1),
-			Source:   s % *nodes,
-			Messages: *messages,
-			Payload:  *payload,
-			Interval: interval,
+	if *messages > 0 || *blobSize == 0 {
+		for s := 0; s < *streams; s++ {
+			sc.Workloads = append(sc.Workloads, brisa.Workload{
+				Stream:   brisa.StreamID(s + 1),
+				Source:   s % *nodes,
+				Messages: *messages,
+				Payload:  *payload,
+				Interval: interval,
+			})
+		}
+	}
+	if *blobSize > 0 {
+		cs := *chunk
+		if cs <= 0 {
+			cs = 64 << 10
+		}
+		total := 0
+		if *parity > 0 {
+			total = (*blobSize+cs-1)/cs + *parity
+		}
+		sc.BlobWorkloads = append(sc.BlobWorkloads, brisa.BlobWorkload{
+			Stream:    brisa.StreamID(*streams + 1),
+			Source:    0,
+			Blobs:     *blobs,
+			Size:      *blobSize,
+			ChunkSize: cs,
+			Total:     total,
 		})
 	}
 	if *churn != "" {

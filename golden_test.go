@@ -46,6 +46,9 @@ type goldenCase struct {
 //     reporting.
 //   - churn: sustained heavier churn with the repairs probe — orphan
 //     accounting, soft/hard repair split, recovery delays.
+//   - blob: a chunked large-payload workload (K-of-N erasure coded)
+//     alongside a message stream — chunk relay over the emerged tree,
+//     Have/Want pull repair, reconstruction accounting.
 func goldenCases() []goldenCase {
 	return []goldenCase{
 		{
@@ -114,6 +117,30 @@ func goldenCases() []goldenCase {
 				Probes: []brisa.Probe{
 					brisa.ProbeLatency, brisa.ProbeDuplicates,
 					brisa.ProbeTraffic, brisa.ProbeRepairs,
+				},
+				Drain: 8 * time.Second,
+			},
+		},
+		{
+			name: "blob",
+			file: "testdata/golden_report_blob.json",
+			sc: brisa.Scenario{
+				Name: "golden-blob-1x48",
+				Seed: 17,
+				Topology: brisa.Topology{
+					Nodes: 48,
+					Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+				},
+				Workloads: []brisa.Workload{
+					{Stream: 1, Source: 0, Messages: 10, Payload: 256},
+				},
+				BlobWorkloads: []brisa.BlobWorkload{
+					// 96 KiB in 12 data chunks of 8 KiB plus 4 parity: any
+					// 12 of 16 reconstruct.
+					{Stream: 2, Source: 1, Blobs: 2, Size: 96 << 10, ChunkSize: 8 << 10, Total: 16},
+				},
+				Probes: []brisa.Probe{
+					brisa.ProbeLatency, brisa.ProbeDuplicates, brisa.ProbeTraffic,
 				},
 				Drain: 8 * time.Second,
 			},

@@ -1,0 +1,280 @@
+// Package blob implements chunking and systematic K-of-N erasure coding for
+// large payloads disseminated over a BRISA structure.
+//
+// A blob of S bytes is split into K = ceil(S/ChunkSize) data chunks (the last
+// one short) and, optionally, extended with N−K parity chunks so that *any* K
+// of the N chunks reconstruct the original bytes. The code is a systematic
+// Reed–Solomon code over GF(256) built from a Cauchy matrix — every square
+// submatrix of a Cauchy matrix is nonsingular, so every K-subset of the N
+// generator rows is invertible, which is exactly the any-K property. Pure Go,
+// no dependencies.
+package blob
+
+import "fmt"
+
+// DefaultChunkSize is the chunk size used when a caller leaves it zero:
+// 64 KiB balances per-chunk framing overhead against pipelining granularity
+// and stays well under the wire codec's 1 MiB slice bound.
+const DefaultChunkSize = 64 * 1024
+
+// MaxChunkSize is the largest encodable chunk: the wire codec refuses to
+// decode byte slices longer than 1 MiB, so bigger chunks could never cross
+// the live transport.
+const MaxChunkSize = 1 << 20
+
+// MaxTotal caps N when parity is in play: chunk indices label rows of a
+// GF(256) Cauchy matrix, so data and parity labels together must be distinct
+// field elements. Uncoded blobs (N == K) have no such limit.
+const MaxTotal = 256
+
+// MaxChunks caps K and N overall: chunk indices travel as uint16.
+const MaxChunks = 1 << 16
+
+// Params selects the chunk geometry of a blob.
+type Params struct {
+	// ChunkSize is the bytes per data chunk. Zero is NOT defaulted here —
+	// callers own their defaults — and is rejected by Plan.
+	ChunkSize int
+	// Total is N, the total number of chunks after erasure coding. Zero
+	// means K (no parity). Total − K parity chunks are generated; Total < K
+	// is invalid.
+	Total int
+}
+
+// Plan validates the parameters against a blob of the given size and returns
+// the chunk counts: k data chunks, n total.
+func (p Params) Plan(size int) (k, n int, err error) {
+	if size <= 0 {
+		return 0, 0, fmt.Errorf("blob: blob size must be positive (got %d)", size)
+	}
+	if p.ChunkSize <= 0 {
+		return 0, 0, fmt.Errorf("blob: chunk size must be positive (got %d)", p.ChunkSize)
+	}
+	if p.ChunkSize > MaxChunkSize {
+		return 0, 0, fmt.Errorf("blob: chunk size %d exceeds the %d-byte wire limit", p.ChunkSize, MaxChunkSize)
+	}
+	k = (size + p.ChunkSize - 1) / p.ChunkSize
+	n = p.Total
+	if n == 0 {
+		n = k
+	}
+	if n < k {
+		return 0, 0, fmt.Errorf("blob: K (%d data chunks) > N (%d total chunks): erasure coding can only add chunks", k, n)
+	}
+	if n > k && n > MaxTotal {
+		return 0, 0, fmt.Errorf("blob: N (%d) exceeds %d, the GF(256) erasure-coding limit (raise the chunk size)", n, MaxTotal)
+	}
+	if n > MaxChunks {
+		return 0, 0, fmt.Errorf("blob: N (%d) exceeds the %d chunk-index limit (raise the chunk size)", n, MaxChunks)
+	}
+	return k, n, nil
+}
+
+// Encode splits data into k chunks of p.ChunkSize bytes (the last one short)
+// and appends n−k parity chunks. Data chunks alias data; parity chunks are
+// freshly allocated and always exactly p.ChunkSize long (short data chunks
+// count as zero-padded in the coding math).
+func Encode(data []byte, p Params) (chunks [][]byte, k, n int, err error) {
+	k, n, err = p.Plan(len(data))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	chunks = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		chunks[i] = ChunkAt(data, p.ChunkSize, k, i)
+	}
+	return chunks, k, n, nil
+}
+
+// ChunkAt computes chunk idx of a blob from its full contents: a subslice of
+// data for data chunks (idx < k), a freshly encoded parity chunk otherwise.
+// This is how nodes that reconstructed a blob serve pull requests without
+// retaining all n chunks. idx out of range returns nil.
+func ChunkAt(data []byte, chunkSize, k, idx int) []byte {
+	if idx < 0 || chunkSize <= 0 {
+		return nil
+	}
+	if idx < k {
+		lo := idx * chunkSize
+		if lo >= len(data) {
+			return nil
+		}
+		hi := lo + chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		return data[lo:hi]
+	}
+	if idx >= MaxTotal {
+		return nil
+	}
+	// Parity row idx of the systematic [I; Cauchy] generator: coefficient
+	// over data column i is 1/(idx XOR i) — nonzero and well-defined since
+	// parity labels idx >= k and data labels i < k never collide.
+	out := make([]byte, chunkSize)
+	for i := 0; i < k; i++ {
+		lo := i * chunkSize
+		if lo >= len(data) {
+			break
+		}
+		hi := lo + chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		mulSliceXor(out, data[lo:hi], gfInv(byte(idx)^byte(i)))
+	}
+	return out
+}
+
+// Reconstruct rebuilds a blob's bytes from any k of its n chunks. chunks has
+// one slot per chunk index, nil marking a missing chunk; size and chunkSize
+// are the blob geometry from the chunk frames. Present chunks may be short
+// (the last data chunk); the coding math zero-pads them.
+func Reconstruct(chunks [][]byte, k, size, chunkSize int) ([]byte, error) {
+	n := len(chunks)
+	if k <= 0 || size <= 0 || chunkSize <= 0 || k > n {
+		return nil, fmt.Errorf("blob: bad geometry (k=%d n=%d size=%d chunkSize=%d)", k, n, size, chunkSize)
+	}
+	if size > k*chunkSize {
+		return nil, fmt.Errorf("blob: size %d exceeds k*chunkSize (%d)", size, k*chunkSize)
+	}
+
+	// Fast path: all data chunks present — systematic codes decode by
+	// concatenation.
+	complete := true
+	for i := 0; i < k; i++ {
+		if chunks[i] == nil {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		out := make([]byte, 0, k*chunkSize)
+		for i := 0; i < k; i++ {
+			c := chunks[i]
+			if len(c) > chunkSize {
+				c = c[:chunkSize] // hostile over-long chunk must not misalign
+			}
+			out = append(out, c...)
+			for i < k-1 && len(out) < (i+1)*chunkSize {
+				out = append(out, 0) // hostile short middle chunk: zero-pad
+			}
+		}
+		if len(out) < size {
+			return nil, fmt.Errorf("blob: chunks cover %d bytes, blob is %d", len(out), size)
+		}
+		return out[:size], nil
+	}
+
+	if n > MaxTotal {
+		return nil, fmt.Errorf("blob: cannot decode parity with n=%d > %d", n, MaxTotal)
+	}
+
+	// Select the first k available chunk indices; any k work.
+	rows := make([]int, 0, k)
+	for idx := 0; idx < n && len(rows) < k; idx++ {
+		if chunks[idx] != nil {
+			rows = append(rows, idx)
+		}
+	}
+	if len(rows) < k {
+		return nil, fmt.Errorf("blob: only %d of %d chunks present, need %d", len(rows), n, k)
+	}
+
+	// Gauss–Jordan over GF(256): reduce [A | B] to [I | X] where row r of A
+	// is generator row rows[r] and B holds the chunk contents; X comes out
+	// as the data chunks in order.
+	mat := make([][]byte, k)
+	rhs := make([][]byte, k)
+	for r, idx := range rows {
+		row := make([]byte, k)
+		if idx < k {
+			row[idx] = 1
+		} else {
+			for i := 0; i < k; i++ {
+				row[i] = gfInv(byte(idx) ^ byte(i))
+			}
+		}
+		mat[r] = row
+		padded := make([]byte, chunkSize)
+		copy(padded, chunks[idx])
+		rhs[r] = padded
+	}
+	for col := 0; col < k; col++ {
+		piv := -1
+		for r := col; r < k; r++ {
+			if mat[r][col] != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			// Unreachable for a Cauchy-based generator; guards hostile input.
+			return nil, fmt.Errorf("blob: singular decode matrix")
+		}
+		mat[col], mat[piv] = mat[piv], mat[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		if c := mat[col][col]; c != 1 {
+			inv := gfInv(c)
+			scaleSlice(mat[col], inv)
+			scaleSlice(rhs[col], inv)
+		}
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			if c := mat[r][col]; c != 0 {
+				mulSliceXor(mat[r], mat[col], c)
+				mulSliceXor(rhs[r], rhs[col], c)
+			}
+		}
+	}
+	out := make([]byte, 0, k*chunkSize)
+	for i := 0; i < k; i++ {
+		out = append(out, rhs[i]...)
+	}
+	return out[:size], nil
+}
+
+// Bitmap is a chunk-possession bitset, the wire representation of "Have".
+type Bitmap []byte
+
+// NewBitmap returns an empty bitmap covering n chunks.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+7)/8) }
+
+// BitmapLen is the byte length of a bitmap covering n chunks.
+func BitmapLen(n int) int { return (n + 7) / 8 }
+
+// Has reports whether chunk i is marked.
+func (b Bitmap) Has(i int) bool {
+	if i < 0 || i>>3 >= len(b) {
+		return false
+	}
+	return b[i>>3]&(1<<(i&7)) != 0
+}
+
+// Set marks chunk i. Out-of-range indices are ignored.
+func (b Bitmap) Set(i int) {
+	if i < 0 || i>>3 >= len(b) {
+		return
+	}
+	b[i>>3] |= 1 << (i & 7)
+}
+
+// SetAll marks every chunk in [0, n).
+func (b Bitmap) SetAll(n int) {
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+}
+
+// Count returns the number of marked chunks.
+func (b Bitmap) Count() int {
+	count := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,212 @@
+package blob
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEncodeReconstructRoundTrip is the K-of-N property: chunk and encode a
+// random blob, drop an arbitrary N−K subset of chunks, and reconstruction
+// must round-trip byte-identically — for random sizes, with and without
+// coding, including blobs smaller than one chunk.
+func TestEncodeReconstructRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		size := 1 + r.Intn(5000)
+		chunkSize := []int{1, 3, 64, 1000, 8192}[r.Intn(5)]
+		k := (size + chunkSize - 1) / chunkSize
+		parity := r.Intn(5)
+		if k+parity > MaxTotal {
+			parity = 0
+		}
+		p := Params{ChunkSize: chunkSize, Total: k + parity}
+
+		data := make([]byte, size)
+		r.Read(data)
+
+		chunks, gotK, gotN, err := Encode(data, p)
+		if err != nil {
+			t.Fatalf("trial %d: Encode(size=%d, %+v): %v", trial, size, p, err)
+		}
+		if gotK != k || gotN != k+parity {
+			t.Fatalf("trial %d: got k=%d n=%d, want k=%d n=%d", trial, gotK, gotN, k, k+parity)
+		}
+
+		// Drop an arbitrary N−K subset: keep a random K-sized subset.
+		perm := r.Perm(gotN)
+		kept := make([][]byte, gotN)
+		for _, idx := range perm[:gotK] {
+			kept[idx] = chunks[idx]
+		}
+
+		out, err := Reconstruct(kept, gotK, size, chunkSize)
+		if err != nil {
+			t.Fatalf("trial %d: Reconstruct(k=%d n=%d kept=%v): %v", trial, gotK, gotN, perm[:gotK], err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("trial %d: reconstruction mismatch (size=%d chunkSize=%d k=%d n=%d kept=%v)",
+				trial, size, chunkSize, gotK, gotN, perm[:gotK])
+		}
+	}
+}
+
+// TestReconstructEdges pins the edge cases the fuzzier trials may miss.
+func TestReconstructEdges(t *testing.T) {
+	// No coding: all chunks required, reconstruction is concatenation.
+	data := []byte("hello, chunked world")
+	chunks, k, n, err := Encode(data, Params{ChunkSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != n || k != 3 {
+		t.Fatalf("got k=%d n=%d, want 3, 3", k, n)
+	}
+	out, err := Reconstruct(chunks, k, len(data), 7)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("no-coding round trip failed: %v", err)
+	}
+	// Dropping any chunk of an uncoded blob must fail, not corrupt.
+	dropped := [][]byte{chunks[0], nil, chunks[2]}
+	if _, err := Reconstruct(dropped, k, len(data), 7); err == nil {
+		t.Fatal("reconstructed an uncoded blob from k-1 chunks")
+	}
+
+	// Payload smaller than one chunk: k=1, any single chunk (data or parity)
+	// reconstructs.
+	small := []byte{0xAB, 0xCD}
+	chunks, k, n, err = Encode(small, Params{ChunkSize: 1024, Total: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 || n != 3 {
+		t.Fatalf("got k=%d n=%d, want 1, 3", k, n)
+	}
+	for idx := 0; idx < n; idx++ {
+		kept := make([][]byte, n)
+		kept[idx] = chunks[idx]
+		out, err := Reconstruct(kept, k, len(small), 1024)
+		if err != nil || !bytes.Equal(out, small) {
+			t.Fatalf("single-chunk blob not reconstructed from chunk %d: %v", idx, err)
+		}
+	}
+
+	// Size an exact multiple of the chunk size: no short tail.
+	exact := make([]byte, 4*32)
+	for i := range exact {
+		exact[i] = byte(i)
+	}
+	chunks, k, n, err = Encode(exact, Params{ChunkSize: 32, Total: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := make([][]byte, n)
+	for i := n - k; i < n; i++ { // survive on the last k: parity-heavy subset
+		kept[i] = chunks[i]
+	}
+	out, err = Reconstruct(kept, k, len(exact), 32)
+	if err != nil || !bytes.Equal(out, exact) {
+		t.Fatalf("parity-heavy reconstruction failed: %v", err)
+	}
+}
+
+// TestChunkAt pins that on-demand chunk computation matches Encode's output
+// for every index — complete nodes serve pulls through ChunkAt.
+func TestChunkAt(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	data := make([]byte, 10_000)
+	r.Read(data)
+	p := Params{ChunkSize: 1024, Total: 14}
+	chunks, k, n, err := Encode(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < n; idx++ {
+		if got := ChunkAt(data, p.ChunkSize, k, idx); !bytes.Equal(got, chunks[idx]) {
+			t.Fatalf("ChunkAt(%d) differs from Encode output", idx)
+		}
+	}
+	if got := ChunkAt(data, p.ChunkSize, k, n); got != nil && len(got) != p.ChunkSize {
+		t.Fatalf("out-of-range parity index returned %d bytes", len(got))
+	}
+	if got := ChunkAt(data, p.ChunkSize, k, -1); got != nil {
+		t.Fatal("negative index returned a chunk")
+	}
+}
+
+// TestPlanErrors pins the parameter-validation error paths.
+func TestPlanErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		size int
+		p    Params
+	}{
+		{"zero chunk size", 100, Params{ChunkSize: 0}},
+		{"negative chunk size", 100, Params{ChunkSize: -1}},
+		{"zero blob size", 0, Params{ChunkSize: 64}},
+		{"K greater than N", 1000, Params{ChunkSize: 10, Total: 50}},
+		{"N beyond GF(256)", 1000, Params{ChunkSize: 1, Total: 1200}},
+		{"chunk beyond wire limit", 100, Params{ChunkSize: MaxChunkSize + 1}},
+	}
+	for _, tc := range cases {
+		if _, _, err := tc.p.Plan(tc.size); err == nil {
+			t.Errorf("%s: Plan(%d, %+v) accepted", tc.name, tc.size, tc.p)
+		}
+	}
+	// Uncoded blobs may exceed the GF(256) limit: no field math happens.
+	if k, n, err := (Params{ChunkSize: 1}).Plan(1000); err != nil || k != 1000 || n != 1000 {
+		t.Errorf("uncoded 1000-chunk plan rejected: k=%d n=%d err=%v", k, n, err)
+	}
+}
+
+// TestBitmap covers the possession bitset.
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(20)
+	if len(b) != 3 || BitmapLen(20) != 3 {
+		t.Fatalf("bitmap for 20 chunks is %d bytes", len(b))
+	}
+	for _, i := range []int{0, 7, 8, 19} {
+		b.Set(i)
+	}
+	b.Set(25) // out of range: ignored
+	b.Set(-1)
+	if b.Count() != 4 {
+		t.Fatalf("count = %d, want 4", b.Count())
+	}
+	for _, i := range []int{0, 7, 8, 19} {
+		if !b.Has(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	for _, i := range []int{1, 18, 25, -1} {
+		if b.Has(i) {
+			t.Errorf("bit %d unexpectedly set", i)
+		}
+	}
+	all := NewBitmap(9)
+	all.SetAll(9)
+	if all.Count() != 9 {
+		t.Fatalf("SetAll count = %d", all.Count())
+	}
+}
+
+func BenchmarkReconstructParity(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	p := Params{ChunkSize: 64 * 1024, Total: 20}
+	chunks, k, n, err := Encode(data, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kept := make([][]byte, n)
+	for i := n - k; i < n; i++ {
+		kept[i] = chunks[i]
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(kept, k, len(data), p.ChunkSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

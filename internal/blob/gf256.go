@@ -1,0 +1,67 @@
+package blob
+
+// GF(2^8) arithmetic over the Reed–Solomon polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), table-driven. The doubled exponent table makes gfMul a single
+// lookup without a modular reduction of the log sum.
+
+var (
+	gfExp [510]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < len(gfExp); i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte {
+	return gfExp[255-int(gfLog[a])]
+}
+
+// mulSliceXor folds c*src into dst: dst[i] ^= c*src[i]. Short src is fine;
+// only the overlapping prefix is touched (zero padding contributes nothing).
+func mulSliceXor(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// scaleSlice multiplies every byte of s by c in place.
+func scaleSlice(s []byte, c byte) {
+	if c == 1 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, v := range s {
+		if v != 0 {
+			s[i] = gfExp[logC+int(gfLog[v])]
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/ids"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// ----------------------------------------------------- in-memory harness
+//
+// A tiny synchronous message net: every Send is queued and delivered FIFO,
+// so a handful of Protocols exercise the real wire handlers without a
+// runtime. Timers never fire — blob dissemination is event-driven, which is
+// exactly what these tests pin.
+
+type testNet struct {
+	t     *testing.T
+	procs map[ids.NodeID]*Protocol
+	queue []testFrame
+	// drop, when set, filters messages (returning true swallows them).
+	drop func(from, to ids.NodeID, m wire.Message) bool
+	now  time.Time
+}
+
+type testFrame struct {
+	from, to ids.NodeID
+	m        wire.Message
+}
+
+type testTimer struct{}
+
+func (testTimer) Stop() bool { return false }
+
+type testEnv struct {
+	net *testNet
+	id  ids.NodeID
+	rnd *rand.Rand
+}
+
+func (e *testEnv) ID() ids.NodeID                         { return e.id }
+func (e *testEnv) Now() time.Time                         { return e.net.now }
+func (e *testEnv) Rand() *rand.Rand                       { return e.rnd }
+func (e *testEnv) After(time.Duration, func()) node.Timer { return testTimer{} }
+func (e *testEnv) Connect(ids.NodeID)                     {}
+func (e *testEnv) Close(ids.NodeID)                       {}
+func (e *testEnv) Connected(ids.NodeID) bool              { return true }
+func (e *testEnv) Log(string, ...any)                     {}
+func (e *testEnv) Send(to ids.NodeID, m wire.Message) {
+	if _, ok := e.net.procs[to]; !ok {
+		return
+	}
+	e.net.queue = append(e.net.queue, testFrame{from: e.id, to: to, m: m})
+}
+
+type testPSS struct{ active []ids.NodeID }
+
+func (f *testPSS) Active() []ids.NodeID             { return f.active }
+func (f *testPSS) ActiveContains(p ids.NodeID) bool { return ids.Contains(f.active, p) }
+func (f *testPSS) RTT(ids.NodeID) time.Duration     { return 0 }
+
+// newTestNet builds a fully-connected clique of n nodes (ids 1..n) running
+// the protocol in the given mode.
+func newTestNet(t *testing.T, n int, cfg Config) *testNet {
+	net := &testNet{
+		t:     t,
+		procs: make(map[ids.NodeID]*Protocol, n),
+		now:   time.Unix(1000, 0),
+	}
+	all := make([]ids.NodeID, n)
+	for i := range all {
+		all[i] = ids.NodeID(i + 1)
+	}
+	for _, id := range all {
+		var active []ids.NodeID
+		for _, other := range all {
+			if other != id {
+				active = append(active, other)
+			}
+		}
+		c := cfg
+		c.PSS = &testPSS{active: active}
+		p := New(c)
+		p.Start(&testEnv{net: net, id: id, rnd: rand.New(rand.NewSource(int64(id)))})
+		net.procs[id] = p
+	}
+	return net
+}
+
+// run delivers queued messages until the net is quiescent.
+func (n *testNet) run() {
+	for steps := 0; len(n.queue) > 0; steps++ {
+		if steps > 1_000_000 {
+			n.t.Fatal("testNet did not quiesce")
+		}
+		f := n.queue[0]
+		n.queue = n.queue[1:]
+		if n.drop != nil && n.drop(f.from, f.to, f.m) {
+			continue
+		}
+		n.procs[f.to].Receive(f.from, f.m)
+	}
+}
+
+// ----------------------------------------------------------- dissemination
+
+func TestBlobPushEndToEnd(t *testing.T) {
+	net := newTestNet(t, 4, Config{Mode: ModeTree})
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(9)).Read(data)
+
+	var got [][]byte
+	for id := ids.NodeID(2); id <= 4; id++ {
+		p := net.procs[id]
+		p.SubscribeBlobFn(7, func(d BlobDelivery) { got = append(got, d.Data) })
+	}
+	bid, err := net.procs[1].PublishBlob(7, data, blob.Params{ChunkSize: 256, Total: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bid != 1 {
+		t.Fatalf("first blob id = %d, want 1", bid)
+	}
+	net.run()
+
+	if len(got) != 3 {
+		t.Fatalf("%d deliveries, want 3", len(got))
+	}
+	for i, d := range got {
+		if !bytes.Equal(d, data) {
+			t.Fatalf("delivery %d is not byte-identical", i)
+		}
+	}
+	for id := ids.NodeID(1); id <= 4; id++ {
+		if n := net.procs[id].BlobsDelivered(7); n != 1 {
+			t.Errorf("node %d: BlobsDelivered = %d, want 1", id, n)
+		}
+	}
+	// Pushing K chunks through a 4-clique produces duplicates, which must
+	// feed the deactivation machinery: a tree emerges even on a blob-only
+	// stream.
+	stats := net.procs[2].BlobStats(7)
+	if stats.ChunksReceived == 0 || stats.ChunkDups == 0 {
+		t.Errorf("receiver stats look wrong: %+v", stats)
+	}
+	if parents := net.procs[2].Parents(7); len(parents) != 1 {
+		t.Errorf("node 2 has %d parents, want 1", len(parents))
+	}
+	src := net.procs[1].BlobStats(7)
+	if src.Published != 1 || src.ChunkBytesSent == 0 {
+		t.Errorf("source stats look wrong: %+v", src)
+	}
+}
+
+func TestBlobPullRepairViaHave(t *testing.T) {
+	net := newTestNet(t, 2, Config{Mode: ModeTree})
+	data := make([]byte, 2000)
+	rand.New(rand.NewSource(3)).Read(data)
+
+	// Drop every pushed chunk with an even index on its way to node 2; no
+	// parity, so the blob cannot complete from the push alone.
+	net.drop = func(from, to ids.NodeID, m wire.Message) bool {
+		c, ok := m.(wire.BlobChunk)
+		return ok && to == 2 && c.Index%2 == 0
+	}
+	if _, err := net.procs[1].PublishBlob(7, data, blob.Params{ChunkSize: 128}); err != nil {
+		t.Fatal(err)
+	}
+	net.run()
+	if n := net.procs[2].BlobsDelivered(7); n != 0 {
+		t.Fatalf("blob completed despite dropped chunks")
+	}
+
+	// The source's possession ad (as broadcast on completion, or as it
+	// rides a keep-alive piggyback) triggers Want → served chunks → done.
+	net.drop = nil
+	st := net.procs[1].streams[7]
+	net.procs[1].sendHave(st, st.blobs[1])
+	net.run()
+
+	if n := net.procs[2].BlobsDelivered(7); n != 1 {
+		t.Fatal("pull repair did not complete the blob")
+	}
+	stats := net.procs[2].BlobStats(7)
+	if stats.WantsSent == 0 || stats.ChunksPulled == 0 {
+		t.Errorf("pull counters not advanced: %+v", stats)
+	}
+	if served := net.procs[1].BlobStats(7).ChunksServed; served == 0 {
+		t.Error("source served no chunks")
+	}
+}
+
+func TestBlobPullRepairViaPiggyback(t *testing.T) {
+	net := newTestNet(t, 2, Config{Mode: ModeTree})
+	data := make([]byte, 900)
+	rand.New(rand.NewSource(5)).Read(data)
+
+	// Node 2 misses the entire push: it learns of the blob purely from the
+	// keep-alive piggyback possession ad (the late-joiner path).
+	net.drop = func(from, to ids.NodeID, m wire.Message) bool {
+		_, ok := m.(wire.BlobChunk)
+		return ok && to == 2
+	}
+	if _, err := net.procs[1].PublishBlob(7, data, blob.Params{ChunkSize: 128, Total: 10}); err != nil {
+		t.Fatal(err)
+	}
+	net.run()
+	net.drop = nil
+
+	pb := net.procs[1].PiggybackBlob()
+	if pb == nil {
+		t.Fatal("source emitted no piggyback despite holding a blob")
+	}
+	net.procs[2].HandlePiggyback(1, pb)
+	net.run()
+	// One Want round pulls at most MaxWantIndices chunks; 8 data chunks
+	// fit, so one round completes it.
+	if n := net.procs[2].BlobsDelivered(7); n != 1 {
+		t.Fatal("piggyback ad did not drive pull repair to completion")
+	}
+	out := net.procs[2].streams[7].blobs[1].data
+	if !bytes.Equal(out, data) {
+		t.Fatal("reconstructed payload differs")
+	}
+}
+
+func TestBlobWantRetryRateLimit(t *testing.T) {
+	net := newTestNet(t, 2, Config{Mode: ModeTree, BlobWantRetry: time.Second})
+	data := make([]byte, 512)
+	rand.New(rand.NewSource(8)).Read(data)
+
+	net.drop = func(from, to ids.NodeID, m wire.Message) bool {
+		_, ok := m.(wire.BlobChunk)
+		return ok // nothing gets through, ever
+	}
+	if _, err := net.procs[1].PublishBlob(7, data, blob.Params{ChunkSize: 128}); err != nil {
+		t.Fatal(err)
+	}
+	net.run()
+
+	pb := net.procs[1].PiggybackBlob()
+	net.procs[2].HandlePiggyback(1, pb)
+	net.procs[2].HandlePiggyback(1, pb) // immediate re-ad: must not re-Want
+	net.run()
+	if w := net.procs[2].BlobStats(7).WantsSent; w != 4 {
+		t.Fatalf("WantsSent = %d, want 4 (one per missing chunk)", w)
+	}
+	net.now = net.now.Add(2 * time.Second) // past the retry interval
+	net.procs[2].HandlePiggyback(1, pb)
+	net.run()
+	if w := net.procs[2].BlobStats(7).WantsSent; w != 8 {
+		t.Fatalf("WantsSent after retry window = %d, want 8", w)
+	}
+}
+
+// ----------------------------------------------------------- drop policy
+
+func TestBlobEvictionBound(t *testing.T) {
+	net := newTestNet(t, 2, Config{Mode: ModeTree, MaxBlobs: 2})
+	payload := func(i byte) []byte { return bytes.Repeat([]byte{i}, 300) }
+
+	// Drop chunk 0 toward node 2 for blob 2 only: blob 2 stays incomplete.
+	net.drop = func(from, to ids.NodeID, m wire.Message) bool {
+		c, ok := m.(wire.BlobChunk)
+		return ok && to == 2 && c.Blob == 2 && c.Index == 0
+	}
+	for i := byte(1); i <= 3; i++ {
+		if _, err := net.procs[1].PublishBlob(7, payload(i), blob.Params{ChunkSize: 128}); err != nil {
+			t.Fatal(err)
+		}
+		net.run()
+	}
+	st := net.procs[2].streams[7]
+	if len(st.blobs) != 2 {
+		t.Fatalf("receiver retains %d blobs, want 2 (MaxBlobs)", len(st.blobs))
+	}
+	if _, ok := st.blobs[1]; ok {
+		t.Error("lowest blob id not evicted")
+	}
+	if st.blobFloor != 1 {
+		t.Errorf("blobFloor = %d, want 1", st.blobFloor)
+	}
+	// Blob 1 completed before eviction; blob 2 is the incomplete one and is
+	// still buffered, so no drop has been counted yet.
+	if d := net.procs[2].BlobStats(7).Dropped; d != 0 {
+		t.Errorf("Dropped = %d, want 0", d)
+	}
+	// A late chunk of evicted blob 1 must not resurrect its state.
+	net.procs[2].onBlobChunk(1, wire.BlobChunk{
+		Stream: 7, Blob: 1, Index: 0, K: 3, N: 3, Size: 300, ChunkSize: 128,
+		Payload: payload(1)[:128],
+	})
+	if _, ok := st.blobs[1]; ok {
+		t.Error("evicted blob state recreated below the floor")
+	}
+
+	// The source, too, is bounded: it retains MaxBlobs of its own blobs.
+	if srcSt := net.procs[1].streams[7]; len(srcSt.blobs) != 2 {
+		t.Errorf("source retains %d blobs, want 2", len(srcSt.blobs))
+	}
+
+	// Evicting an *incomplete* blob counts as a drop.
+	if _, err := net.procs[1].PublishBlob(7, payload(4), blob.Params{ChunkSize: 128}); err != nil {
+		t.Fatal(err)
+	}
+	net.run()
+	if d := net.procs[2].BlobStats(7).Dropped; d != 1 {
+		t.Errorf("Dropped after evicting incomplete blob = %d, want 1", d)
+	}
+}
+
+// ----------------------------------------------------------- hostile input
+
+func TestBlobHostileFramesIgnored(t *testing.T) {
+	net := newTestNet(t, 2, Config{Mode: ModeTree})
+	p := net.procs[2]
+	hostile := []wire.Message{
+		// Geometry lies: K not matching Size/ChunkSize, zero fields, K>N.
+		wire.BlobChunk{Stream: 7, Blob: 1, Index: 0, K: 9, N: 9, Size: 10, ChunkSize: 128, Payload: []byte("x")},
+		wire.BlobChunk{Stream: 7, Blob: 1, Index: 0, K: 0, N: 0, Size: 10, ChunkSize: 128},
+		wire.BlobChunk{Stream: 7, Blob: 1, Index: 5, K: 2, N: 2, Size: 200, ChunkSize: 128}, // index out of range
+		wire.BlobChunk{Stream: 7, Blob: 0, Index: 0, K: 1, N: 1, Size: 10, ChunkSize: 128},  // blob id 0
+		wire.BlobChunk{Stream: 7, Blob: 1, Index: 0, K: 2, N: 4, Size: 200, ChunkSize: 128,
+			Payload: bytes.Repeat([]byte("y"), 300)}, // oversized payload
+		wire.BlobChunk{Stream: 7, Blob: 1, Index: 0, K: 2, N: 300, Size: 200, ChunkSize: 128}, // N beyond GF(256)
+		wire.BlobHave{Stream: 7, Blob: 1, K: 5, N: 2, Size: 200, ChunkSize: 128},
+		wire.BlobWant{Stream: 99, Blob: 1, Indices: []uint16{0}}, // unknown stream
+	}
+	for _, m := range hostile {
+		p.Receive(1, m)
+	}
+	net.run()
+	if st, ok := p.streams[7]; ok && len(st.blobs) != 0 {
+		t.Fatalf("hostile frames created blob state: %d blobs", len(st.blobs))
+	}
+	if got := p.Metrics().BlobChunks; got != 0 {
+		t.Fatalf("hostile chunks counted as receptions: %d", got)
+	}
+
+	// Geometry conflict with existing state: first valid chunk pins the
+	// geometry, a conflicting one is ignored.
+	valid := wire.BlobChunk{Stream: 7, Blob: 1, Index: 0, K: 2, N: 2, Size: 200,
+		ChunkSize: 128, Payload: bytes.Repeat([]byte("a"), 128)}
+	p.Receive(1, valid)
+	conflict := valid
+	conflict.Size = 199
+	conflict.Index = 1
+	p.Receive(1, conflict)
+	net.run()
+	st := p.streams[7]
+	if b := st.blobs[1]; b == nil || b.haveN != 1 || b.size != 200 {
+		t.Fatal("geometry conflict corrupted blob state")
+	}
+}
+
+// ----------------------------------------------------------- piggyback ads
+
+func TestPiggybackBlobAdsRoundTrip(t *testing.T) {
+	entries := []piggyStream{
+		{stream: 1, depth: 2, upTo: 5, path: []ids.NodeID{1, 2}},
+	}
+	entries[0].blobs[0] = piggyBlob{id: 3, k: 4, n: 6, size: 500, chunkSize: 128, bitmap: []byte{0x2f}}
+	entries[0].blobs[1] = piggyBlob{id: 4, k: 1, n: 1, size: 10, chunkSize: 64, bitmap: []byte{0x01}}
+	entries[0].nBlobs = 2
+
+	got, err := new(Protocol).decodePiggyback(encodePiggyback(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].nBlobs != 2 {
+		t.Fatalf("decoded %d entries, %d ads", len(got), got[0].nBlobs)
+	}
+	ad := got[0].blobs[0]
+	if ad.id != 3 || ad.k != 4 || ad.n != 6 || ad.size != 500 || ad.chunkSize != 128 ||
+		!bytes.Equal(ad.bitmap, []byte{0x2f}) {
+		t.Errorf("ad 0 mismatch: %+v", ad)
+	}
+	if got[0].blobs[1].id != 4 {
+		t.Errorf("ad 1 mismatch: %+v", got[0].blobs[1])
+	}
+
+	// Truncation anywhere must error, never panic.
+	pb := encodePiggyback(entries)
+	for cut := 1; cut < len(pb); cut++ {
+		if _, err := new(Protocol).decodePiggyback(pb[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

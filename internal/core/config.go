@@ -84,6 +84,16 @@ type Config struct {
 	// this long so a bad switch (e.g., into the node's own subtree) can
 	// be detected by the path check and reverted without data loss.
 	GracePeriod time.Duration
+	// MaxBlobs bounds the per-stream blob buffer: how many blobs (complete
+	// or in flight) a node retains reassembly/serving state for. Inserting
+	// beyond the bound evicts the lowest blob id — the oldest, since
+	// sources number blobs monotonically — trading reliability for bounded
+	// memory (the buffer-occupancy tradeoff of Chen et al.).
+	MaxBlobs int
+	// BlobWantRetry is the per-chunk re-request interval: a missing chunk
+	// already requested from some neighbor is not re-requested (from any
+	// neighbor) until this much time passes without it arriving.
+	BlobWantRetry time.Duration
 
 	// PSS is the peer sampling service underneath (HyParView in the
 	// paper). Core only reads views and RTTs; membership callbacks arrive
@@ -137,6 +147,12 @@ func (c Config) withDefaults() Config {
 	if c.GracePeriod <= 0 {
 		c.GracePeriod = 1500 * time.Millisecond
 	}
+	if c.MaxBlobs <= 0 {
+		c.MaxBlobs = 8
+	}
+	if c.BlobWantRetry <= 0 {
+		c.BlobWantRetry = time.Second
+	}
 	return c
 }
 
@@ -175,6 +191,12 @@ const (
 	// EvStallRepair: the node's parents stopped delivering while
 	// neighbors advanced; the feed was rebuilt.
 	EvStallRepair
+	// EvBlobDeliver: a blob was fully reconstructed (Seq = blob id, Dur =
+	// time from the first chunk reception to reconstruction).
+	EvBlobDeliver
+	// EvBlobDropped: an incomplete blob was evicted by the MaxBlobs bound
+	// (Seq = blob id).
+	EvBlobDropped
 )
 
 // Event is one structural protocol event.
@@ -203,6 +225,11 @@ type Metrics struct {
 	CycleDetections   uint64
 	RecoveryRequests  uint64
 	StallRepairs      uint64
+	BlobChunks        uint64 // new chunk receptions
+	BlobChunkDups     uint64 // duplicate chunk receptions
+	BlobsDelivered    uint64 // blobs fully reconstructed (receivers only)
+	BlobsDropped      uint64 // incomplete blobs evicted by MaxBlobs
+	BlobWantsSent     uint64 // pull-repair requests issued
 }
 
 // Kinds returns the wire kinds owned by the BRISA protocol, for Mux
@@ -211,5 +238,6 @@ func Kinds() []wire.Kind {
 	return []wire.Kind{
 		wire.KindData, wire.KindDeactivate, wire.KindReactivate,
 		wire.KindFloodRepair, wire.KindDepthUpdate, wire.KindMsgRequest,
+		wire.KindBlobChunk, wire.KindBlobHave, wire.KindBlobWant,
 	}
 }

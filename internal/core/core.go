@@ -40,6 +40,9 @@ type Protocol struct {
 	// subscribers: fanout runs on every delivery, so it must be a pointer
 	// load plus a map lookup, not a mutex and a fresh slice.
 	subsSnap atomic.Pointer[map[wire.StreamID][]func(seq uint32, payload []byte)]
+	// blobSubs/blobSnap are the blob-delivery counterpart (see blob.go).
+	blobSubs map[wire.StreamID]map[uint64]func(BlobDelivery)
+	blobSnap atomic.Pointer[map[wire.StreamID][]func(BlobDelivery)]
 
 	// Reused keep-alive piggyback buffers (see piggyback.go): pbOut builds
 	// outgoing entries, pbEntries/pbIDs hold one decoded incoming blob,
@@ -403,6 +406,35 @@ func (p *Protocol) Receive(from ids.NodeID, m wire.Message) {
 		p.onDepthUpdate(from, msg)
 	case wire.MsgRequest:
 		p.onMsgRequest(from, msg)
+	case wire.BlobChunk:
+		p.onBlobChunk(from, msg)
+	case wire.BlobHave:
+		p.onBlobHave(from, msg)
+	case wire.BlobWant:
+		p.onBlobWant(from, msg)
+	}
+}
+
+// noteSender records what a payload message (Data or BlobChunk) reveals about
+// the sender's structural position.
+func (p *Protocol) noteSender(st *stream, from ids.NodeID, depth uint16, path []ids.NodeID) {
+	now := p.env.Now()
+	if _, ok := st.firstHeard[from]; !ok {
+		st.firstHeard[from] = now
+	}
+	pi := st.info(from)
+	pi.at = now
+	if p.cfg.Mode == ModeDAG {
+		pi.depth = depth
+	} else {
+		pi.pathHasMe = pathContains(path, p.env.ID())
+		pi.pathKnown = true
+		pi.lastHop = ids.Nil
+		if len(path) >= 2 {
+			// path ends with the sender itself; its predecessor is the
+			// node currently feeding the sender.
+			pi.lastHop = path[len(path)-2]
+		}
 	}
 }
 
@@ -411,23 +443,7 @@ func (p *Protocol) onData(from ids.NodeID, m wire.Data) {
 	now := p.env.Now()
 
 	// Record what this message reveals about the sender's position.
-	if _, ok := st.firstHeard[from]; !ok {
-		st.firstHeard[from] = now
-	}
-	pi := st.info(from)
-	pi.at = now
-	if p.cfg.Mode == ModeDAG {
-		pi.depth = m.Depth
-	} else {
-		pi.pathHasMe = pathContains(m.Path, p.env.ID())
-		pi.pathKnown = true
-		pi.lastHop = ids.Nil
-		if len(m.Path) >= 2 {
-			// m.Path ends with the sender itself; its predecessor is the
-			// node currently feeding the sender.
-			pi.lastHop = m.Path[len(m.Path)-2]
-		}
-	}
+	p.noteSender(st, from, m.Depth, m.Path)
 
 	if st.isDelivered(m.Seq) {
 		p.onDuplicate(st, from, m)
@@ -462,11 +478,21 @@ func (p *Protocol) onData(from ids.NodeID, m wire.Data) {
 		return
 	}
 
-	// Structure bookkeeping.
+	p.structOnNew(st, from, m.Depth, m.Path)
+
+	p.relay(st, from, m.Seq, m.Payload)
+	p.maybeRecoverGaps(st, from, m.Seq)
+}
+
+// structOnNew is the structure bookkeeping a first reception drives — shared
+// by Data and BlobChunk, which carry the same (Depth, Path) metadata. Must
+// not be called on the stream's source.
+func (p *Protocol) structOnNew(st *stream, from ids.NodeID, depth uint16, path []ids.NodeID) {
+	now := p.env.Now()
 	switch p.cfg.Mode {
 	case ModeTree:
-		st.myPath = append(ids.Clone(m.Path), p.env.ID())
-		if pathContains(m.Path, p.env.ID()) {
+		st.myPath = append(ids.Clone(path), p.env.ID())
+		if pathContains(path, p.env.ID()) {
 			// §II-D continuous cycle detection, on *every* reception: a
 			// path through us means our parent is fed (directly or via
 			// retransmissions) by our own subtree. Duplicates through a
@@ -487,24 +513,27 @@ func (p *Protocol) onData(from ids.NodeID, m wire.Data) {
 		}
 	case ModeDAG:
 		if st.depth == wire.NoDepth {
-			p.setDepth(st, m.Depth+1)
-		} else if m.Depth == st.depth {
-			p.setDepth(st, m.Depth+1)
+			p.setDepth(st, depth+1)
+		} else if depth == st.depth {
+			p.setDepth(st, depth+1)
 		}
 		p.enforceParentDepth(st, from)
-		if !st.isParent(from) && len(st.parents) < p.cfg.Parents && m.Depth < st.depth {
+		if !st.isParent(from) && len(st.parents) < p.cfg.Parents && depth < st.depth {
 			p.adoptParent(st, from)
 		}
 	}
-
-	p.relay(st, from, m.Seq, m.Payload)
-	p.maybeRecoverGaps(st, from, m.Seq)
 }
 
 // onDuplicate runs the §II-C link-deactivation state machine.
 func (p *Protocol) onDuplicate(st *stream, from ids.NodeID, m wire.Data) {
 	p.metrics.Duplicates++
 	p.emit(Event{Type: EvDuplicate, Stream: st.id, Seq: m.Seq, Peer: from})
+	p.structOnDup(st, from, m.Depth, m.Path)
+}
+
+// structOnDup is the link-deactivation machinery a duplicate reception drives
+// — shared by Data and BlobChunk duplicates.
+func (p *Protocol) structOnDup(st *stream, from ids.NodeID, depth uint16, path []ids.NodeID) {
 	if p.cfg.Mode == ModeFlood {
 		return
 	}
@@ -517,17 +546,17 @@ func (p *Protocol) onDuplicate(st *stream, from ids.NodeID, m wire.Data) {
 	}
 	switch p.cfg.Mode {
 	case ModeTree:
-		p.onDuplicateTree(st, from, m)
+		p.onDuplicateTree(st, from, path)
 	case ModeDAG:
-		p.onDuplicateDAG(st, from, m)
+		p.onDuplicateDAG(st, from, depth)
 	}
 }
 
-func (p *Protocol) onDuplicateTree(st *stream, from ids.NodeID, m wire.Data) {
+func (p *Protocol) onDuplicateTree(st *stream, from ids.NodeID, path []ids.NodeID) {
 	if from == st.graceParent {
 		return // expected duplicates during a make-before-break switch
 	}
-	eligible := !pathContains(m.Path, p.env.ID())
+	eligible := !pathContains(path, p.env.ID())
 	if st.isParent(from) {
 		if !eligible {
 			// §II-D: continuous cycle detection — the parent's messages
@@ -644,21 +673,21 @@ func mathAbs(v float64) float64 {
 	return v
 }
 
-func (p *Protocol) onDuplicateDAG(st *stream, from ids.NodeID, m wire.Data) {
+func (p *Protocol) onDuplicateDAG(st *stream, from ids.NodeID, depth uint16) {
 	if from == st.graceParent {
 		return // expected duplicates during a make-before-break switch
 	}
 	if st.isParent(from) {
 		// Same-depth reception pushes us down (§II-G); a parent that sank
-		// below us is dropped. pi.depth was refreshed from m.Depth in
-		// onData.
+		// below us is dropped. pi.depth was refreshed from the message's
+		// depth in noteSender.
 		p.enforceParentDepth(st, from)
 		return
 	}
-	if st.depth != wire.NoDepth && m.Depth == st.depth {
-		p.setDepth(st, m.Depth+1) // sender becomes eligible below
+	if st.depth != wire.NoDepth && depth == st.depth {
+		p.setDepth(st, depth+1) // sender becomes eligible below
 	}
-	if st.depth == wire.NoDepth || m.Depth >= st.depth {
+	if st.depth == wire.NoDepth || depth >= st.depth {
 		if !st.inactiveIn.Has(from) {
 			p.sendDeactivate(st, from, false)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/blob"
 	"repro/internal/ids"
 	"repro/internal/wire"
 )
@@ -20,7 +21,23 @@ import (
 //
 // Layout: u8 streamCount, then per stream:
 //   u32 stream | u16 depth | u32 uptimeSec | u16 degree | u32 upTo |
-//   nodeIDs parents | nodeIDs path
+//   nodeIDs parents | nodeIDs path | u8 blobCount, then per blob:
+//   u32 id | u16 k | u16 n | u32 size | u32 chunkSize | bytes bitmap
+
+// maxPiggyBlobs bounds the blob possession ads per stream entry: the two
+// most recent blobs — older ones finish via the completion-time BlobHave
+// broadcast, and bitmaps are the piggyback's largest variable cost.
+const maxPiggyBlobs = 2
+
+// piggyBlob is one blob possession advertisement: the geometry (so a node
+// that never saw a chunk can initialize reassembly state) plus the bitmap.
+type piggyBlob struct {
+	id        uint32
+	k, n      uint16
+	size      uint32
+	chunkSize uint32
+	bitmap    []byte
+}
 
 type piggyStream struct {
 	stream  wire.StreamID
@@ -30,6 +47,8 @@ type piggyStream struct {
 	upTo    uint32 // contiguous delivery progress (stall detection/catch-up)
 	parents []ids.NodeID
 	path    []ids.NodeID
+	blobs   [maxPiggyBlobs]piggyBlob
+	nBlobs  int
 }
 
 // piggySize is the exact encoded size of the entries, so encodePiggyback
@@ -40,6 +59,10 @@ func piggySize(entries []piggyStream) int {
 		size += 4 + 2 + 4 + 2 + 4 // stream, depth, uptime, degree, upTo
 		size += 2 + len(it.parents)*ids.WireSize
 		size += 2 + len(it.path)*ids.WireSize
+		size++ // blobCount
+		for _, ad := range it.blobs[:it.nBlobs] {
+			size += 4 + 2 + 2 + 4 + 4 + 2 + len(ad.bitmap)
+		}
 	}
 	return size
 }
@@ -55,15 +78,25 @@ func encodePiggyback(entries []piggyStream) []byte {
 		e.U32(it.upTo)
 		e.NodeIDs(it.parents)
 		e.NodeIDs(it.path)
+		e.U8(uint8(it.nBlobs))
+		for _, ad := range it.blobs[:it.nBlobs] {
+			e.U32(ad.id)
+			e.U16(ad.k)
+			e.U16(ad.n)
+			e.U32(ad.size)
+			e.U32(ad.chunkSize)
+			e.Bytes(ad.bitmap)
+		}
 	}
 	return e.B
 }
 
-// decodePiggyback parses blob into the protocol's reused scratch buffers
-// (entries and the identifier arena both survive only until the next call);
-// a blob arrives with every keep-alive, so this path must not allocate.
-func (p *Protocol) decodePiggyback(blob []byte) ([]piggyStream, error) {
-	d := wire.Decoder{B: blob}
+// decodePiggyback parses pb into the protocol's reused scratch buffers
+// (entries and the identifier arena both survive only until the next call;
+// blob ad bitmaps alias pb itself); a piggyback arrives with every
+// keep-alive, so this path must not allocate.
+func (p *Protocol) decodePiggyback(pb []byte) ([]piggyStream, error) {
+	d := wire.Decoder{B: pb}
 	n := int(d.U8())
 	out := p.pbEntries[:0]
 	arena := p.pbIDs[:0]
@@ -77,6 +110,23 @@ func (p *Protocol) decodePiggyback(blob []byte) ([]piggyStream, error) {
 		}
 		arena, it.parents = d.NodeIDsAppend(arena)
 		arena, it.path = d.NodeIDsAppend(arena)
+		nAds := int(d.U8())
+		for j := 0; j < nAds; j++ {
+			ad := piggyBlob{
+				id:        d.U32(),
+				k:         d.U16(),
+				n:         d.U16(),
+				size:      d.U32(),
+				chunkSize: d.U32(),
+				bitmap:    d.Bytes(),
+			}
+			// Hostile counts beyond our own bound are consumed (to keep the
+			// stream entries that follow decodable) but not kept.
+			if j < maxPiggyBlobs {
+				it.blobs[j] = ad
+				it.nBlobs = j + 1
+			}
+		}
 		out = append(out, it)
 	}
 	p.pbEntries = out[:0]
@@ -96,11 +146,11 @@ func (p *Protocol) PiggybackBlob() []byte {
 	p.sidScratch = sids[:0]
 	for _, id := range sids {
 		st := p.streams[id]
-		if !st.started {
+		if !st.started && len(st.blobs) == 0 {
 			continue
 		}
 		uptime := p.env.Now().Sub(p.startedAt)
-		entries = append(entries, piggyStream{
+		it := piggyStream{
 			stream:  st.id,
 			depth:   st.depth,
 			uptime:  uint32(uptime / time.Second),
@@ -108,7 +158,9 @@ func (p *Protocol) PiggybackBlob() []byte {
 			upTo:    st.contigUpTo,
 			parents: st.parentIDs(),
 			path:    st.myPath,
-		})
+		}
+		p.adBlobs(st, &it)
+		entries = append(entries, it)
 	}
 	p.pbOut = entries[:0]
 	if len(entries) == 0 {
@@ -117,17 +169,50 @@ func (p *Protocol) PiggybackBlob() []byte {
 	return encodePiggyback(entries)
 }
 
-// HandlePiggyback ingests a neighbor's keep-alive blob. Wire through
+// adBlobs fills the entry's possession advertisements: the two most recent
+// (highest-id) blobs, ascending — the ones most likely still spreading.
+func (p *Protocol) adBlobs(st *stream, it *piggyStream) {
+	if len(st.blobs) == 0 {
+		return
+	}
+	var lo, hi uint32 // two highest ids; blob ids start at 1
+	for bid := range st.blobs {
+		if bid > hi {
+			lo, hi = hi, bid
+		} else if bid > lo {
+			lo = bid
+		}
+	}
+	for _, bid := range [...]uint32{lo, hi} {
+		if bid == 0 {
+			continue
+		}
+		b := st.blobs[bid]
+		it.blobs[it.nBlobs] = piggyBlob{
+			id: bid, k: uint16(b.k), n: uint16(b.n),
+			size: uint32(b.size), chunkSize: uint32(b.chunkSize),
+			bitmap: b.have,
+		}
+		it.nBlobs++
+	}
+}
+
+// HandlePiggyback ingests a neighbor's keep-alive piggyback. Wire through
 // hyparview.Config.OnPiggyback.
-func (p *Protocol) HandlePiggyback(peer ids.NodeID, blob []byte) {
-	entries, err := p.decodePiggyback(blob)
+func (p *Protocol) HandlePiggyback(peer ids.NodeID, pb []byte) {
+	entries, err := p.decodePiggyback(pb)
 	if err != nil {
-		return // a malformed blob from a peer is ignored, not fatal
+		return // a malformed piggyback from a peer is ignored, not fatal
 	}
 	for _, it := range entries {
 		st, ok := p.streams[it.stream]
 		if !ok {
-			continue
+			if it.nBlobs == 0 {
+				continue
+			}
+			// A late joiner learns of a blob stream purely from possession
+			// ads: create state so pull repair can fetch the whole blob.
+			st = p.getStream(it.stream)
 		}
 		pi := st.info(peer)
 		pi.depth = it.depth
@@ -144,5 +229,17 @@ func (p *Protocol) HandlePiggyback(peer ids.NodeID, blob []byte) {
 		p.acquireParents(st)
 		// The progress report drives catch-up and stall detection.
 		p.checkProgress(st, peer, it.upTo)
+		// Possession ads drive pull repair (blob.go): request advertised
+		// chunks we miss.
+		for _, ad := range it.blobs[:it.nBlobs] {
+			if ad.id == 0 || !validBlobGeometry(ad.k, ad.n, ad.size, ad.chunkSize) {
+				continue
+			}
+			b := p.ensureBlob(st, ad.id, int(ad.k), int(ad.n), int(ad.size), int(ad.chunkSize))
+			if b == nil {
+				continue
+			}
+			p.maybeWant(st, b, peer, blob.Bitmap(ad.bitmap))
+		}
 	}
 }

@@ -189,6 +189,17 @@ type stream struct {
 	buffer  []bufferedMsg // ring, newest at bufHead-1
 	bufHead int
 
+	// --- blob state (see blob.go) ---
+	blobs map[uint32]*blobState // in-flight + retained blobs, lazily allocated
+	// nextBlob is the next blob id to publish (source only; ids start at 1).
+	nextBlob uint32
+	// blobFloor is the highest blob id ever evicted: state below it is never
+	// recreated, so a dropped blob cannot oscillate back in via pull repair.
+	blobFloor uint32
+	// blobsDelivered counts blobs fully reconstructed (or published) here.
+	blobsDelivered uint64
+	blobStats      BlobStats
+
 	// parentScratch backs parentIDs: parent sets are tiny but read on hot
 	// paths (piggyback encode, duplicate handling), so the sorted view is
 	// rebuilt into a reused buffer. Callers must not retain it.

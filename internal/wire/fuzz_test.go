@@ -46,6 +46,13 @@ func fuzzSeedMessages() []Message {
 		Rumor{Stream: 1, Seq: 5, Payload: []byte("r")},
 		TreeData{Stream: 1, Seq: 8, Payload: []byte("t")},
 		TagPullReply{Stream: 1, Items: []StreamItem{{Seq: 3, Payload: []byte("i")}}},
+		BlobChunk{Stream: 2, Blob: 1, Index: 3, K: 16, N: 20, Size: 1 << 20,
+			ChunkSize: 1 << 16, Depth: 2, Path: nodes, Payload: []byte("chunk")},
+		BlobChunk{Stream: 2, Blob: 2, Index: 0, K: 1, N: 1, Size: 5, ChunkSize: 64},
+		BlobHave{Stream: 2, Blob: 1, K: 16, N: 20, Size: 1 << 20,
+			ChunkSize: 1 << 16, Bitmap: []byte{0xff, 0x0f, 0x01}},
+		BlobWant{Stream: 2, Blob: 1, Indices: []uint16{0, 7, 19}},
+		BlobWant{Stream: 2, Blob: 3},
 	}
 }
 
@@ -95,7 +102,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		}
 		path := []ids.NodeID{n1, n2}
 		var m Message
-		switch which % 6 {
+		switch which % 9 {
 		case 0:
 			m = Data{Stream: StreamID(a), Seq: b, Depth: depth, Path: path, Payload: blob}
 		case 1:
@@ -106,6 +113,14 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			m = CyclonShuffle{Entries: []CyclonEntry{{Node: n1, Age: uint16(a)}, {Node: n2, Age: depth}}}
 		case 4:
 			m = MsgRequest{Stream: StreamID(a), From: b, To: b + uint32(depth)}
+		case 5:
+			m = BlobChunk{Stream: StreamID(a), Blob: b, Index: depth, K: uint16(a),
+				N: uint16(b), Size: a, ChunkSize: b, Depth: depth, Path: path, Payload: blob}
+		case 6:
+			m = BlobHave{Stream: StreamID(a), Blob: b, K: uint16(a), N: uint16(b),
+				Size: a, ChunkSize: b, Bitmap: blob}
+		case 7:
+			m = BlobWant{Stream: StreamID(a), Blob: b, Indices: []uint16{depth, uint16(a), uint16(b)}}
 		default:
 			m = ShuffleReply{Nodes: path}
 		}

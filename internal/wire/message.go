@@ -65,6 +65,13 @@ const (
 	KindTagAnnounce
 )
 
+const (
+	// Blob dissemination: 72–79.
+	KindBlobChunk Kind = 72 + iota
+	KindBlobHave
+	KindBlobWant
+)
+
 // String names the kind for logs and errors.
 func (k Kind) String() string {
 	if name, ok := kindNames[k]; ok {
@@ -104,6 +111,9 @@ var kindNames = map[Kind]string{
 	KindTagPull:            "TagPull",
 	KindTagPullReply:       "TagPullReply",
 	KindTagAnnounce:        "TagAnnounce",
+	KindBlobChunk:          "BlobChunk",
+	KindBlobHave:           "BlobHave",
+	KindBlobWant:           "BlobWant",
 }
 
 // IsControl reports whether the kind carries protocol control information
@@ -112,7 +122,8 @@ var kindNames = map[Kind]string{
 // is overhead.
 func (k Kind) IsControl() bool {
 	switch k {
-	case KindData, KindRumor, KindAntiEntropyReply, KindTreeData, KindTagPullReply:
+	case KindData, KindRumor, KindAntiEntropyReply, KindTreeData, KindTagPullReply,
+		KindBlobChunk:
 		return false
 	}
 	return true

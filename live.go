@@ -117,6 +117,38 @@ func (n *Node) Publish(stream StreamID, payload []byte) uint32 {
 	return seq
 }
 
+// PublishBlob splits a large payload into chunks and disseminates it over
+// the stream's emerged structure (see Peer.PublishBlob). Returns the
+// per-stream blob id.
+func (n *Node) PublishBlob(stream StreamID, data []byte, opts BlobOptions) (uint32, error) {
+	var (
+		id  uint32
+		err error
+	)
+	n.Do(func(p *Peer) { id, err = p.PublishBlob(stream, data, opts) })
+	return id, err
+}
+
+// SubscribeBlobs registers for every blob the node completes on the stream,
+// local PublishBlob calls included.
+func (n *Node) SubscribeBlobs(stream StreamID) *BlobSubscription {
+	return n.peer.SubscribeBlobs(stream)
+}
+
+// BlobsDelivered returns how many blobs of the stream the node holds intact.
+func (n *Node) BlobsDelivered(stream StreamID) uint64 {
+	var out uint64
+	n.Do(func(p *Peer) { out = p.BlobsDelivered(stream) })
+	return out
+}
+
+// BlobStats returns the node's per-stream blob dissemination counters.
+func (n *Node) BlobStats(stream StreamID) BlobStats {
+	var out BlobStats
+	n.Do(func(p *Peer) { out = p.BlobStats(stream) })
+	return out
+}
+
 // Subscribe registers for every future delivery of the stream on this node,
 // local publishes included.
 func (n *Node) Subscribe(stream StreamID) *Subscription {

@@ -101,6 +101,37 @@ type StreamReport struct {
 	Construction *Dist
 }
 
+// BlobStreamReport carries one blob workload's results (see BlobWorkload):
+// how well chunked large payloads spread over the stream's emerged
+// structure, and what they cost the broadcaster.
+type BlobStreamReport struct {
+	// Stream is the workload's stream.
+	Stream StreamID
+	// Source is the resolved sourcing node.
+	Source NodeID
+	// Published is how many blobs the source injected; BlobBytes their
+	// total payload bytes.
+	Published int
+	BlobBytes int64
+	// Reliability is the fraction of surviving non-source nodes that
+	// reconstructed every published blob byte-identically (content hashes
+	// verified against the source's).
+	Reliability float64
+	// Latency is the per-delivery reconstruction latency in seconds: first
+	// chunk received → blob reconstructed, on the receiving node's clock.
+	Latency *Dist
+	// Throughput is the per-delivery goodput in MB/s: payload size over the
+	// reconstruction window — the per-node dissemination rate.
+	Throughput *Dist
+	// UploadOverheadPct is the broadcaster's chunk bytes sent as a
+	// percentage of published payload bytes; 100 means the source uploaded
+	// each blob exactly once, parity and re-pushes included.
+	UploadOverheadPct float64
+	// PulledPct is the percentage of non-source chunk receptions satisfied
+	// by Have/Want pull repair rather than structure push.
+	PulledPct float64
+}
+
 // TrafficReport carries the simulated network's byte counters over the run
 // (ProbeTraffic). Traffic is per node, aggregated across streams; workload
 // sources are excluded from every per-node statistic, matching the paper's
@@ -153,6 +184,8 @@ type Report struct {
 	GoVersion string
 	// Streams holds one report per workload, in workload order.
 	Streams []*StreamReport
+	// Blobs holds one report per blob workload, in workload order.
+	Blobs []*BlobStreamReport
 	// Traffic is set when the scenario probed traffic: simulated byte
 	// counters on SimRuntime, real wire bytes from the livenet tap on
 	// LiveRuntime.
@@ -164,6 +197,16 @@ type Report struct {
 // Stream returns the report for a stream, or nil.
 func (r *Report) Stream(id StreamID) *StreamReport {
 	for _, s := range r.Streams {
+		if s.Stream == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// Blob returns the report for a blob workload's stream, or nil.
+func (r *Report) Blob(id StreamID) *BlobStreamReport {
+	for _, s := range r.Blobs {
 		if s.Stream == id {
 			return s
 		}
@@ -228,14 +271,48 @@ func (r *Report) Table() *Table {
 	return t
 }
 
-// String renders the report: a header line, the per-stream table, and the
-// traffic/churn blocks when present.
+// BlobTable renders the per-blob-workload results as aligned rows.
+func (r *Report) BlobTable() *Table {
+	t := &Table{Header: []string{
+		"blob stream", "source", "blobs", "bytes", "reliability", "p50 recon", "p50 MB/s", "upload overhead", "pulled",
+	}}
+	for _, s := range r.Blobs {
+		recon, mbps := "-", "-"
+		if s.Latency != nil && s.Latency.Len() > 0 {
+			recon = fmt.Sprintf("%.1fms", s.Latency.Median()*1000)
+		}
+		if s.Throughput != nil && s.Throughput.Len() > 0 {
+			mbps = fmt.Sprintf("%.2f", s.Throughput.Median())
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", s.Stream),
+			s.Source.String(),
+			fmt.Sprintf("%d", s.Published),
+			fmt.Sprintf("%d", s.BlobBytes),
+			fmt.Sprintf("%.1f%%", 100*s.Reliability),
+			recon,
+			mbps,
+			fmt.Sprintf("%.0f%%", s.UploadOverheadPct),
+			fmt.Sprintf("%.1f%%", s.PulledPct),
+		)
+	}
+	return t
+}
+
+// String renders the report: a header line, the per-stream table, the
+// per-blob table when blob workloads ran, and the traffic/churn blocks when
+// present.
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s (%s) ==\n", r.Name, r.Runtime)
 	fmt.Fprintf(&b, "nodes=%d alive=%d elapsed=%v wall=%v\n", r.Nodes, r.Alive,
 		r.Elapsed.Round(time.Millisecond), r.Wall.Round(time.Millisecond))
-	b.WriteString(r.Table().String())
+	if len(r.Streams) > 0 {
+		b.WriteString(r.Table().String())
+	}
+	if len(r.Blobs) > 0 {
+		b.WriteString(r.BlobTable().String())
+	}
 	if r.Traffic != nil {
 		fmt.Fprintf(&b, "traffic: stab=%.3fMB diss=%.3fMB down(p50)=%.1fKB/s up(p50)=%.1fKB/s\n",
 			r.Traffic.StabMB, r.Traffic.DissMB,
@@ -280,6 +357,17 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Duplicates   *jsonDist `json:"duplicates_per_msg,omitempty"`
 		Construction *jsonDist `json:"construction_s,omitempty"`
 	}
+	type jsonBlob struct {
+		Stream            StreamID  `json:"stream"`
+		Source            string    `json:"source"`
+		Published         int       `json:"published"`
+		BlobBytes         int64     `json:"blob_bytes"`
+		Reliability       float64   `json:"reliability"`
+		Latency           *jsonDist `json:"latency_s,omitempty"`
+		Throughput        *jsonDist `json:"mbps,omitempty"`
+		UploadOverheadPct float64   `json:"upload_overhead_pct"`
+		PulledPct         float64   `json:"pulled_pct"`
+	}
 	type jsonTraffic struct {
 		StabMB   float64   `json:"stab_mb"`
 		DissMB   float64   `json:"diss_mb"`
@@ -303,6 +391,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		ElapsedS  float64      `json:"elapsed_s"`
 		WallMS    float64      `json:"wall_ms"`
 		Streams   []jsonStream `json:"streams"`
+		Blobs     []jsonBlob   `json:"blobs,omitempty"`
 		Traffic   *jsonTraffic `json:"traffic,omitempty"`
 		Churn     *jsonChurn   `json:"churn,omitempty"`
 	}{
@@ -325,6 +414,19 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			Spread:       distJSON(s.Spread),
 			Duplicates:   distJSON(s.Duplicates),
 			Construction: distJSON(s.Construction),
+		})
+	}
+	for _, s := range r.Blobs {
+		out.Blobs = append(out.Blobs, jsonBlob{
+			Stream:            s.Stream,
+			Source:            s.Source.String(),
+			Published:         s.Published,
+			BlobBytes:         s.BlobBytes,
+			Reliability:       s.Reliability,
+			Latency:           distJSON(s.Latency),
+			Throughput:        distJSON(s.Throughput),
+			UploadOverheadPct: s.UploadOverheadPct,
+			PulledPct:         s.PulledPct,
 		})
 	}
 	if r.Traffic != nil {

@@ -3,10 +3,12 @@ package brisa
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"slices"
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 )
@@ -26,8 +28,9 @@ import (
 type collector struct {
 	sc Scenario
 
-	mu sync.RWMutex
-	ws []*workloadState
+	mu  sync.RWMutex
+	ws  []*workloadState
+	bws []*blobWorkloadState
 	// hard collects per-node hard-repair recovery delays (ProbeRepairs),
 	// merged in sorted node order by hardRepairDelays.
 	hard    map[NodeID]*stats.Sample
@@ -53,6 +56,35 @@ type nodeAcc struct {
 	dups        uint64
 }
 
+// blobWorkloadState is the in-run state of one blob workload.
+type blobWorkloadState struct {
+	w      BlobWorkload
+	source NodeID
+	pubs   int
+	bytes  int64
+	// hashes holds the FNV-64a content hash of every published blob, keyed
+	// by blob id. Receivers' reassembled bytes are verified against it at
+	// fold time, so Reliability means byte-identical reconstruction, not
+	// just "something completed".
+	hashes map[uint32]uint64
+	accs   map[NodeID]*blobAcc
+}
+
+// blobAcc is one node's blob accounting for one workload. Like nodeAcc it is
+// only ever touched from that node's actor callbacks, serially; the fold
+// reads it after the collector detaches.
+type blobAcc struct {
+	recs map[uint32]blobRec
+}
+
+// blobRec is one reconstructed blob on one node, measured at completion on
+// the node's own clock so no cross-node state is needed at delivery time.
+type blobRec struct {
+	hash uint64
+	lat  float64 // first chunk received → reconstruction, seconds
+	mbps float64 // payload MB over lat (0 when lat is 0: single-event blobs)
+}
+
 func newCollector(sc Scenario) *collector {
 	col := &collector{sc: sc, hard: make(map[NodeID]*stats.Sample)}
 	for _, w := range sc.Workloads {
@@ -62,6 +94,13 @@ func newCollector(sc Scenario) *collector {
 			accs:  make(map[NodeID]*nodeAcc),
 		})
 	}
+	for _, w := range sc.BlobWorkloads {
+		col.bws = append(col.bws, &blobWorkloadState{
+			w:      w,
+			hashes: make(map[uint32]uint64),
+			accs:   make(map[NodeID]*blobAcc),
+		})
+	}
 	return col
 }
 
@@ -69,6 +108,25 @@ func newCollector(sc Scenario) *collector {
 func (col *collector) setSource(wi int, id NodeID) {
 	col.mu.Lock()
 	col.ws[wi].source = id
+	col.mu.Unlock()
+}
+
+// setBlobSource records a blob workload's resolved source node.
+func (col *collector) setBlobSource(wi int, id NodeID) {
+	col.mu.Lock()
+	col.bws[wi].source = id
+	col.mu.Unlock()
+}
+
+// blobPublished records one blob injection: its id, payload size and content
+// hash. Unlike published it may run after remote deliveries — verification
+// happens at fold time, which every publish strictly precedes.
+func (col *collector) blobPublished(wi int, id uint32, size int, hash uint64) {
+	col.mu.Lock()
+	bs := col.bws[wi]
+	bs.hashes[id] = hash
+	bs.pubs++
+	bs.bytes += int64(size)
 	col.mu.Unlock()
 }
 
@@ -114,6 +172,7 @@ func (col *collector) instrument(p *Peer) {
 	id := p.ID()
 	now := p.brisa.Now
 	accs := make([]*nodeAcc, len(col.ws))
+	baccs := make([]*blobAcc, len(col.bws))
 	var hard *stats.Sample
 	wantDups := col.sc.probed(ProbeDuplicates)
 	wantRepairs := col.sc.probed(ProbeRepairs)
@@ -123,11 +182,31 @@ func (col *collector) instrument(p *Peer) {
 		col.ws[wi].accs[id] = acc
 		accs[wi] = acc
 	}
+	for wi := range col.bws {
+		acc := &blobAcc{recs: make(map[uint32]blobRec)}
+		col.bws[wi].accs[id] = acc
+		baccs[wi] = acc
+	}
 	if wantRepairs {
 		hard = &stats.Sample{}
 		col.hard[id] = hard
 	}
 	col.mu.Unlock()
+	// Blob completions are always recorded when blob workloads exist: the
+	// content-hash verification behind Reliability needs them regardless of
+	// probes, and blobs are few.
+	for wi := range col.bws {
+		acc := baccs[wi]
+		cancel := p.brisa.SubscribeBlobFn(col.bws[wi].w.Stream, func(d core.BlobDelivery) {
+			lat := d.At.Sub(d.FirstChunkAt).Seconds()
+			rec := blobRec{hash: blobHash(d.Data), lat: lat}
+			if lat > 0 {
+				rec.mbps = float64(len(d.Data)) / (1 << 20) / lat
+			}
+			acc.recs[d.ID] = rec
+		})
+		col.addCancel(cancel)
+	}
 	if col.sc.probed(ProbeLatency) {
 		for wi := range col.ws {
 			wi, acc := wi, accs[wi]
@@ -304,6 +383,113 @@ func (col *collector) streamReport(wi int, survivors []peerSnapshot) *StreamRepo
 	return sr
 }
 
+// blobSnap is one surviving node's end-of-run blob counters for one stream.
+type blobSnap struct {
+	id    NodeID
+	stats BlobStats
+}
+
+// blobStreamReport folds one blob workload's collected state plus
+// end-of-run counter polls into its report. Folding runs in sorted node
+// order and ascending blob-id order within a node, so float summation order
+// — and with it the Report JSON — is bit-identical across runs and across
+// simulator worker counts.
+func (col *collector) blobStreamReport(wi int, srcStats BlobStats, survivors []blobSnap) *BlobStreamReport {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	bs := col.bws[wi]
+	br := &BlobStreamReport{
+		Stream:    bs.w.Stream,
+		Source:    bs.source,
+		Published: bs.pubs,
+		BlobBytes: bs.bytes,
+	}
+
+	ids := make([]uint32, 0, len(bs.hashes))
+	for id := range bs.hashes {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	slices.SortFunc(survivors, func(a, b blobSnap) int {
+		return int(int64(a.id) - int64(b.id))
+	})
+
+	lat, thr := &stats.Sample{}, &stats.Sample{}
+	var complete, counted int
+	var pulled, received uint64
+	for _, snap := range survivors {
+		if snap.id == bs.source {
+			continue
+		}
+		counted++
+		pulled += snap.stats.ChunksPulled
+		received += snap.stats.ChunksReceived
+		acc := bs.accs[snap.id]
+		intact := true
+		for _, id := range ids {
+			var rec blobRec
+			ok := false
+			if acc != nil {
+				rec, ok = acc.recs[id]
+			}
+			if !ok || rec.hash != bs.hashes[id] {
+				intact = false
+				continue
+			}
+			lat.Add(rec.lat)
+			if rec.mbps > 0 {
+				thr.Add(rec.mbps)
+			}
+		}
+		// A workload that published nothing is vacuously complete.
+		if intact {
+			complete++
+		}
+	}
+	if counted == 0 {
+		br.Reliability = 1
+	} else {
+		br.Reliability = float64(complete) / float64(counted)
+	}
+	br.Latency, br.Throughput = lat, thr
+	if bs.bytes > 0 {
+		br.UploadOverheadPct = 100 * float64(srcStats.ChunkBytesSent) / float64(bs.bytes)
+	}
+	if received > 0 {
+		br.PulledPct = 100 * float64(pulled) / float64(received)
+	}
+	return br
+}
+
+// blobPayload derives the content of a blob workload's idx-th blob. The
+// pattern (splitmix64 keyed by stream and index) is a pure function, so both
+// runtimes generate identical bytes without any global RNG and receivers'
+// reassembled payloads verify against the source's content hash.
+func blobPayload(stream StreamID, idx, size int) []byte {
+	out := make([]byte, size)
+	x := (uint64(stream)+1)*0x9e3779b97f4a7c15 ^ (uint64(idx)+1)*0xbf58476d1ce4e5b9
+	for i := 0; i < size; i += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < size; j++ {
+			out[i+j] = byte(z >> (8 * j))
+		}
+	}
+	return out
+}
+
+// blobHash is the FNV-64a content hash blob verification runs on.
+func blobHash(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
 // usageDelta subtracts a baseline usage snapshot, element-wise.
 func usageDelta(cur, base simnet.Usage) simnet.Usage {
 	for p := range cur.UpBytes {
@@ -470,6 +656,12 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 				sc.Name, i, w.Source, len(c.order))
 		}
 	}
+	for i, w := range sc.BlobWorkloads {
+		if w.Source >= len(c.order) {
+			return nil, fmt.Errorf("brisa: Scenario %q: blob workload %d sources from node index %d, cluster has %d nodes",
+				sc.Name, i, w.Source, len(c.order))
+		}
+	}
 
 	wallStart := time.Now()
 
@@ -506,6 +698,9 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 	for wi, w := range sc.Workloads {
 		col.setSource(wi, peers[w.Source].ID())
 	}
+	for wi, w := range sc.BlobWorkloads {
+		col.setBlobSource(wi, peers[w.Source].ID())
+	}
 	for _, p := range peers {
 		col.instrument(p)
 	}
@@ -533,14 +728,34 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 			})
 		}
 	}
+	for wi, w := range sc.BlobWorkloads {
+		wi, w := wi, w
+		src := peers[w.Source]
+		prm := w.params()
+		for i := 0; i < w.Blobs; i++ {
+			i := i
+			c.Net.After(w.Start+time.Duration(i)*w.Interval, func() {
+				data := blobPayload(w.Stream, i, w.Size)
+				id, err := src.brisa.PublishBlob(w.Stream, data, prm)
+				if err != nil {
+					// Geometry was caught by Validate; a failure here is a bug.
+					panic("brisa: blob publish: " + err.Error())
+				}
+				col.blobPublished(wi, id, len(data), blobHash(data))
+			})
+		}
+	}
 
 	// Churn, with metric snapshots bracketing the script's window.
 	var churnWindow time.Duration
 	var before, after Metrics
 	if sc.Churn != nil {
 		churnWindow, _ = sc.Churn.window()
-		protect := make([]NodeID, 0, len(sc.Workloads))
+		protect := make([]NodeID, 0, len(sc.Workloads)+len(sc.BlobWorkloads))
 		for _, w := range sc.Workloads {
+			protect = append(protect, peers[w.Source].ID())
+		}
+		for _, w := range sc.BlobWorkloads {
 			protect = append(protect, peers[w.Source].ID())
 		}
 		script := sc.Churn.Script
@@ -590,10 +805,20 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 		}
 		rep.Streams = append(rep.Streams, col.streamReport(wi, survivors))
 	}
+	for wi, w := range sc.BlobWorkloads {
+		snaps := make([]blobSnap, 0, len(alive))
+		for _, p := range alive {
+			snaps = append(snaps, blobSnap{id: p.ID(), stats: p.BlobStats(w.Stream)})
+		}
+		rep.Blobs = append(rep.Blobs, col.blobStreamReport(wi, peers[w.Source].BlobStats(w.Stream), snaps))
+	}
 
 	if sc.probed(ProbeTraffic) {
-		sources := make(map[NodeID]bool, len(sc.Workloads))
+		sources := make(map[NodeID]bool, len(sc.Workloads)+len(sc.BlobWorkloads))
 		for _, w := range sc.Workloads {
+			sources[peers[w.Source].ID()] = true
+		}
+		for _, w := range sc.BlobWorkloads {
 			sources[peers[w.Source].ID()] = true
 		}
 		tr := &TrafficReport{

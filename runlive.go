@@ -103,6 +103,11 @@ func (rt LiveRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 		ln.col.setSource(wi, src.ID())
 		ln.protect[src.ID()] = true
 	}
+	for wi, w := range sc.BlobWorkloads {
+		src := initial[w.Source]
+		ln.col.setBlobSource(wi, src.ID())
+		ln.protect[src.ID()] = true
+	}
 
 	t0 := time.Now()
 	if sc.probed(ProbeTraffic) {
@@ -169,6 +174,34 @@ func (rt LiveRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 			}
 		}()
 	}
+	for wi, w := range sc.BlobWorkloads {
+		wi, w := wi, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !sleepFor(ctx, w.Start) {
+				return
+			}
+			src := initial[w.Source]
+			prm := w.params()
+			for i := 0; i < w.Blobs; i++ {
+				data := blobPayload(w.Stream, i, w.Size)
+				var id uint32
+				var err error
+				src.Do(func(p *Peer) { id, err = p.brisa.PublishBlob(w.Stream, data, prm) })
+				if err != nil {
+					// Geometry was caught by Validate; a failure here is a bug.
+					panic("brisa: blob publish: " + err.Error())
+				}
+				// Recording after the call is safe: hash verification runs
+				// at fold time, after every injection goroutine joined.
+				ln.col.blobPublished(wi, id, len(data), blobHash(data))
+				if i < w.Blobs-1 && !sleepFor(ctx, w.Interval) {
+					return
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	if churnDone != nil {
 		<-churnDone
@@ -216,6 +249,17 @@ func (rt LiveRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 			snaps = append(snaps, snap)
 		}
 		rep.Streams = append(rep.Streams, ln.col.streamReport(wi, snaps))
+	}
+	for wi, w := range sc.BlobWorkloads {
+		var srcStats BlobStats
+		initial[w.Source].Do(func(p *Peer) { srcStats = p.BlobStats(w.Stream) })
+		snaps := make([]blobSnap, 0, len(survivors))
+		for _, m := range survivors {
+			var s BlobStats
+			m.node.Do(func(p *Peer) { s = p.BlobStats(w.Stream) })
+			snaps = append(snaps, blobSnap{id: m.node.ID(), stats: s})
+		}
+		rep.Blobs = append(rep.Blobs, ln.col.blobStreamReport(wi, srcStats, snaps))
 	}
 
 	if sc.probed(ProbeTraffic) {
@@ -361,6 +405,16 @@ func (ln *liveNet) complete() bool {
 				continue
 			}
 			if m.node.DeliveredCount(w.Stream) != uint64(w.Messages) {
+				return false
+			}
+		}
+	}
+	for _, w := range ln.sc.BlobWorkloads {
+		for _, m := range members {
+			if m.index >= ln.sc.Topology.Nodes {
+				continue
+			}
+			if m.node.BlobsDelivered(w.Stream) != uint64(w.Blobs) {
 				return false
 			}
 		}

@@ -42,6 +42,12 @@ func Run(ctx context.Context, rt Runtime, sc Scenario) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if len(sc.BlobWorkloads) > 0 {
+		bc, ok := rt.(BlobCapable)
+		if !ok || !bc.SupportsBlobs() {
+			return nil, fmt.Errorf("brisa: Scenario %q has blob workloads, but runtime %q does not support blobs", sc.Name, rt.Name())
+		}
+	}
 	rep, err := rt.Run(ctx, sc.withDefaults())
 	if err != nil {
 		return nil, err
@@ -49,6 +55,14 @@ func Run(ctx context.Context, rt Runtime, sc Scenario) (*Report, error) {
 	rep.Runtime = rt.Name()
 	rep.GoVersion = goruntime.Version()
 	return rep, nil
+}
+
+// BlobCapable marks runtimes that execute BlobWorkloads. Run refuses a
+// scenario with blob workloads on a runtime that does not implement it (or
+// that reports false) — both built-in runtimes support blobs.
+type BlobCapable interface {
+	// SupportsBlobs reports whether the runtime executes BlobWorkloads.
+	SupportsBlobs() bool
 }
 
 // SimRuntime runs scenarios on the deterministic discrete-event simulator:
@@ -74,6 +88,9 @@ type SimRuntime struct {
 
 // Name implements Runtime.
 func (SimRuntime) Name() string { return "sim" }
+
+// SupportsBlobs implements BlobCapable.
+func (SimRuntime) SupportsBlobs() bool { return true }
 
 // NewCluster builds the simulated cluster this runtime's Run would build
 // for the scenario — topology, seed and Workers applied, not yet
@@ -106,6 +123,9 @@ type LiveRuntime struct {
 
 // Name implements Runtime.
 func (LiveRuntime) Name() string { return "live" }
+
+// SupportsBlobs implements BlobCapable.
+func (LiveRuntime) SupportsBlobs() bool { return true }
 
 // Runtimes returns the built-in runtimes keyed by Name — the registry
 // commands resolve "-runtime" flags against.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/blob"
 	"repro/internal/trace"
 )
 
@@ -112,6 +113,52 @@ func (w Workload) duration() time.Duration {
 	return w.Start + time.Duration(w.Messages-1)*w.Interval
 }
 
+// DefaultBlobInterval spaces blob publishes: large payloads take longer to
+// spread than the paper's 5 msg/s stream, so one blob per second.
+const DefaultBlobInterval = time.Second
+
+// BlobWorkload is one stream's large-payload injection plan: the source
+// publishes Blobs payloads of Size bytes each, chunked and disseminated over
+// the stream's emerged structure (see Peer.PublishBlob). Blob contents are
+// deterministic functions of (stream, blob id), so receivers' reassembled
+// bytes are verified against what the source published.
+type BlobWorkload struct {
+	// Stream names the stream; distinct from every other workload's (blob
+	// or message) in the scenario.
+	Stream StreamID
+	// Source is the index of the sourcing node in creation order.
+	Source int
+	// Blobs is how many blobs the source publishes (default 1).
+	Blobs int
+	// Size is the bytes per blob. Required.
+	Size int
+	// ChunkSize is the bytes per data chunk (default 64 KiB).
+	ChunkSize int
+	// Total is the chunk count including parity: the blob splits into
+	// K = ceil(Size/ChunkSize) data chunks, and any K of Total reconstruct
+	// it (systematic Reed–Solomon over GF(256), so parity needs
+	// Total ≤ 256). 0 means Total = K: no coding, every chunk required.
+	Total int
+	// Interval spaces the publishes (default DefaultBlobInterval).
+	Interval time.Duration
+	// Start delays the first publish relative to dissemination start.
+	Start time.Duration
+}
+
+// duration is the span from dissemination start to the workload's last
+// publish.
+func (w BlobWorkload) duration() time.Duration {
+	if w.Blobs <= 0 {
+		return w.Start
+	}
+	return w.Start + time.Duration(w.Blobs-1)*w.Interval
+}
+
+// params lowers the workload onto the chunker's parameters.
+func (w BlobWorkload) params() blob.Params {
+	return blob.Params{ChunkSize: w.ChunkSize, Total: w.Total}
+}
+
 // Churn describes membership turbulence in the paper's Listing 1 trace
 // syntax (Splay's churn language), e.g.
 //
@@ -189,8 +236,13 @@ type Scenario struct {
 	Seed int64
 	// Topology is the network.
 	Topology Topology
-	// Workloads are the streams; at least one, each on a distinct stream.
+	// Workloads are the streams; at least one workload (message or blob),
+	// each on a distinct stream.
 	Workloads []Workload
+	// BlobWorkloads are the large-payload streams (see BlobWorkload); they
+	// may run alongside message Workloads, on distinct streams. They
+	// require a blob-capable runtime (both built-in runtimes are).
+	BlobWorkloads []BlobWorkload
 	// Churn, when set, runs a churn trace during dissemination.
 	Churn *Churn
 	// Probes selects measurements (default: latency and duplicates).
@@ -220,6 +272,20 @@ func (sc Scenario) withDefaults() Scenario {
 		}
 	}
 	sc.Workloads = ws
+	bs := make([]BlobWorkload, len(sc.BlobWorkloads))
+	copy(bs, sc.BlobWorkloads)
+	for i := range bs {
+		if bs[i].Blobs == 0 {
+			bs[i].Blobs = 1
+		}
+		if bs[i].ChunkSize == 0 {
+			bs[i].ChunkSize = blob.DefaultChunkSize
+		}
+		if bs[i].Interval == 0 {
+			bs[i].Interval = DefaultBlobInterval
+		}
+	}
+	sc.BlobWorkloads = bs
 	return sc
 }
 
@@ -229,10 +295,10 @@ func (sc Scenario) Validate() error {
 	if err := sc.Topology.clusterConfig(1).Validate(); err != nil {
 		return err
 	}
-	if len(sc.Workloads) == 0 {
+	if len(sc.Workloads) == 0 && len(sc.BlobWorkloads) == 0 {
 		return fmt.Errorf("brisa: Scenario %q has no workloads", sc.Name)
 	}
-	seen := make(map[StreamID]bool, len(sc.Workloads))
+	seen := make(map[StreamID]bool, len(sc.Workloads)+len(sc.BlobWorkloads))
 	for i, w := range sc.Workloads {
 		if seen[w.Stream] {
 			return fmt.Errorf("brisa: Scenario %q: duplicate workload for stream %d (a stream has one source)", sc.Name, w.Stream)
@@ -250,6 +316,30 @@ func (sc Scenario) Validate() error {
 		}
 		if w.Interval < 0 || w.Start < 0 {
 			return fmt.Errorf("brisa: Scenario %q: workload %d has negative timing", sc.Name, i)
+		}
+	}
+	for i, w := range sc.BlobWorkloads {
+		if seen[w.Stream] {
+			return fmt.Errorf("brisa: Scenario %q: duplicate workload for stream %d (a stream has one source)", sc.Name, w.Stream)
+		}
+		seen[w.Stream] = true
+		if w.Source < 0 || w.Source >= sc.Topology.Nodes {
+			return fmt.Errorf("brisa: Scenario %q: blob workload %d sources from node index %d, topology has %d nodes",
+				sc.Name, i, w.Source, sc.Topology.Nodes)
+		}
+		if w.Blobs < 0 {
+			return fmt.Errorf("brisa: Scenario %q: blob workload %d has negative Blobs", sc.Name, i)
+		}
+		if w.Size <= 0 {
+			return fmt.Errorf("brisa: Scenario %q: blob workload %d needs a positive Size, got %d", sc.Name, i, w.Size)
+		}
+		if w.Interval < 0 || w.Start < 0 {
+			return fmt.Errorf("brisa: Scenario %q: blob workload %d has negative timing", sc.Name, i)
+		}
+		// Delegate the chunking geometry (chunk size bounds, K vs Total,
+		// the GF(256) parity limit) to the chunker's own validation.
+		if _, _, err := w.params().Plan(w.Size); err != nil {
+			return fmt.Errorf("brisa: Scenario %q: blob workload %d: %w", sc.Name, i, err)
 		}
 	}
 	if sc.Drain < 0 {
@@ -278,6 +368,11 @@ func (sc Scenario) probed(p Probe) bool {
 func (sc Scenario) end() time.Duration {
 	var end time.Duration
 	for _, w := range sc.Workloads {
+		if d := w.duration(); d > end {
+			end = d
+		}
+	}
+	for _, w := range sc.BlobWorkloads {
 		if d := w.duration(); d > end {
 			end = d
 		}

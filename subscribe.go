@@ -1,6 +1,10 @@
 package brisa
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/core"
+)
 
 // Message is one delivered payload of a stream, as seen by a Subscription.
 type Message struct {
@@ -190,23 +194,26 @@ func (s *Subscription) pump() {
 	}
 }
 
-// subscriptionSet tracks a peer's live subscriptions so the owning runtime
-// can cancel them all on shutdown.
+// subscriptionSet tracks a peer's live subscriptions (message and blob) so
+// the owning runtime can cancel them all on shutdown.
 type subscriptionSet struct {
 	mu   sync.Mutex
-	subs map[*Subscription]struct{}
+	subs map[canceler]struct{}
 }
 
-func (set *subscriptionSet) add(s *Subscription) {
+// canceler is anything cancelAll can shut down.
+type canceler interface{ Cancel() }
+
+func (set *subscriptionSet) add(s canceler) {
 	set.mu.Lock()
 	if set.subs == nil {
-		set.subs = make(map[*Subscription]struct{})
+		set.subs = make(map[canceler]struct{})
 	}
 	set.subs[s] = struct{}{}
 	set.mu.Unlock()
 }
 
-func (set *subscriptionSet) remove(s *Subscription) {
+func (set *subscriptionSet) remove(s canceler) {
 	set.mu.Lock()
 	delete(set.subs, s)
 	set.mu.Unlock()
@@ -215,12 +222,129 @@ func (set *subscriptionSet) remove(s *Subscription) {
 // cancelAll cancels every live subscription of the set.
 func (set *subscriptionSet) cancelAll() {
 	set.mu.Lock()
-	subs := make([]*Subscription, 0, len(set.subs))
+	subs := make([]canceler, 0, len(set.subs))
 	for s := range set.subs {
 		subs = append(subs, s)
 	}
 	set.mu.Unlock()
 	for _, s := range subs {
 		s.Cancel()
+	}
+}
+
+// ---------------------------------------------------------------- blobs
+
+// Blob is one reassembled large payload, as seen by a BlobSubscription.
+type Blob struct {
+	// Stream names the dissemination stream the blob belongs to.
+	Stream StreamID
+	// ID is the source-assigned per-stream blob id (starting at 1).
+	ID uint32
+	// Data is the reconstructed payload, byte-identical to what the source
+	// published. Consumers must not modify it.
+	Data []byte
+}
+
+// BlobSubscription delivers one stream's reassembled blobs over a channel,
+// in completion order. The queue is unbounded: blobs are few and large, so
+// back-pressure belongs to the consumer. Cancel when done; C is closed
+// afterwards.
+type BlobSubscription struct {
+	stream StreamID
+	out    chan Blob
+
+	mu    sync.Mutex
+	queue []Blob
+
+	wake  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+	unsub func()
+}
+
+// SubscribeBlobs registers a subscription for every blob the peer completes
+// on the stream — local PublishBlob calls included. Multiple subscriptions
+// are independent; each receives every blob once. Safe to call from any
+// goroutine on either runtime.
+func (p *Peer) SubscribeBlobs(stream StreamID) *BlobSubscription {
+	s := &BlobSubscription{
+		stream: stream,
+		out:    make(chan Blob, 1),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	cancelCore := p.brisa.SubscribeBlobFn(stream, func(d core.BlobDelivery) {
+		s.push(Blob{Stream: stream, ID: d.ID, Data: d.Data})
+	})
+	p.subs.add(s)
+	s.unsub = func() {
+		cancelCore()
+		p.subs.remove(s)
+	}
+	go s.pump()
+	return s
+}
+
+// C returns the delivery channel. It is closed after Cancel.
+func (s *BlobSubscription) C() <-chan Blob { return s.out }
+
+// Stream returns the stream this subscription follows.
+func (s *BlobSubscription) Stream() StreamID { return s.stream }
+
+// Cancel stops delivery, unregisters the subscription, and closes C. It is
+// idempotent and safe to call from any goroutine.
+func (s *BlobSubscription) Cancel() {
+	s.once.Do(func() {
+		s.unsub()
+		close(s.done)
+	})
+}
+
+// push appends a completed blob; called from the protocol side, never
+// blocking.
+func (s *BlobSubscription) push(b Blob) {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	s.queue = append(s.queue, b)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves queued blobs to the out channel until cancelled.
+func (s *BlobSubscription) pump() {
+	defer close(s.out)
+	for {
+		s.mu.Lock()
+		var b Blob
+		ok := len(s.queue) > 0
+		if ok {
+			b = s.queue[0]
+			s.queue = s.queue[1:]
+			if len(s.queue) == 0 {
+				s.queue = nil
+			}
+		}
+		s.mu.Unlock()
+		if !ok {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.done:
+				return
+			}
+		}
+		select {
+		case s.out <- b:
+		case <-s.done:
+			return
+		}
 	}
 }
