@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-scale bench-blob fuzz fmt vet
+.PHONY: all build test race bench bench-scale bench-blob fuzz fmt vet lint
 
 all: build test
 
@@ -18,6 +18,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint is part of the tier-1 loop: go vet, then the determinism suite
+# (cmd/brisa-lint: maporder/unseededmap/walltime/globalrand over the
+# deterministic packages), then staticcheck when installed (CI always runs
+# it, pinned; locally it is optional so the target works offline).
+lint: vet
+	$(GO) run ./cmd/brisa-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it pinned)"; \
+	fi
 
 # bench regenerates the scenario-suite records (BENCH_scenarios.json).
 bench:

@@ -232,6 +232,7 @@ func (p *Protocol) ensureBlob(st *stream, id uint32, k, n, size, chunkSize int) 
 	}
 	for len(st.blobs) >= p.cfg.MaxBlobs {
 		lowest := uint32(0)
+		//brisa:orderinvariant min-tracking commutes: the lowest blob id is the same whatever the visit order
 		for bid := range st.blobs {
 			if lowest == 0 || bid < lowest {
 				lowest = bid
@@ -471,6 +472,7 @@ func (p *Protocol) refreshBlobSnap() {
 		return
 	}
 	snap := make(map[wire.StreamID][]func(BlobDelivery), len(p.blobSubs))
+	//brisa:orderinvariant each iteration writes a distinct key of the fresh snapshot map; per-stream listener order is sorted by token below
 	for stream, m := range p.blobSubs {
 		toks := make([]uint64, 0, len(m))
 		for tok := range m {

@@ -109,6 +109,7 @@ func (p *Protocol) StreamIDs() []wire.StreamID {
 // appendStreamIDs appends the stream ids ascending — the scratch-buffer
 // variant for per-tick paths (keep-alive piggyback).
 func (p *Protocol) appendStreamIDs(out []wire.StreamID) []wire.StreamID {
+	//brisa:orderinvariant append-then-sort: the insertion sort below restores ascending order
 	for id := range p.streams {
 		out = append(out, id)
 	}
@@ -258,15 +259,21 @@ func (p *Protocol) SubscribeEvents(fn func(Event)) (cancel func()) {
 }
 
 // refreshEvSnap rebuilds the lock-free listener snapshot; call with subMu
-// held.
+// held. Listeners are ordered by registration token so emit order is
+// deterministic, like the delivery fan-out snapshots.
 func (p *Protocol) refreshEvSnap() {
 	if len(p.evSubs) == 0 {
 		p.evSnap.Store(nil)
 		return
 	}
-	fns := make([]func(Event), 0, len(p.evSubs))
-	for _, fn := range p.evSubs {
-		fns = append(fns, fn)
+	toks := make([]uint64, 0, len(p.evSubs))
+	for tok := range p.evSubs {
+		toks = append(toks, tok)
+	}
+	slices.Sort(toks)
+	fns := make([]func(Event), 0, len(toks))
+	for _, tok := range toks {
+		fns = append(fns, p.evSubs[tok])
 	}
 	p.evSnap.Store(&fns)
 }
@@ -314,6 +321,7 @@ func (p *Protocol) refreshSubsSnap() {
 		return
 	}
 	snap := make(map[wire.StreamID][]func(uint32, []byte), len(p.subs))
+	//brisa:orderinvariant each iteration writes a distinct key of the fresh snapshot map; per-stream listener order is sorted by token below
 	for stream, m := range p.subs {
 		toks := make([]uint64, 0, len(m))
 		for tok := range m {
@@ -912,9 +920,13 @@ func (p *Protocol) acquireParents(st *stream) {
 // ---------------------------------------------------------------- repair
 
 // NeighborUp is wired to the PSS neighbor-up callback: links to new nodes
-// start active (§II-F).
+// start active (§II-F). Streams are visited in ascending id order:
+// acquireParents sends repair traffic, and send order feeds the per-node
+// event sequence, so per-stream side effects must fire in a run-stable
+// order.
 func (p *Protocol) NeighborUp(peer ids.NodeID) {
-	for _, st := range p.streams {
+	for _, id := range p.StreamIDs() {
+		st := p.streams[id]
 		st.forget(peer) // fresh node, fresh links: both directions active
 		if !st.orphanedAt.IsZero() || (p.cfg.Mode == ModeDAG && st.started && !st.source && len(st.parents) < p.cfg.Parents) {
 			p.acquireParents(st)
@@ -923,9 +935,11 @@ func (p *Protocol) NeighborUp(peer ids.NodeID) {
 }
 
 // NeighborDown is wired to the PSS neighbor-down callback (§II-F failure
-// handling).
+// handling). Ascending stream order for the same reason as NeighborUp: the
+// repair sends below must not fire in randomized map order.
 func (p *Protocol) NeighborDown(peer ids.NodeID) {
-	for _, st := range p.streams {
+	for _, id := range p.StreamIDs() {
+		st := p.streams[id]
 		wasParent := st.isParent(peer)
 		delete(st.parents, peer)
 		if st.graceParent == peer {

@@ -176,6 +176,7 @@ func (p *Protocol) adBlobs(st *stream, it *piggyStream) {
 		return
 	}
 	var lo, hi uint32 // two highest ids; blob ids start at 1
+	//brisa:orderinvariant top-2 max-tracking commutes: the two highest ids are the same whatever the visit order
 	for bid := range st.blobs {
 		if bid > hi {
 			lo, hi = hi, bid

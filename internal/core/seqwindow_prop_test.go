@@ -211,7 +211,7 @@ func TestSeqWindowFarMigration(t *testing.T) {
 	if len(w.far) != 0 {
 		t.Fatalf("far entries not migrated: %v", w.far)
 	}
-	if w.has(far2) != true {
+	if !w.has(far2) {
 		t.Fatal("migrated far entry lost")
 	}
 	if w.base > contig {

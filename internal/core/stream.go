@@ -128,8 +128,7 @@ func (w *seqWindow) compact(contig uint32) {
 	w.words = w.words[:len(w.words)-k]
 	w.base += uint32(k) << 6
 	if len(w.far) > 0 {
-		// Order-independent (bit sets commute), so map iteration is safe
-		// for determinism.
+		//brisa:orderinvariant bit sets commute: each far seq is deleted and set independently, no ordering can leak out
 		for seq := range w.far {
 			if seq-w.base < denseSpan {
 				delete(w.far, seq)

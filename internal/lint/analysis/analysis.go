@@ -1,0 +1,68 @@
+// Package analysis is a minimal, stdlib-only subset of the
+// golang.org/x/tools/go/analysis API.
+//
+// The module deliberately has no external dependencies, so the determinism
+// lint suite (internal/lint/...) cannot import the real go/analysis
+// framework. This package mirrors the parts of its surface the suite uses —
+// Analyzer, Pass, Diagnostic, Reportf — with the same field names and
+// semantics, so the analyzers read like standard go/analysis passes and can
+// be ported to the real framework by swapping the import if the dependency
+// ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis pass: a named check with documentation
+// and a Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+
+	// Doc is the one-paragraph documentation for the analyzer. The first
+	// line is used as a summary.
+	Doc string
+
+	// Run applies the analyzer to a package. It may call pass.Report to
+	// emit diagnostics. The result value is unused by this framework but
+	// kept for API compatibility.
+	Run func(*Pass) (any, error)
+}
+
+// Pass provides one analyzer run with the syntax, type information and
+// reporting sink for a single package.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions for all Files.
+	Fset *token.FileSet
+
+	// Files is the package's parsed, comment-bearing syntax (non-test
+	// files only — the suite checks production code).
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type information produced while checking Pkg.
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. The driver supplies it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,136 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture packages
+// under testdata/src and checks its diagnostics against `// want` comments,
+// mirroring the golang.org/x/tools/go/analysis/analysistest convention this
+// module cannot depend on.
+//
+// A want comment sits on the line the diagnostic is expected at and carries
+// one or more quoted regular expressions:
+//
+//	for k, v := range m { // want `range over map`
+//
+// Both `backquoted` and "quoted" forms are accepted. Every diagnostic must
+// match a want on its (file, line), and every want must be matched by a
+// diagnostic, or the test fails.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Run loads each fixture package under filepath.Join(dir, "src") and
+// applies the analyzer, comparing diagnostics against want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := loader.Load(filepath.Join(dir, "src"), pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: load: %v", err)
+	}
+	for _, pkg := range prog.Packages {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("analysistest: %s: type error: %v", pkg.Path, terr)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      prog.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		checkWants(t, prog, pkg, diags)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkWants(t *testing.T, prog *loader.Program, pkg *loader.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, pos.String(), rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parsePatterns extracts the quoted regexps from the remainder of a want
+// comment: a space-separated sequence of "..." or `...` strings.
+func parsePatterns(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		switch s[0] {
+		case '"':
+			prefix, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				t.Fatalf("%s: malformed want comment %q: %v", pos, s, err)
+			}
+			unq, _ := strconv.Unquote(prefix)
+			pats = append(pats, unq)
+			s = s[len(prefix):]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: malformed want comment %q: unterminated backquote", pos, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s: malformed want comment: expected quoted pattern at %q", pos, s)
+		}
+	}
+}

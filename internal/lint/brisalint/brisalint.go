@@ -1,0 +1,91 @@
+// Package brisalint assembles the determinism lint suite: it loads
+// packages, runs every analyzer over them, and returns position-sorted
+// findings. cmd/brisa-lint is a thin CLI over Run; the repo-cleanliness
+// test in internal/lint drives the same entry point.
+package brisalint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/globalrand"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/unseededmap"
+	"repro/internal/lint/walltime"
+)
+
+// Analyzers returns the suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		unseededmap.Analyzer,
+		walltime.Analyzer,
+		globalrand.Analyzer,
+	}
+}
+
+// Finding is one diagnostic from one analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads the packages under root matched by patterns and applies the
+// whole suite. It fails hard if a deterministic package has type errors —
+// a half-typed package would silently blind the analyzers, and the real
+// tree must always type-check anyway.
+func Run(root string, patterns []string) ([]Finding, error) {
+	prog, err := loader.Load(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		if lint.IsDeterministic(pkg.Path) && len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("brisalint: type errors in deterministic package %s (analyzers would run blind): %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		for _, a := range Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Pos:      prog.Fset.Position(d.Pos),
+					Analyzer: name,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("brisalint: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

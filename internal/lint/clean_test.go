@@ -1,0 +1,115 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/brisalint"
+)
+
+// repoRoot locates the module root from this source file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file))) // internal/lint -> internal -> root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("expected module root at %s: %v", root, err)
+	}
+	return root
+}
+
+// TestRepoLintClean runs the whole determinism suite over the real tree, so
+// `go test ./...` — the tier-1 loop — enforces the contract even where CI's
+// dedicated lint job doesn't run.
+func TestRepoLintClean(t *testing.T) {
+	findings, err := brisalint.Run(repoRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestLintCatchesInjectedViolation pins the acceptance criterion directly:
+// deliberately introducing an unordered map range in internal/core must
+// produce a maporder finding (a tree where the suite cannot see a planted
+// violation would pass TestRepoLintClean vacuously).
+func TestLintCatchesInjectedViolation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module injected\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+// Keys leaks map iteration order into its result: exactly the violation
+// the suite exists to catch.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	findings, err := brisalint.Run(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "maporder" || !strings.Contains(f.Message, "range over map") {
+		t.Fatalf("unexpected finding: %s", f)
+	}
+	if filepath.Base(f.Pos.Filename) != "bad.go" || f.Pos.Line != 7 {
+		t.Fatalf("finding at %s, want bad.go:7", f.Pos)
+	}
+}
+
+// TestLintRejectsEmptyJustification: an annotation without a reason must
+// fail the build, not silently suppress.
+func TestLintRejectsEmptyJustification(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module injected\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "internal", "simnet")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package simnet
+
+func drain(m map[int]int) {
+	//brisa:orderinvariant
+	for k, v := range m {
+		println(k, v)
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(sub, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := brisalint.Run(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "non-empty justification") {
+		t.Fatalf("got %v, want exactly one missing-justification finding", findings)
+	}
+}

@@ -1,0 +1,139 @@
+// Package globalrand forbids the process-global math/rand generator in
+// determinism-critical packages. Package-level rand functions (rand.Intn,
+// rand.Shuffle, ...) draw from one shared, mutex-guarded stream whose state
+// depends on cross-goroutine call order — under the sharded scheduler that
+// is worker-count-dependent by construction (the PR 5 fix replaced exactly
+// this with per-sender hash-seeded splitmix streams). Randomness must come
+// from locally-owned generators built from explicit seeds.
+//
+// Constructors (rand.New, rand.NewSource, rand/v2's NewPCG/NewChaCha8) are
+// allowed, but seeding one from the wall clock — the classic
+// rand.New(rand.NewSource(time.Now().UnixNano())) — is flagged too: it is
+// nondeterminism with extra steps.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the globalrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid the global math/rand generator and wall-clock seeding in deterministic packages; use the seeded per-node streams",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !lint.IsDeterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := randPackage(pass, sel)
+			if !ok {
+				return true
+			}
+			// Only package-level functions matter: types (rand.Rand) and
+			// methods on locally-owned generators (r.Intn) are the fix,
+			// not the problem.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			name := sel.Sel.Name
+			if !lint.RandConstructors[name] {
+				pass.Reportf(sel.Pos(),
+					"package-level math/rand call %s.%s in deterministic package %s: state depends on global call order; draw from the seeded per-node stream instead",
+					shortName(pkgPath), name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	// Second sweep: constructors seeded from the wall clock.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := randPackage(pass, sel); !ok || !lint.RandConstructors[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if usesWallClock(pass, arg) {
+					pass.Reportf(call.Pos(),
+						"wall-clock seed for %s in deterministic package %s: derive seeds from the run's explicit seed",
+						sel.Sel.Name, pass.Pkg.Path())
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// randPackage resolves sel's qualifier to a watched rand package.
+func randPackage(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok || !lint.RandPackages[pn.Imported().Path()] {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// usesWallClock reports whether e contains a reference to a time package
+// function from lint.WallClockFuncs (e.g. time.Now().UnixNano()). Nested
+// rand-constructor calls are pruned: in rand.New(rand.NewSource(time.Now()))
+// the inner call owns — and reports — the wall-clock seed.
+func usesWallClock(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if _, isRand := randPackage(pass, sel); isRand && lint.RandConstructors[sel.Sel.Name] {
+					return false
+				}
+			}
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok &&
+			pn.Imported().Path() == "time" && lint.WallClockFuncs[sel.Sel.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func shortName(pkgPath string) string {
+	if pkgPath == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "internal/simnet", "other")
+}

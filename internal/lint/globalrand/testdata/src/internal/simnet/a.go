@@ -1,0 +1,39 @@
+// Fixture for the globalrand analyzer: "internal/simnet" is a
+// deterministic package, so the process-global math/rand generator and
+// wall-clock seeding are forbidden while locally-owned seeded generators
+// remain the expected idiom.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badIntn() int {
+	return rand.Intn(10) // want `package-level math/rand call rand.Intn`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `package-level math/rand call rand.Shuffle`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `package-level math/rand call rand.Float64`
+}
+
+func badWallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock seed for NewSource`
+}
+
+func okSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func okMethods(r *rand.Rand) int {
+	return r.Intn(4) // methods on a locally-owned generator are the fix
+}
+
+func okType() *rand.Rand {
+	var r *rand.Rand
+	return r
+}

@@ -1,0 +1,11 @@
+package simnet
+
+import randv2 "math/rand/v2"
+
+func badV2() int {
+	return randv2.IntN(3) // want `package-level math/rand call rand/v2.IntN`
+}
+
+func okV2() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2))
+}

@@ -1,0 +1,9 @@
+// Fixture: "other" is not a deterministic package; the global generator is
+// merely taste there, not a contract violation.
+package other
+
+import "math/rand"
+
+func unchecked() int {
+	return rand.Intn(10)
+}

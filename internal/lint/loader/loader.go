@@ -1,0 +1,345 @@
+// Package loader parses and type-checks Go packages for the determinism
+// lint suite using only the standard library.
+//
+// The usual way to feed go/analysis passes is golang.org/x/tools/go/packages,
+// which this module cannot depend on. Instead the loader walks a source tree
+// itself: it discovers every package directory, parses the non-test files
+// with comments, topologically orders the in-tree packages by their imports,
+// and type-checks them with go/types. Standard-library imports are resolved
+// by the stdlib "source" importer (compiled from GOROOT sources); in-tree
+// imports are resolved from the packages already checked.
+//
+// Two layouts are supported:
+//
+//   - Module mode: root contains a go.mod; import paths are the module path
+//     plus the directory's relative path. Used by cmd/brisa-lint over the
+//     real repository.
+//   - GOPATH-style mode: no go.mod; a package's import path is simply its
+//     directory relative to root. Used by the analysistest fixtures under
+//     testdata/src, matching the x/tools analysistest convention.
+//
+// Test files (*_test.go) are skipped: the determinism contract is about
+// production simulator code, and tests legitimately use wall-clock timeouts.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	Path       string      // import path, e.g. "repro/internal/core"
+	Dir        string      // absolute directory the files came from
+	Files      []*ast.File // non-test files, parsed with comments
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypeErrors []error // type-checking problems (checking continues past them)
+}
+
+// Program is the result of one Load: a shared FileSet plus the packages
+// matched by the load patterns, in deterministic (import-path) order.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Load parses and type-checks the packages under root selected by patterns.
+//
+// Patterns follow the familiar go tool shapes, resolved against root:
+// "./..." (every package), "dir/..." (a subtree), or an exact directory /
+// import path. All packages under root are parsed and type-checked so that
+// in-tree imports resolve; only the matched ones are returned.
+func Load(root string, patterns []string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	raw, err := discover(fset, root, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := topoSort(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared importer state: the source importer caches the stdlib packages
+	// it has checked, and checked in-tree packages resolve from `local`.
+	local := make(map[string]*types.Package)
+	imp := &combinedImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: local,
+	}
+
+	byPath := make(map[string]*Package)
+	for _, rp := range order {
+		pkg := check(fset, rp, imp)
+		if pkg.Types != nil {
+			local[rp.path] = pkg.Types
+		}
+		byPath[rp.path] = pkg
+	}
+
+	matched, err := match(byPath, root, modPath, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fset: fset, Packages: matched}, nil
+}
+
+// modulePath reads the module path from root's go.mod, or returns "" for
+// GOPATH-style trees without one.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("loader: %s/go.mod has no module line", root)
+}
+
+// rawPkg is a parsed-but-unchecked package.
+type rawPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports map[string]bool
+}
+
+// discover walks root and parses every package directory. Directories named
+// "testdata", hidden directories, and "_"-prefixed directories are skipped,
+// matching the go tool's rules.
+func discover(fset *token.FileSet, root, modPath string) (map[string]*rawPkg, error) {
+	pkgs := make(map[string]*rawPkg)
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		path := importPathFor(modPath, rel)
+		rp := pkgs[path]
+		if rp == nil {
+			rp = &rawPkg{path: path, dir: dir, imports: make(map[string]bool)}
+			pkgs[path] = rp
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("loader: %v", err)
+		}
+		rp.files = append(rp.files, f)
+		for _, spec := range f.Imports {
+			rp.imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Parse order within a directory follows WalkDir's lexical order, so
+	// files are already deterministic; drop dirs with no buildable files.
+	for path, rp := range pkgs {
+		if len(rp.files) == 0 {
+			delete(pkgs, path)
+		}
+	}
+	return pkgs, nil
+}
+
+func importPathFor(modPath, rel string) string {
+	rel = filepath.ToSlash(rel)
+	if modPath == "" {
+		return rel
+	}
+	if rel == "." {
+		return modPath
+	}
+	return modPath + "/" + rel
+}
+
+// topoSort orders packages so every in-tree import precedes its importer.
+// Ties are broken by import path, keeping runs deterministic.
+func topoSort(pkgs map[string]*rawPkg) ([]*rawPkg, error) {
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	var order []*rawPkg
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("loader: import cycle through %s", path)
+		}
+		state[path] = visiting
+		rp := pkgs[path]
+		deps := make([]string, 0, len(rp.imports))
+		for imp := range rp.imports {
+			if _, ok := pkgs[imp]; ok {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return fmt.Errorf("%v (imported by %s)", err, path)
+			}
+		}
+		state[path] = done
+		order = append(order, rp)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// combinedImporter resolves in-tree packages from the already-checked set
+// and everything else (the standard library) from GOROOT sources.
+type combinedImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (c *combinedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// check type-checks one package, collecting rather than aborting on errors
+// so analyzers still see partial information for broken fixtures.
+func check(fset *token.FileSet, rp *rawPkg, imp types.Importer) *Package {
+	pkg := &Package{Path: rp.path, Dir: rp.dir, Files: rp.files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(rp.path, fset, rp.files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg
+}
+
+// match selects the packages named by patterns, in import-path order.
+func match(byPath map[string]*Package, root, modPath string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	seen := make(map[string]bool)
+	var out []*Package
+	for _, pat := range patterns {
+		norm := filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		subtree := false
+		if norm == "..." {
+			norm = ""
+			subtree = true
+		} else if rest, ok := strings.CutSuffix(norm, "/..."); ok {
+			norm = rest
+			subtree = true
+		}
+		matchedAny := false
+		for _, p := range paths {
+			rel := p
+			if modPath != "" {
+				if p == modPath {
+					rel = ""
+				} else if r, ok := strings.CutPrefix(p, modPath+"/"); ok {
+					rel = r
+				}
+			}
+			ok := false
+			switch {
+			case subtree && norm == "":
+				ok = true
+			case subtree:
+				ok = rel == norm || strings.HasPrefix(rel, norm+"/") || p == norm || strings.HasPrefix(p, norm+"/")
+			default:
+				ok = rel == norm || p == norm
+			}
+			if ok {
+				matchedAny = true
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, byPath[p])
+				}
+			}
+		}
+		if !matchedAny {
+			return nil, fmt.Errorf("loader: pattern %q matched no packages under %s", pat, root)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,513 @@
+// Package maporder flags `for ... range` over maps in determinism-critical
+// packages. Go randomizes map iteration order per run, so any map range
+// whose effects depend on visit order breaks the worker-count-invariance
+// contract (this exact bug family produced the PR 1 keep-alive fix and the
+// PR 4 piggyback stream-iteration fix).
+//
+// A map range is accepted without annotation only when the loop body
+// provably feeds an order-insensitive sink:
+//
+//   - delete(m, k) calls, possibly behind call-free conditions;
+//   - commutative integer accumulation (x += v, x++, |=, &=, ^=, *=);
+//   - the append-then-sort idiom: the body only appends to a slice
+//     (local or field) that is later passed to a recognized sorter
+//     (lint.Sorters);
+//   - writes to distinct keys of another map (dst[k] = v, k the range key);
+//   - idempotent constant stores (found = true) and per-entry stores
+//     through the range value (pi.depth = NoDepth, sn.usage = Usage{});
+//     each iteration touches a distinct entry, so the stores commute.
+//
+// A guard keeps these rules honest: an expression a rule evaluates (an
+// accumulation operand, an if condition, an appended value) must not read a
+// variable the body also assigns — `acc++; dst[k] = acc` is order-sensitive
+// even though each statement looks safe in isolation.
+//
+// Anything else needs either a sorted-iteration rewrite or a
+// //brisa:orderinvariant <why> annotation; the justification must be
+// non-empty. Loops whose body unconditionally exits on the first iteration
+// are left to the unseededmap analyzer, which reports them more precisely.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration in deterministic packages unless it provably feeds an order-insensitive sink or carries //brisa:orderinvariant <why>",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !lint.IsDeterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		anns := lint.OrderAnnotations(pass.Fset, file)
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapRange(pass, rs) || countingOnly(rs) {
+				return true
+			}
+			// First-element picks are unseededmap's domain.
+			if endsInExit(rs.Body) {
+				return true
+			}
+			if ann, ok := lint.AnnotationFor(anns, pass.Fset, rs.Pos()); ok {
+				if ann.Reason == "" {
+					pass.Reportf(rs.Pos(), "%s annotation requires a non-empty justification", lint.OrderInvariantAnnotation)
+				}
+				return true
+			}
+			if orderInsensitive(pass, rs, parents) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map in deterministic package %s: iteration order is randomized per run; iterate a sorted copy, feed an order-insensitive sink, or annotate %s <why>",
+				pass.Pkg.Path(), lint.OrderInvariantAnnotation)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isMapRange reports whether rs ranges over a value of map type.
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// countingOnly reports whether the range binds neither key nor value
+// (`for range m` / `for _ = range m`), in which case the body cannot
+// observe iteration order.
+func countingOnly(rs *ast.RangeStmt) bool {
+	return identOrNil(rs.Key) == nil && identOrNil(rs.Value) == nil
+}
+
+// identOrNil returns e as a non-blank identifier, or nil.
+func identOrNil(e ast.Expr) *ast.Ident {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// endsInExit reports whether the body's last top-level statement
+// unconditionally leaves the loop (break or return), i.e. the loop runs at
+// most one full iteration.
+func endsInExit(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK && last.Label == nil
+	}
+	return false
+}
+
+// orderInsensitive reports whether every statement in the loop body is one
+// of the recognized commuting forms, and any slices the body appends to are
+// sorted after the loop.
+func orderInsensitive(pass *analysis.Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node) bool {
+	chk := &checker{
+		pass:     pass,
+		rs:       rs,
+		assigned: assignedObjects(pass, rs.Body),
+	}
+	if !chk.safeStmts(rs.Body.List) {
+		return false
+	}
+	for _, target := range chk.needSort {
+		if !sortedAfter(pass, parents, rs, target) {
+			return false
+		}
+	}
+	return true
+}
+
+// checker validates one loop body. assigned holds the objects the body
+// itself writes; expressions a rule evaluates must not read them, or two
+// individually-safe statements could couple into an order-sensitive pair.
+type checker struct {
+	pass     *analysis.Pass
+	rs       *ast.RangeStmt
+	assigned map[types.Object]bool
+	needSort []ast.Expr // append targets that must be sorted after the loop
+}
+
+func (c *checker) safeStmts(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.safeStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) safeStmt(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		// delete(m, k) — removals commute.
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return isBuiltin(c.pass, call.Fun, "delete")
+	case *ast.IncDecStmt:
+		// Counting commutes on integers.
+		return isInteger(c.pass, st.X)
+	case *ast.AssignStmt:
+		return c.safeAssign(st)
+	case *ast.IfStmt:
+		if st.Init != nil || !c.independent(st.Cond) {
+			return false
+		}
+		if !c.safeStmts(st.Body.List) {
+			return false
+		}
+		switch els := st.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return c.safeStmts(els.List)
+		case *ast.IfStmt:
+			return c.safeStmt(els)
+		}
+		return false
+	case *ast.BlockStmt:
+		return c.safeStmts(st.List)
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE && st.Label == nil
+	}
+	return false
+}
+
+func (c *checker) safeAssign(st *ast.AssignStmt) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := st.Lhs[0], st.Rhs[0]
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative-and-associative only over integers: string += and
+		// float += are order-sensitive (concatenation, rounding).
+		return isInteger(c.pass, lhs) && c.independent(rhs)
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return false
+	}
+
+	// s = append(s, ...): order-insensitive iff s is sorted after the loop.
+	// The target may be a local or a field chain (p.snap = append(p.snap, ...)).
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if !isBuiltin(c.pass, call.Fun, "append") || len(call.Args) == 0 || call.Ellipsis != token.NoPos {
+			return false
+		}
+		if !sameLValue(c.pass, lhs, call.Args[0]) {
+			return false
+		}
+		for _, arg := range call.Args[1:] {
+			if !c.independent(arg) {
+				return false
+			}
+		}
+		c.needSort = append(c.needSort, lhs)
+		return true
+	}
+
+	// dst[k] = v with k the range key: writes to distinct keys commute.
+	// The destination is the write target, so it is naturally in the
+	// assigned set — it only needs to be a plain lvalue, not independent.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && st.Tok == token.ASSIGN {
+		ixID := identOrNil(ix.Index)
+		keyID := identOrNil(c.rs.Key)
+		if ixID == nil || keyID == nil || !sameObject(c.pass, ixID, keyID) {
+			return false
+		}
+		_, _, plain := lvaluePath(ix.X)
+		return plain && c.independent(rhs)
+	}
+
+	// Idempotent constant stores (`found = true`), and per-entry stores
+	// through the range value (`pi.depth = NoDepth`, `sn.usage = Usage{}`):
+	// each iteration touches a distinct entry, so the stores commute.
+	if st.Tok != token.ASSIGN {
+		return false
+	}
+	if identOrNil(lhs) != nil {
+		return isConstExpr(c.pass, rhs)
+	}
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		return rootedAtRangeValue(c.pass, c.rs, sel) && c.independent(rhs)
+	}
+	return false
+}
+
+// independent reports whether e is side-effect free AND does not read a
+// variable the loop body assigns.
+func (c *checker) independent(e ast.Expr) bool {
+	return callFree(c.pass, e) && !readsAssigned(c.pass, e, c.assigned)
+}
+
+// assignedObjects collects the objects the loop body writes (assignment
+// targets, inc/dec operands, and the roots of mutated field chains).
+func assignedObjects(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	assigned := make(map[types.Object]bool)
+	note := func(e ast.Expr) {
+		if id := rootIdent(e); id != nil {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range st.Lhs {
+				note(l)
+			}
+		case *ast.IncDecStmt:
+			note(st.X)
+		}
+		return true
+	})
+	return assigned
+}
+
+// readsAssigned reports whether e references any of the given objects.
+func readsAssigned(pass *analysis.Pass, e ast.Expr, assigned map[types.Object]bool) bool {
+	if len(assigned) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && assigned[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdent returns the identifier at the base of an ident / field-chain /
+// index expression (x, x.f.g, x[i] → x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lvaluePath renders an ident or pure field chain as a comparable path
+// ("keys", "p.activeSnap"), also returning its root identifier.
+func lvaluePath(e ast.Expr) (root *ast.Ident, path string, ok bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x, x.Name, true
+	case *ast.SelectorExpr:
+		r, p, ok := lvaluePath(x.X)
+		if !ok {
+			return nil, "", false
+		}
+		return r, p + "." + x.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+// sameLValue reports whether a and b are the same ident or field chain.
+func sameLValue(pass *analysis.Pass, a, b ast.Expr) bool {
+	ra, pa, ok := lvaluePath(a)
+	if !ok {
+		return false
+	}
+	rb, pb, ok := lvaluePath(b)
+	if !ok {
+		return false
+	}
+	return pa == pb && sameObject(pass, ra, rb)
+}
+
+// rootedAtRangeValue reports whether sel is a field chain on the loop's
+// value variable (v.f, v.f.g).
+func rootedAtRangeValue(pass *analysis.Pass, rs *ast.RangeStmt, sel *ast.SelectorExpr) bool {
+	valID := identOrNil(rs.Value)
+	if valID == nil {
+		return false
+	}
+	x := sel.X
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return sameObject(pass, e, valID)
+		case *ast.SelectorExpr:
+			x = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortedAfter reports whether, in some enclosing block, a statement after
+// the range loop passes the appended-to slice to a recognized sorter.
+func sortedAfter(pass *analysis.Pass, parents map[ast.Node]ast.Node, rs *ast.RangeStmt, target ast.Expr) bool {
+	var n ast.Node = rs
+	for {
+		par := parents[n]
+		if par == nil {
+			return false
+		}
+		if blk, ok := par.(*ast.BlockStmt); ok {
+			after := false
+			for _, s := range blk.List {
+				if s == n {
+					after = true
+					continue
+				}
+				if after && stmtSorts(pass, s, target) {
+					return true
+				}
+			}
+		}
+		if _, ok := par.(*ast.FuncDecl); ok {
+			return false
+		}
+		if _, ok := par.(*ast.FuncLit); ok {
+			return false
+		}
+		n = par
+	}
+}
+
+// stmtSorts reports whether s contains a call to a recognized sorter with
+// the append target as its first argument.
+func stmtSorts(pass *analysis.Pass, s ast.Stmt, target ast.Expr) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok || !lint.IsSorter(pn.Imported().Path(), sel.Sel.Name) {
+			return true
+		}
+		if sameLValue(pass, call.Args[0], target) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callFree reports whether e contains no calls (except len/cap) and no
+// channel receives, i.e. evaluating it cannot have observable side effects
+// that depend on iteration order.
+func callFree(pass *analysis.Pass, e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, x.Fun, "len") || isBuiltin(pass, x.Fun, "cap") {
+				return true
+			}
+			ok = false
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ok = false
+				return false
+			}
+		case *ast.FuncLit:
+			ok = false
+			return false
+		}
+		return ok
+	})
+	return ok
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}
+
+func isInteger(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func isConstExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func sameObject(pass *analysis.Pass, a, b *ast.Ident) bool {
+	oa := pass.TypesInfo.ObjectOf(a)
+	return oa != nil && oa == pass.TypesInfo.ObjectOf(b)
+}
+
+// buildParents maps every node in the file to its syntactic parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,169 @@
+// Fixture for the maporder analyzer: the package path "internal/core"
+// matches the deterministic-package table, so map ranges here must feed an
+// order-insensitive sink or carry a //brisa:orderinvariant justification.
+package core
+
+import (
+	"slices"
+	"sort"
+)
+
+// Plain map iteration with order-dependent effects: flagged.
+func bad(m map[string]int) {
+	for k, v := range m { // want `range over map`
+		println(k, v)
+	}
+}
+
+// String concatenation is order-sensitive even though += looks commutative.
+func badConcat(m map[string]int) string {
+	out := ""
+	for k := range m { // want `range over map`
+		out += k
+	}
+	return out
+}
+
+// Appending without a later sort leaks map order into the result.
+func badAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Coupled accumulators: each statement looks safe, but the appended value
+// reads a variable the body assigns, so the result is order-sensitive.
+func badCoupled(m map[string]int) []int {
+	acc := 0
+	var sums []int
+	for _, v := range m { // want `range over map`
+		acc += v
+		sums = append(sums, acc)
+	}
+	slices.Sort(sums)
+	return sums
+}
+
+// Deletions commute.
+func okDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Integer accumulation and counting commute.
+func okAccumulate(m map[string]int) (int, int) {
+	total, n := 0, 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+
+// The append-then-sort idiom restores a deterministic order.
+func okAppendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Same idiom through a field chain and slices.Sort.
+type cache struct {
+	snap []int
+}
+
+func (c *cache) okFieldAppendThenSort(m map[int]bool) []int {
+	c.snap = c.snap[:0]
+	for k, alive := range m {
+		if alive {
+			c.snap = append(c.snap, k)
+		}
+	}
+	slices.Sort(c.snap)
+	return c.snap
+}
+
+// Writes to distinct keys of another map commute.
+func okCopy(src, dst map[int]string) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Idempotent constant stores commute.
+func okFlag(m map[string]int, want int) bool {
+	found := false
+	for _, v := range m {
+		if v == want {
+			found = true
+		}
+	}
+	return found
+}
+
+// Per-entry stores through the range value touch distinct entries.
+type info struct {
+	depth int
+	known bool
+}
+
+func okResetEntries(m map[string]*info) {
+	for _, pi := range m {
+		pi.depth = -1
+		pi.known = false
+	}
+}
+
+// Counting-only ranges cannot observe iteration order.
+func okCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Slice iteration is ordered; not a map range at all.
+func okSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// An annotation with a justification suppresses the finding.
+func okAnnotated(m map[string]int) string {
+	out := ""
+	//brisa:orderinvariant fixture: result is hashed downstream, order cannot leak out
+	for k := range m {
+		out += k
+	}
+	return out
+}
+
+// An annotation without a justification is itself a finding.
+func badAnnotatedNoReason(m map[string]int) string {
+	out := ""
+	//brisa:orderinvariant
+	for k := range m { // want `non-empty justification`
+		out += k
+	}
+	return out
+}
+
+// First-iteration exits are unseededmap's domain: maporder stays silent.
+func pickFirst(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

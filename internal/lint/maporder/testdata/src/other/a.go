@@ -1,0 +1,9 @@
+// Fixture: "other" is not a deterministic package, so even blatant map
+// iteration draws no findings.
+package other
+
+func unchecked(m map[string]int) {
+	for k, v := range m {
+		println(k, v)
+	}
+}

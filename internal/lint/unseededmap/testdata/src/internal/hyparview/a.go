@@ -1,0 +1,64 @@
+// Fixture for the unseededmap analyzer: "internal/hyparview" is a
+// deterministic package, so picking "any one element" out of a map — a
+// first-iteration return or break — is flagged as map-iteration
+// nondeterminism in disguise.
+package hyparview
+
+func badPickReturn(m map[string]int) string {
+	for k := range m { // want `arbitrary element`
+		return k
+	}
+	return ""
+}
+
+func badPickBreak(m map[string]int) string {
+	pick := ""
+	for k := range m { // want `arbitrary element`
+		pick = k
+		break
+	}
+	return pick
+}
+
+func badPickValue(m map[string]int) int {
+	for _, v := range m { // want `arbitrary element`
+		return v
+	}
+	return 0
+}
+
+// A justified annotation suppresses the finding.
+func okAnnotated(m map[string]int) string {
+	//brisa:orderinvariant fixture: all entries are interchangeable retry targets
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// An annotation without a justification is itself a finding.
+func badAnnotatedNoReason(m map[string]int) string {
+	//brisa:orderinvariant
+	for k := range m { // want `non-empty justification`
+		return k
+	}
+	return ""
+}
+
+// Full scans are maporder's domain; unseededmap stays silent.
+func fullScan(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Counting loops bind no variable: the body cannot observe which element
+// came first.
+func onlyCount(m map[string]int) bool {
+	for range m {
+		return true
+	}
+	return false
+}

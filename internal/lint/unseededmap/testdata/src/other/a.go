@@ -1,0 +1,10 @@
+// Fixture: "other" is not a deterministic package, so arbitrary picks are
+// not findings there.
+package other
+
+func unchecked(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

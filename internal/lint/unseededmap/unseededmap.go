@@ -1,0 +1,98 @@
+// Package unseededmap flags "pick any one element" loops over maps in
+// determinism-critical packages:
+//
+//	for k := range m { pick = k; break }
+//	for k := range m { return k }
+//
+// These read as harmless selection but are map-iteration nondeterminism in
+// disguise: the element chosen differs per run (and, under the sharded
+// scheduler, per worker count) because Go randomizes map iteration order.
+// The choice must be derived deterministically — lowest key, sorted-first,
+// or a draw from a seeded stream. A //brisa:orderinvariant <why> annotation
+// suppresses the finding when any element genuinely works; the
+// justification must be non-empty.
+//
+// The trigger is a range over a map that binds its key or value and whose
+// body's last top-level statement unconditionally exits the loop (break or
+// return), i.e. the loop runs at most one full iteration. Full map scans
+// are maporder's domain.
+package unseededmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the unseededmap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unseededmap",
+	Doc:  "flag arbitrary-element selection from maps (first-iteration break/return) in deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !lint.IsDeterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		anns := lint.OrderAnnotations(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapRange(pass, rs) || !bindsVar(rs) || !endsInExit(rs.Body) {
+				return true
+			}
+			if ann, ok := lint.AnnotationFor(anns, pass.Fset, rs.Pos()); ok {
+				if ann.Reason == "" {
+					pass.Reportf(rs.Pos(), "%s annotation requires a non-empty justification", lint.OrderInvariantAnnotation)
+				}
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"selects an arbitrary element via map iteration order in deterministic package %s: the pick differs per run; choose by sorted key or a seeded stream, or annotate %s <why>",
+				pass.Pkg.Path(), lint.OrderInvariantAnnotation)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// bindsVar reports whether the range binds a non-blank key or value.
+func bindsVar(rs *ast.RangeStmt) bool {
+	return nonBlank(rs.Key) || nonBlank(rs.Value)
+}
+
+func nonBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name != "_"
+}
+
+// endsInExit reports whether the body's last top-level statement
+// unconditionally leaves the loop.
+func endsInExit(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK && last.Label == nil
+	}
+	return false
+}

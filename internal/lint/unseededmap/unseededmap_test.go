@@ -1,0 +1,12 @@
+package unseededmap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/unseededmap"
+)
+
+func TestUnseededmap(t *testing.T) {
+	analysistest.Run(t, "testdata", unseededmap.Analyzer, "internal/hyparview", "other")
+}

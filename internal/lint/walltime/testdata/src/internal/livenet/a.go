@@ -1,0 +1,13 @@
+// Fixture: internal/livenet is exempt by design — the live runtime runs on
+// the wall clock — so nothing here is flagged.
+package livenet
+
+import "time"
+
+func now() time.Time {
+	return time.Now()
+}
+
+func wait() {
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,36 @@
+// Fixture for the walltime analyzer: "internal/simnet" is a deterministic
+// package, so wall-clock reads are forbidden while time.Duration arithmetic
+// stays fine.
+package simnet
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want `wall-clock time.Now`
+}
+
+func badSince(t time.Time) time.Duration {
+	return time.Since(t) // want `wall-clock time.Since`
+}
+
+func badAfter() {
+	<-time.After(time.Second) // want `wall-clock time.After`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Minute) // want `wall-clock time.NewTimer`
+}
+
+// Referencing the function as a value leaks the wall clock just as well.
+func badValue() func() time.Time {
+	return time.Now // want `wall-clock time.Now`
+}
+
+// Durations, constants, and explicit time values are not clock reads.
+func okDuration(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}
+
+func okUnix(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}

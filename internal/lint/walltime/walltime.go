@@ -1,0 +1,56 @@
+// Package walltime forbids reading the wall clock in determinism-critical
+// packages. Simulator code runs on a virtual, shard-local clock; a stray
+// time.Now (or a timer that fires on real time) silently couples results to
+// host speed and scheduling, which the worker-count equivalence harness can
+// only catch after the fact. Virtual-time code must go through the simnet
+// clock (core.Protocol.Now / the env clock); internal/livenet is exempt by
+// design and simply not listed in lint.DeterministicPackages.
+//
+// time.Duration arithmetic, time.Time values, and constants like
+// time.Second are all fine — only the clock-reading and timer functions in
+// lint.WallClockFuncs are flagged, whether called or referenced as values.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads (time.Now, time.Since, timers) in deterministic packages; use the simnet virtual clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil || !lint.IsDeterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if lint.WallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"wall-clock time.%s in deterministic package %s: virtual-time code must use the simnet clock (core.Protocol.Now)",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
