@@ -236,6 +236,9 @@ func BenchmarkRuntimeSmoke(b *testing.B) {
 	sort.Strings(names)
 	for _, name := range names {
 		rt := brisa.Runtimes()[name]
+		if _, ok := rt.(brisa.DistRuntime); ok {
+			continue // needs externally started agents; dist_test.go covers it
+		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rep, err := brisa.Run(context.Background(), rt, brisa.Scenario{

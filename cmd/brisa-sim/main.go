@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	brisa "repro"
@@ -50,8 +51,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		planet   = flag.Bool("planetlab", false, "use PlanetLab latencies instead of cluster")
 		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied 10s into dissemination")
-		runtime  = flag.String("runtime", "sim", "runtime: sim | live (loopback TCP)")
+		runtime  = flag.String("runtime", "sim", "runtime: sim | live (loopback TCP) | dist (remote agents; see -agents)")
 		workers  = flag.Int("workers", 1, "simulator scheduler shards (sim runtime only); >1 runs node actors on worker goroutines, results are identical for every value")
+		agents   = flag.String("agents", "", "comma-separated brisa-agent control addresses (dist runtime only)")
+		monAddr  = flag.String("monitor", "", "measurement collector listen address (dist runtime only; default 127.0.0.1:0, must be agent-reachable on multi-host runs)")
 		asJSON   = flag.Bool("json", false, "print the report as JSON instead of text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	)
@@ -150,6 +153,17 @@ func main() {
 		rt = sim
 	} else if *workers != 1 {
 		fmt.Fprintf(os.Stderr, "-workers applies to the sim runtime only, ignored for %q\n", rt.Name())
+	}
+	if d, ok := rt.(brisa.DistRuntime); ok {
+		if *agents == "" {
+			fmt.Fprintln(os.Stderr, "the dist runtime needs -agents (comma-separated brisa-agent addresses)")
+			os.Exit(2)
+		}
+		d.Agents = strings.Split(*agents, ",")
+		d.Monitor = *monAddr
+		rt = d
+	} else if *agents != "" {
+		fmt.Fprintf(os.Stderr, "-agents applies to the dist runtime only, ignored for %q\n", rt.Name())
 	}
 	// Ctrl-C aborts the run: the context unwinds workload generators,
 	// churn loops and probe drains on either runtime.

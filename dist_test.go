@@ -1,0 +1,188 @@
+package brisa_test
+
+// Distributed-runtime acceptance: a Scenario with topology, workloads, a
+// blob workload, churn and probes runs to a populated Report through
+// Run(ctx, DistRuntime{...}, sc) against two real brisa-agent processes,
+// with churn killing and restarting real remote peer processes.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// distAgents returns n agent control addresses. CI pre-starts agents and
+// passes them in BRISA_DIST_AGENTS (comma-separated); otherwise the test
+// builds cmd/brisa-agent and starts its own, killed on cleanup.
+func distAgents(t *testing.T, n int) []string {
+	t.Helper()
+	if env := os.Getenv("BRISA_DIST_AGENTS"); env != "" {
+		addrs := strings.Split(env, ",")
+		if len(addrs) < n {
+			t.Fatalf("BRISA_DIST_AGENTS has %d agents, need %d", len(addrs), n)
+		}
+		return addrs
+	}
+	bin := filepath.Join(t.TempDir(), "brisa-agent")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/brisa-agent")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building brisa-agent: %v\n%s", err, out)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = startAgent(t, bin)
+	}
+	return addrs
+}
+
+// startAgent launches one agent on an ephemeral port and reads its control
+// address off the startup line.
+func startAgent(t *testing.T, bin string) string {
+	t.Helper()
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting brisa-agent: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	// First stderr line: "brisa-agent: control on ADDR, workers bind ...".
+	r := bufio.NewReader(stderr)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("agent startup line: %v", err)
+	}
+	var addr, bindRest string
+	if _, err := fmt.Sscanf(line, "brisa-agent: control on %s workers bind %s", &addr, &bindRest); err != nil {
+		t.Fatalf("agent startup line %q: %v", strings.TrimSpace(line), err)
+	}
+	addr = strings.TrimSuffix(addr, ",")
+	// Keep draining so worker stderr (inherited from the agent) never
+	// blocks the processes.
+	go io.Copy(os.Stderr, r)
+	return addr
+}
+
+func TestDistRuntimeAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real agent and peer processes")
+	}
+	agents := distAgents(t, 2)
+
+	// The per-peer config derivation records the highest join index it was
+	// asked for: indices at or past the initial size prove churn joins
+	// spawned fresh remote processes.
+	var maxIdx atomic.Int64
+	maxIdx.Store(-1)
+	const nodes = 12
+	sc := brisa.Scenario{
+		Name: "dist acceptance",
+		Seed: 7,
+		Topology: brisa.Topology{
+			Nodes: nodes,
+			PeerConfig: func(i int) brisa.Config {
+				for {
+					cur := maxIdx.Load()
+					if int64(i) <= cur || maxIdx.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+				return brisa.Config{Mode: brisa.ModeTree, ViewSize: 4}
+			},
+			StabilizeTime: 30 * time.Second,
+		},
+		// Workloads start after the churn window closes, so replacement
+		// joiners hold every stream in full and reliability is exact.
+		Workloads: []brisa.Workload{
+			{Stream: 1, Source: 0, Messages: 40, Payload: 256, Interval: 50 * time.Millisecond, Start: 4 * time.Second},
+		},
+		BlobWorkloads: []brisa.BlobWorkload{
+			{Stream: 2, Source: 0, Blobs: 2, Size: 128 << 10, ChunkSize: 16 << 10, Interval: 500 * time.Millisecond, Start: 4 * time.Second},
+		},
+		// Half-replacement churn: two rounds kill ~20% of the population
+		// each (SIGKILL through the owning agent) and replace half of the
+		// dead with freshly spawned processes.
+		Churn: &brisa.Churn{
+			Script: "at 0s set replacement ratio to 50%\nfrom 0s to 1s const churn 20% each 1s",
+			Start:  time.Second,
+		},
+		Probes: []brisa.Probe{brisa.ProbeLatency, brisa.ProbeDuplicates, brisa.ProbeTraffic, brisa.ProbeRepairs},
+		Drain:  20 * time.Second,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	rep, err := brisa.Run(ctx, brisa.DistRuntime{Agents: agents}, sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if rep.Runtime != "dist" {
+		t.Errorf("runtime = %q, want \"dist\"", rep.Runtime)
+	}
+	if rep.Nodes != nodes {
+		t.Errorf("nodes = %d, want %d", rep.Nodes, nodes)
+	}
+	// Kills happened: the population shrank (joins replace only half the
+	// dead). Restarts happened: configs were derived past the initial
+	// indices, i.e. fresh worker processes were spawned mid-churn.
+	if rep.Alive >= nodes {
+		t.Errorf("alive = %d, want < %d (churn kills missing)", rep.Alive, nodes)
+	}
+	if got := maxIdx.Load(); got < nodes {
+		t.Errorf("max spawned index = %d, want >= %d (churn joins missing)", got, nodes)
+	}
+
+	s := rep.Stream(1)
+	if s == nil || s.Published != 40 {
+		t.Fatalf("stream report off: %+v", s)
+	}
+	if s.Reliability < 0.99 {
+		t.Errorf("reliability = %.3f, want >= 0.99", s.Reliability)
+	}
+	if s.Delays == nil || s.Delays.Len() == 0 {
+		t.Error("no delay samples collected")
+	}
+	if s.Duplicates == nil {
+		t.Error("no duplicates distribution despite ProbeDuplicates")
+	}
+
+	b := rep.Blob(2)
+	if b == nil || b.Published != 2 {
+		t.Fatalf("blob report off: %+v", b)
+	}
+	if b.Reliability < 0.99 {
+		t.Errorf("blob reliability = %.3f, want >= 0.99", b.Reliability)
+	}
+	if b.Latency == nil || b.Latency.Len() == 0 {
+		t.Error("no blob reconstruction latencies")
+	}
+
+	if rep.Traffic == nil {
+		t.Fatal("no traffic report despite ProbeTraffic")
+	}
+	if rep.Traffic.UpRate == nil || rep.Traffic.UpRate.Len() == 0 {
+		t.Error("no per-node upload rates")
+	}
+	if rep.Churn == nil {
+		t.Fatal("no churn report despite ProbeRepairs")
+	}
+	if rep.Churn.Window != time.Second {
+		t.Errorf("churn window = %v, want 1s", rep.Churn.Window)
+	}
+}

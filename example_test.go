@@ -36,6 +36,41 @@ func ExampleRun() {
 	// live: delivered everywhere: true
 }
 
+// The same Scenario runs across machines on DistRuntime: start one
+// brisa-agent daemon per host, list their control addresses, and Run spawns
+// the peer processes round-robin across them, drives workloads and churn
+// remotely (churn kills and restarts real processes), and folds the
+// measurement stream back into the usual Report. No // Output: — the
+// example needs running agents (CI starts two on loopback; see the
+// dist-smoke job).
+func ExampleRun_dist() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	rep, err := brisa.Run(ctx, brisa.DistRuntime{
+		Agents: []string{"10.0.0.2:7101", "10.0.0.3:7101"},
+		// Monitor must be reachable from every agent host; on one host the
+		// default 127.0.0.1:0 works.
+		Monitor: "10.0.0.1:0",
+	}, brisa.Scenario{
+		Name: "two hosts",
+		Topology: brisa.Topology{
+			Nodes: 16,
+			Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+		},
+		Workloads: []brisa.Workload{
+			{Stream: 1, Messages: 50, Payload: 1024, Interval: 100 * time.Millisecond},
+		},
+		Churn:  &brisa.Churn{Script: "from 0s to 10s const churn 10% each 5s", Start: 2 * time.Second},
+		Probes: []brisa.Probe{brisa.ProbeLatency, brisa.ProbeRepairs},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d of %d nodes alive, reliability %.2f\n",
+		rep.Alive, rep.Nodes, rep.Stream(1).Reliability)
+}
+
 // A Scenario states a whole experiment as data: two concurrent streams
 // from two distinct sources on a 32-node tree overlay, executed on the
 // deterministic simulator. The same value runs unchanged on live loopback

@@ -47,6 +47,10 @@ type blobState struct {
 	completedAt time.Time
 	// wantedAt rate-limits pull requests per missing chunk index.
 	wantedAt map[uint16]time.Time
+	// ads remembers each peer's latest advertised possession bitmap while
+	// incomplete — the population estimate rarest-first pulls rank
+	// against. Dropped on completion.
+	ads map[ids.NodeID]blob.Bitmap
 }
 
 // chunkAt returns chunk idx if this node can serve it, else nil.
@@ -328,6 +332,7 @@ func (p *Protocol) completeBlob(st *stream, b *blobState) {
 	b.have.SetAll(b.n)
 	b.haveN = b.n
 	b.wantedAt = nil
+	b.ads = nil
 	b.completedAt = now
 	st.blobsDelivered++
 	st.blobStats.Delivered++
@@ -367,21 +372,30 @@ func (p *Protocol) onBlobHave(from ids.NodeID, m wire.BlobHave) {
 	p.maybeWant(st, b, from, blob.Bitmap(m.Bitmap))
 }
 
-// maybeWant requests missing chunks the peer advertises: ascending index
-// (data chunks first — they make the fast reconstruction path), capped at
-// what completion still needs and at the wire bound, rate-limited per chunk
-// by BlobWantRetry so concurrent advertisements don't multiply pulls.
+// maybeWant requests missing chunks the peer advertises, rarest first:
+// candidates (missing ∩ advertised, not rate-limited by BlobWantRetry) are
+// ordered by how few of the advertising peers seen so far possess them,
+// ties broken by ascending index for determinism, capped at what completion
+// still needs and at the wire bound. Pulling the rarest chunks first keeps
+// scarce chunks circulating instead of letting every straggler converge on
+// the same common ones.
 func (p *Protocol) maybeWant(st *stream, b *blobState, peer ids.NodeID, peerHave blob.Bitmap) {
 	if b.data != nil {
 		return
 	}
+	// Remember this peer's advertisement (copied: piggyback bitmaps alias
+	// the decode buffer) — the possession counts rarity ranks against.
+	if b.ads == nil {
+		b.ads = make(map[ids.NodeID]blob.Bitmap)
+	}
+	b.ads[peer] = append(b.ads[peer][:0], peerHave...)
 	now := p.env.Now()
 	need := b.k - b.haveN
 	if need > wire.MaxWantIndices {
 		need = wire.MaxWantIndices
 	}
 	var want []uint16
-	for i := 0; i < b.n && len(want) < need; i++ {
+	for i := 0; i < b.n; i++ {
 		if b.have.Has(i) || !peerHave.Has(i) {
 			continue
 		}
@@ -392,6 +406,23 @@ func (p *Protocol) maybeWant(st *stream, b *blobState, peer ids.NodeID, peerHave
 	}
 	if len(want) == 0 {
 		return
+	}
+	rarity := make(map[uint16]int, len(want))
+	for _, have := range b.ads { //brisa:orderinvariant commutative possession counting
+		for _, ix := range want {
+			if have.Has(int(ix)) {
+				rarity[ix]++
+			}
+		}
+	}
+	slices.SortFunc(want, func(a, c uint16) int {
+		if rarity[a] != rarity[c] {
+			return rarity[a] - rarity[c]
+		}
+		return int(a) - int(c)
+	})
+	if len(want) > need {
+		want = want[:need]
 	}
 	if b.wantedAt == nil {
 		b.wantedAt = make(map[uint16]time.Time, len(want))

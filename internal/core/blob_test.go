@@ -258,6 +258,61 @@ func TestBlobWantRetryRateLimit(t *testing.T) {
 	}
 }
 
+func TestBlobWantRarestFirst(t *testing.T) {
+	net := newTestNet(t, 2, Config{Mode: ModeTree, BlobWantRetry: time.Minute})
+	p := net.procs[2]
+	bm := func(idxs ...int) []byte {
+		m := blob.NewBitmap(4)
+		for _, i := range idxs {
+			m.Set(i)
+		}
+		return m
+	}
+	ad := func(from ids.NodeID, idxs ...int) {
+		p.Receive(from, wire.BlobHave{
+			Stream: 7, Blob: 1, K: 4, N: 4, Size: 512, ChunkSize: 128,
+			Bitmap: bm(idxs...),
+		})
+	}
+
+	// Seed advertisements while every index is inside the retry window, so
+	// only the population estimate accumulates — no Wants go out yet.
+	st := p.getStream(7)
+	b := p.ensureBlob(st, 1, 4, 4, 512, 128)
+	b.wantedAt = map[uint16]time.Time{0: net.now, 1: net.now, 2: net.now, 3: net.now}
+	ad(100, 0, 1, 3)
+	ad(101, 0, 1, 2)
+	ad(102, 0, 3)
+	if w := p.BlobStats(7).WantsSent; w != 0 {
+		t.Fatalf("WantsSent during seeding = %d, want 0", w)
+	}
+
+	// Past the retry window, a full advertisement triggers one Want for all
+	// four chunks. Possession counts across the four ads: chunk 0 → 4,
+	// chunk 1 → 3, chunk 2 → 2, chunk 3 → 3 — so rarest-first order is
+	// chunk 2, then 1 and 3 (tie broken by index), then 0.
+	var got []uint16
+	net.drop = func(from, to ids.NodeID, m wire.Message) bool {
+		if w, ok := m.(wire.BlobWant); ok && from == 2 {
+			got = append(got, w.Indices...)
+			return true
+		}
+		return false
+	}
+	net.now = net.now.Add(2 * time.Minute)
+	ad(1, 0, 1, 2, 3)
+	net.run()
+	want := []uint16{2, 1, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("Want indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Want indices = %v, want %v (rarest first)", got, want)
+		}
+	}
+}
+
 // ----------------------------------------------------------- drop policy
 
 func TestBlobEvictionBound(t *testing.T) {

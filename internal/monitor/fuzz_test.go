@@ -1,0 +1,43 @@
+package monitor
+
+// FuzzMonitorDecoder feeds arbitrary frames to Unmarshal: the decoder must
+// never panic or over-allocate (hostile length prefixes are bounded before
+// allocation), and everything it accepts must satisfy the codec invariants
+// (WireSize == encoded length; encode∘decode idempotent — byte canonicality
+// is not required because Bool accepts any non-zero byte).
+//
+// The seed corpus under testdata/fuzz/ pins one frame per kind; CI runs the
+// target as a short -fuzztime smoke next to the wire-codec fuzzers.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzMonitorDecoder(f *testing.F) {
+	for _, m := range testMessages() {
+		f.Add(Marshal(m))
+	}
+	// Hostile shapes: empty, unknown kinds, lying length prefixes.
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindDeliveries), 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{byte(KindRepairs), 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0xee, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		m, err := Unmarshal(frame)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		enc := Marshal(m)
+		if got := m.WireSize(); got != len(enc) {
+			t.Fatalf("WireSize() = %d, encoded length = %d (kind %v)", got, len(enc), m.Kind())
+		}
+		m2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v (kind %v, % x)", err, m.Kind(), enc)
+		}
+		if enc2 := Marshal(m2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode∘decode not idempotent for kind %v:\n% x\n% x", m.Kind(), enc, enc2)
+		}
+	})
+}

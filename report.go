@@ -168,7 +168,7 @@ type ChurnReport struct {
 type Report struct {
 	// Name echoes the scenario.
 	Name string
-	// Runtime is "sim" or "live".
+	// Runtime is "sim", "live" or "dist".
 	Runtime string
 	// Nodes is the initial network size; Alive counts survivors at the
 	// end (they differ only under churn).

@@ -128,11 +128,13 @@ func (LiveRuntime) Name() string { return "live" }
 func (LiveRuntime) SupportsBlobs() bool { return true }
 
 // Runtimes returns the built-in runtimes keyed by Name — the registry
-// commands resolve "-runtime" flags against.
+// commands resolve "-runtime" flags against. The dist entry is a template:
+// it needs Agents set before it can run (brisa-sim -agents fills it in).
 func Runtimes() map[string]Runtime {
 	return map[string]Runtime{
 		SimRuntime{}.Name():  SimRuntime{},
 		LiveRuntime{}.Name(): LiveRuntime{},
+		DistRuntime{}.Name(): DistRuntime{},
 	}
 }
 

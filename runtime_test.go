@@ -17,7 +17,7 @@ import (
 func TestRuntimeRegistry(t *testing.T) {
 	t.Parallel()
 	reg := brisa.Runtimes()
-	for _, name := range []string{"sim", "live"} {
+	for _, name := range []string{"sim", "live", "dist"} {
 		rt, ok := reg[name]
 		if !ok {
 			t.Fatalf("registry is missing %q", name)
@@ -257,6 +257,9 @@ func TestRunSingleNodeOnBothRuntimes(t *testing.T) {
 		Drain:     2 * time.Second,
 	}
 	for name, rt := range brisa.Runtimes() {
+		if _, ok := rt.(brisa.DistRuntime); ok {
+			continue // needs externally started agents; dist_test.go covers it
+		}
 		rep, err := brisa.Run(context.Background(), rt, sc)
 		if err != nil {
 			t.Fatalf("%s: Run: %v", name, err)
