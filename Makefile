@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-scale bench-blob fuzz fmt vet lint
+.PHONY: all build test race bench bench-scale bench-blob profile-scale fuzz fmt vet lint
 
 all: build test
 
@@ -36,11 +36,21 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkScenarios -benchtime 1x .
 
 # bench-scale regenerates the engine-scale records (BENCH_scale.json):
-# tree dissemination at 1k, 2.5k and 10k nodes, single- and multi-stream
-# (scale-tree-4x2500), with a 1/2/8-worker sweep at 10k, reporting
-# wall-clock, allocations and simulator events/s per (scenario, workers).
+# tree dissemination at 1k, 2.5k, 10k and 100k nodes, single- and
+# multi-stream (scale-tree-4x2500), with a 1/2/8-worker sweep at 10k,
+# reporting wall-clock, allocations and simulator events/s per
+# (scenario, workers).
 bench-scale:
-	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -timeout 30m .
+	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -timeout 90m .
+
+# profile-scale captures CPU and heap profiles of the canonical 10k-node
+# engine-scale run (compressed join schedule, 10 messages, auto workers)
+# into ./profiles/, for `go tool pprof ./profiles/cpu.out` sessions against
+# the scheduler and collector hot paths.
+profile-scale:
+	mkdir -p profiles
+	$(GO) run ./cmd/brisa-sim -nodes 10000 -messages 10 -rate 5 \
+		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out
 
 # bench-blob regenerates the blob dissemination records (BENCH_blob.json):
 # a payload-size sweep (128 KiB..1 MiB, with and without erasure coding) on

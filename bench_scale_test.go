@@ -39,8 +39,9 @@ type scaleCase struct {
 }
 
 // scaleCases is the sweep: the historical single-stream sizes, the
-// multi-stream record the single-stream suite was blind to, and the
-// worker-count sweep at 10k.
+// multi-stream record the single-stream suite was blind to, the
+// worker-count sweep at 10k, and the 100k record the safe-time scheduler
+// and streaming collector exist for.
 var scaleCases = []scaleCase{
 	{nodes: 1000, streams: 1, workers: 1, ci: true},
 	{nodes: 2500, streams: 1, workers: 1},
@@ -48,6 +49,7 @@ var scaleCases = []scaleCase{
 	{nodes: 10000, streams: 1, workers: 1},
 	{nodes: 10000, streams: 1, workers: 2},
 	{nodes: 10000, streams: 1, workers: 8},
+	{nodes: 100000, streams: 1, workers: 8},
 }
 
 func (c scaleCase) scenarioName() string {
@@ -71,6 +73,16 @@ func scaleScenario(c scaleCase) brisa.Scenario {
 	if c.nodes >= 10000 {
 		messages = 10
 	}
+	if c.nodes >= 100000 {
+		messages = 5
+	}
+	// The 5ms stagger that keeps a 10k bootstrap honest would spend 500
+	// virtual seconds joining at 100k; compress it so the run still
+	// measures dissemination, not the join schedule.
+	join := 5 * time.Millisecond
+	if c.nodes >= 100000 {
+		join = 100 * time.Microsecond
+	}
 	var ws []brisa.Workload
 	for s := 0; s < c.streams; s++ {
 		ws = append(ws, brisa.Workload{
@@ -84,7 +96,7 @@ func scaleScenario(c scaleCase) brisa.Scenario {
 		Topology: brisa.Topology{
 			Nodes:         c.nodes,
 			Peer:          brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
-			JoinInterval:  5 * time.Millisecond,
+			JoinInterval:  join,
 			StabilizeTime: 10 * time.Second,
 		},
 		Workloads: ws,

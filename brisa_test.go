@@ -1,6 +1,7 @@
 package brisa_test
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -242,6 +243,7 @@ func TestFloodModeDuplicatesGrowWithViewSize(t *testing.T) {
 func TestDelayAwareReducesRoutingDelay(t *testing.T) {
 	const msgs = 100
 	run := func(strategy brisa.Strategy) (median time.Duration, undelivered int) {
+		var mu sync.Mutex // OnDeliver runs on scheduler shard goroutines
 		var delays []time.Duration
 		publishedAt := make(map[uint32]time.Time)
 		var c *brisa.Cluster
@@ -256,11 +258,13 @@ func TestDelayAwareReducesRoutingDelay(t *testing.T) {
 				return brisa.Config{
 					Mode: brisa.ModeTree, ViewSize: 4, Strategy: strategy,
 					OnDeliver: func(_ brisa.StreamID, seq uint32, _ []byte) {
+						mu.Lock()
 						if t0, ok := publishedAt[seq]; ok && seq > msgs/2 {
 							// Only steady-state messages: the structure
 							// refines over the first half of the stream.
 							delays = append(delays, c.Net.Now().Sub(t0))
 						}
+						mu.Unlock()
 					},
 				}
 			},
@@ -271,7 +275,9 @@ func TestDelayAwareReducesRoutingDelay(t *testing.T) {
 			i := i
 			c.Net.After(time.Duration(i)*200*time.Millisecond, func() {
 				seq := source.Publish(1, make([]byte, 1024))
+				mu.Lock()
 				publishedAt[seq] = c.Net.Now()
+				mu.Unlock()
 			})
 		}
 		c.Net.RunFor(msgs*200*time.Millisecond + 20*time.Second)

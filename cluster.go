@@ -50,14 +50,16 @@ type ClusterConfig struct {
 	// receivers (see simnet.LogNormalDelay).
 	ProcessingDelay func(r *rand.Rand) time.Duration
 	// Workers is the number of scheduler shards the simulator partitions
-	// node actors across (default 1: the sequential engine). With
-	// Workers > 1 the conservative-lookahead scheduler runs shards on
-	// worker goroutines; results are byte-identical for every worker
-	// count, but shared instrumentation callbacks (Peer OnDeliver/OnEvent)
-	// then run concurrently and must be thread-safe. Requires a Latency
-	// model with a positive minimum delay (all built-in models qualify);
-	// otherwise the engine silently degrades to 1 worker. Call
-	// Cluster.Close when done to release the worker goroutines.
+	// node actors across. Zero (the default) picks one shard per CPU,
+	// capped at the scheduler's shard limit; 1 forces the sequential
+	// engine. With more than one shard the conservative safe-time
+	// scheduler runs shards on worker goroutines; results are
+	// byte-identical for every worker count, but shared instrumentation
+	// callbacks (Peer OnDeliver/OnEvent) then run concurrently and must
+	// be thread-safe. Requires a Latency model with a positive minimum
+	// delay (all built-in models qualify); otherwise the engine silently
+	// degrades to 1 worker. Call Cluster.Close when done to release the
+	// worker goroutines.
 	Workers int
 	// ParallelThreshold tunes when the sharded scheduler fans a window out
 	// to worker goroutines instead of running it inline (see

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	goruntime "runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -52,11 +53,12 @@ func main() {
 		planet   = flag.Bool("planetlab", false, "use PlanetLab latencies instead of cluster")
 		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied 10s into dissemination")
 		runtime  = flag.String("runtime", "sim", "runtime: sim | live (loopback TCP) | dist (remote agents; see -agents)")
-		workers  = flag.Int("workers", 1, "simulator scheduler shards (sim runtime only); >1 runs node actors on worker goroutines, results are identical for every value")
+		workers  = flag.Int("workers", 0, "simulator scheduler shards (sim runtime only); 0 picks one per CPU, 1 forces the sequential engine, results are identical for every value")
 		agents   = flag.String("agents", "", "comma-separated brisa-agent control addresses (dist runtime only)")
 		monAddr  = flag.String("monitor", "", "measurement collector listen address (dist runtime only; default 127.0.0.1:0, must be agent-reachable on multi-host runs)")
 		asJSON   = flag.Bool("json", false, "print the report as JSON instead of text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken right after the run to this file")
 	)
 	flag.Parse()
 
@@ -151,7 +153,7 @@ func main() {
 	if sim, ok := rt.(brisa.SimRuntime); ok {
 		sim.Workers = *workers
 		rt = sim
-	} else if *workers != 1 {
+	} else if *workers != 0 {
 		fmt.Fprintf(os.Stderr, "-workers applies to the sim runtime only, ignored for %q\n", rt.Name())
 	}
 	if d, ok := rt.(brisa.DistRuntime); ok {
@@ -196,6 +198,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	// The heap profile is taken before the report (and the engine behind it)
+	// goes out of scope, so per-run allocations — node state, the collector's
+	// per-node accumulators and histograms — are still live and attributable.
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		goruntime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		f.Close()
 	}
 
 	if *asJSON {

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	brisa "repro"
@@ -20,7 +21,9 @@ func main() {
 		churnEvery  = 20 * time.Second // one subscriber leaves & one joins
 	)
 
-	var repaired, orphaned int
+	// OnEvent fires on scheduler shard goroutines (the simulator defaults
+	// to one shard per CPU), so the counters are atomic.
+	var repaired, orphaned atomic.Int64
 	cluster, err := brisa.NewCluster(brisa.ClusterConfig{
 		Nodes:   subscribers,
 		Seed:    2026,
@@ -32,9 +35,9 @@ func main() {
 			OnEvent: func(ev brisa.Event) {
 				switch ev.Type {
 				case brisa.EvOrphan:
-					orphaned++
+					orphaned.Add(1)
 				case brisa.EvRepaired:
-					repaired++
+					repaired.Add(1)
 				}
 			},
 		},
@@ -81,7 +84,7 @@ func main() {
 	fmt.Printf("subscribers alive:        %d\n", len(alive)-1)
 	fmt.Printf("connected to the feed:    %d\n", fullyServed)
 	fmt.Printf("holding 2 parents:        %d (failure-masking redundancy)\n", twoParents)
-	fmt.Printf("orphan events:            %d (all repaired: %d)\n", orphaned, repaired)
+	fmt.Printf("orphan events:            %d (all repaired: %d)\n", orphaned.Load(), repaired.Load())
 
 	// Duplicates stay bounded by the parent count, unlike gossip flooding.
 	var dups, delivered uint64

@@ -14,7 +14,7 @@ import (
 //
 // Metric note (recorded in EXPERIMENTS.md): the paper reports cumulative
 // per-hop round-trip times; we report one-way source-to-node delivery
-// delays per message (median per node, the Report's NodeDelays), with the
+// delays per message (mean per node, the Report's NodeDelays), with the
 // point-to-point series as the direct one-way latency. The comparison
 // across series is the same.
 func RunFigure9(scale Scale, seed int64) FigureResult {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	brisa "repro"
@@ -42,8 +43,11 @@ type sysResult struct {
 }
 
 // deliveryTracker records first/last delivery instants per node plus the
-// per-message delivery delay relative to publish time.
+// per-message delivery delay relative to publish time. record runs on
+// scheduler shard goroutines (the simulator defaults to one shard per CPU),
+// so the maps are mutex-guarded.
 type deliveryTracker struct {
+	mu          sync.Mutex
 	first, last map[ids.NodeID]time.Time
 	count       map[ids.NodeID]int
 	now         func() time.Time
@@ -62,10 +66,17 @@ func newDeliveryTracker() *deliveryTracker {
 }
 
 // published records a message's injection time.
-func (d *deliveryTracker) published(seq uint32) { d.pubAt[seq] = d.now() }
+func (d *deliveryTracker) published(seq uint32) {
+	t := d.now()
+	d.mu.Lock()
+	d.pubAt[seq] = t
+	d.mu.Unlock()
+}
 
 func (d *deliveryTracker) record(id ids.NodeID, seq uint32) {
 	t := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.first[id]; !ok {
 		d.first[id] = t
 	}

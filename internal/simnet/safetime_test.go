@@ -1,0 +1,113 @@
+package simnet
+
+// Property test for the conservative scheduler's safe-time invariant — the
+// engine-level guarantee TestShardedEquivalence checks only the observable
+// consequences of.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/wire"
+)
+
+// TestSafeTimeInvariant asserts, at the moment each shard executes an
+// event, that the event's timestamp is strictly below every peer shard's
+// published position plus the lookahead. This is the conservative
+// condition itself: a violation means a peer could still hold (or later
+// receive) work that sends a message arriving in this shard's past. The
+// check runs on live shard goroutines over randomized topologies, worker
+// counts and latency models, with the inline-span optimization disabled so
+// every span exercises the cross-goroutine protocol.
+//
+// The assertion is stable against concurrent peers: the global minimum
+// over published positions never decreases (every mailbox post carries at
+// least one lookahead of slack above its poster's position), so a peer's
+// position observed after the executing shard computed its bound can only
+// have moved further away from the violation line.
+func TestSafeTimeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 6; i++ {
+		minLat := time.Duration(50+rng.Intn(400)) * time.Microsecond
+		maxLat := minLat + time.Duration(1+rng.Intn(2000))*time.Microsecond
+		seed := rng.Int63()
+		nodes := 8 + rng.Intn(17)
+		workers := 2 + rng.Intn(7)
+		name := fmt.Sprintf("nodes=%d workers=%d lat=%v..%v", nodes, workers, minLat, maxLat)
+		t.Run(name, func(t *testing.T) {
+			n := New(Options{
+				Seed:              seed,
+				Latency:           UniformLatency{Min: minLat, Max: maxLat},
+				Workers:           workers,
+				ParallelThreshold: -1,
+			})
+			defer n.Close()
+
+			var (
+				mu         sync.Mutex
+				violations []string
+			)
+			la := n.lookaheadNS
+			n.execProbe = func(s *shard, at int64) {
+				for _, p := range n.shards {
+					if p == s {
+						continue
+					}
+					pub := p.pub.Load()
+					if pub >= posInf-la { // idle peer: promise is unbounded
+						continue
+					}
+					if at >= pub+la {
+						mu.Lock()
+						if len(violations) < 8 {
+							violations = append(violations, fmt.Sprintf(
+								"shard %d executed at=%d with peer %d at pub=%d (+la=%d)",
+								s.idx, at, p.idx, pub, la))
+						}
+						mu.Unlock()
+					}
+				}
+			}
+
+			all := make([]ids.NodeID, nodes)
+			gs := make([]*gossipNode, nodes)
+			for i := range all {
+				all[i] = ids.NodeID(i + 1)
+			}
+			for i := range all {
+				gs[i] = &gossipNode{peers: all}
+				n.AddNode(all[i], gs[i])
+			}
+			n.RunFor(50 * time.Millisecond)
+			for round := 0; round < 5; round++ {
+				seq := uint32(round + 1)
+				src := gs[round%nodes]
+				n.After(time.Duration(round)*2*time.Millisecond, func() {
+					var m wire.Message = wire.Rumor{Stream: 1, Seq: seq, Payload: []byte("x")}
+					for _, p := range all {
+						if p != src.env.ID() {
+							src.env.Send(p, m)
+						}
+					}
+				})
+			}
+			n.After(5*time.Millisecond, func() { n.Crash(all[nodes-1]) })
+			n.After(7*time.Millisecond, func() { n.Shutdown(all[nodes-2]) })
+			n.RunFor(200 * time.Millisecond)
+
+			mu.Lock()
+			defer mu.Unlock()
+			if len(violations) > 0 {
+				t.Fatalf("safe-time invariant violated %d+ times:\n%s",
+					len(violations), violations)
+			}
+			if n.EventsFired() == 0 {
+				t.Fatal("harness executed no events")
+			}
+		})
+	}
+}

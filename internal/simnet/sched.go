@@ -2,35 +2,62 @@ package simnet
 
 // Scheduler: the event arena, the per-shard binary heaps, and the two
 // execution modes — the sequential single-heap loop (Workers == 1) and the
-// conservative-lookahead sharded loop (Workers > 1).
+// asynchronous conservative sharded loop (Workers > 1).
 //
-// Sharded execution model. Node actors are partitioned round-robin across K
-// shards; each shard owns an event arena, a binary heap and an int64-ns
-// clock. Execution alternates between
+// Sharded execution model (Chandy–Misra–Bryant style safe-time advancement).
+// Node actors are partitioned round-robin across K shards; each shard owns
+// an event arena, a binary heap, an int64-ns clock, and two pieces of
+// cross-shard state:
 //
-//   - parallel windows: every shard executes its own events with
-//     at < horizon, where horizon never exceeds T + lookahead (T = the
-//     global minimum event time) and lookahead is the latency model's
-//     MinDelay. Any event a node schedules on another shard mid-window is a
-//     network transmission and therefore arrives at or after
-//     now + MinDelay >= horizon, so it cannot be missed by the receiving
-//     shard's current window; it is buffered in a per-shard outbox and
-//     merged at the barrier.
-//   - barriers: outboxes are flushed into the target heaps and
-//     experiment-level ("driver") events run with every shard parked, so
-//     they may touch any node (churn, publishes, metric snapshots).
+//   - a published position (pub): an atomic holding the timestamp of the
+//     shard's earliest pending event — heap head or undrained mailbox entry,
+//     whichever is earlier — or posInf when it has none. While a shard
+//     executes an event at time t its pub stays <= t, and it only raises pub
+//     after the event (and every message it emitted) is fully processed.
+//   - a mailbox: a mutex-guarded slice peers append cross-shard events to
+//     mid-span. A sender appends first and then lowers the receiver's pub to
+//     the event time, so the event is visible in the receiver's published
+//     position before the sender ever advances past it.
+//
+// Each shard advances independently to its safe time
+//
+//	safe = min over peer shards P of pub(P) + lookahead
+//
+// where lookahead is the latency model's MinDelay: every cross-shard event
+// is a network transmission scheduled at least MinDelay after its sender's
+// current position, so nothing below safe can still arrive. A shard
+// executes its events with at < min(safe, barrier), re-reading peers'
+// positions as they advance — a shard with a deep local heap keeps
+// executing while its neighbors are idle, instead of parking at a global
+// horizon every MinDelay nanoseconds (the pre-async design). Shards that
+// catch up to their safe time spin briefly (drain mailbox, recompute,
+// Gosched) until a peer's position moves; the globally-earliest shard is
+// always executable, so the system never deadlocks, and once every
+// published position reaches the barrier all shards quiesce.
+//
+// Barriers still exist, but only where they are semantically required:
+// experiment-level ("driver") events — churn, publishes, metric snapshots —
+// run with every shard parked and clocks aligned, so they may touch any
+// node. The barrier is reached on demand (the next driver event's time or
+// the run deadline), not once per lookahead window, so driver-sparse spans
+// run barrier-free.
 //
 // Determinism. Events are ordered by (at, src, seq) where src is the
 // *scheduling* node (ids.Nil for driver events) and seq a per-source
-// counter. This key is independent of execution interleaving, and events of
-// different shards inside one window cannot interact, so the simulation
-// outcome is a pure function of (seed, workload) — byte-identical for every
-// Workers value, including 1. The brisa-level equivalence harness
-// (equivalence_test.go at the repo root) pins this property.
+// counter. This key is independent of execution interleaving; the safe-time
+// rule guarantees that when a shard executes an event, every earlier-keyed
+// event of that shard has already been delivered to it, so each shard's
+// execution order — and with it the simulation outcome — is a pure function
+// of (seed, workload), byte-identical for every Workers value, including 1.
+// The brisa-level equivalence harness (equivalence_test.go at the repo
+// root) and TestSafeTimeInvariant pin this property.
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
@@ -39,6 +66,10 @@ import (
 
 // noEvent marks an arena slot as not queued.
 const noEvent = int32(-1)
+
+// posInf is the published position of a shard with no pending events, and
+// the barrier value of a run with no driver events before the deadline.
+const posInf = int64(math.MaxInt64)
 
 // Event kinds. Connection lifecycle is typed rather than closure-based so
 // lifecycle events can cross shard boundaries by value.
@@ -88,10 +119,24 @@ type shard struct {
 	free   []int32
 	heap   []int32
 
-	// outbox buffers events emitted to other shards during a parallel
-	// window, one slice per destination shard; the coordinator flushes them
-	// into the destination heaps at the barrier.
-	outbox [][]event
+	// pub is the shard's published position: the timestamp of its earliest
+	// pending event (heap head or undrained mailbox entry), posInf when it
+	// has none. Peers read it lock-free to compute their safe time; all
+	// writes happen under mbMu (the owner raising it via updatePub, senders
+	// lowering it via post), so a raise can never overwrite a concurrent
+	// lower. Meaningful only during a parallel span — the coordinator
+	// refreshes every pub before dispatching one.
+	pub atomic.Int64
+
+	// Mailbox: cross-shard events appended by peers mid-span, drained into
+	// the heap by the owner. mbMin tracks the earliest undrained entry so
+	// updatePub can publish min(heap head, mailbox) without scanning. The
+	// spare slice ping-pongs with mbox so steady-state draining allocates
+	// nothing.
+	mbMu    sync.Mutex
+	mbox    []event
+	mbMin   int64
+	mbSpare []event
 
 	// latRnd wraps latSrc: the latency-sampling RNG, re-seeded per draw from
 	// (seed, from, to, per-sender counter) so draws are a pure function of
@@ -104,7 +149,9 @@ type shard struct {
 
 func newShard(n *Network, idx int) *shard {
 	src := &hashSource{}
-	return &shard{net: n, idx: idx, latSrc: src, latRnd: rand.New(src)}
+	s := &shard{net: n, idx: idx, mbMin: posInf, latSrc: src, latRnd: rand.New(src)}
+	s.pub.Store(posInf)
+	return s
 }
 
 // ------------------------------------------------------------- event arena
@@ -257,39 +304,114 @@ func (s *shard) put(ev event) int32 {
 }
 
 // emit routes an event scheduled from shard s onto the target shard: a
-// direct heap push when single-threaded (sequential mode, barriers, or the
-// target is s itself), the outbox during a parallel window. Outbox routing
-// is safe because every cross-shard event is a network transmission with
-// at >= now + lookahead, beyond every horizon of the current window.
+// direct heap push when single-threaded (sequential mode, barriers, inline
+// spans, or the target is s itself), the target's mailbox during a parallel
+// span. Mailbox routing keeps the event visible to the receiver's safe-time
+// computation immediately — post lowers the receiver's published position
+// before the sender advances past the event.
 func (s *shard) emit(target *shard, ev event) int32 {
-	if target != s && s.net.inWindow {
-		s.outbox[target.idx] = append(s.outbox[target.idx], ev)
+	if target != s && s.net.inSpan {
+		target.post(ev)
 		return noEvent
 	}
 	return target.put(ev)
 }
 
-// flushOutboxes merges every shard's outbox into the destination heaps.
-// Barrier context only.
-func (n *Network) flushOutboxes() {
-	for _, s := range n.shards {
-		for j, box := range s.outbox {
-			if len(box) == 0 {
-				continue
-			}
-			dst := n.shards[j]
-			for i := range box {
-				dst.put(box[i])
-				box[i] = event{} // drop msg/owner references
-			}
-			s.outbox[j] = box[:0]
+// post appends a cross-shard event to this shard's mailbox and lowers its
+// published position to the event time. Called by sender shards mid-span;
+// the ordering (append, then lower pub, both under mbMu, all before the
+// sender raises its own pub) is what makes peers' safe times conservative.
+func (s *shard) post(ev event) {
+	s.mbMu.Lock()
+	s.mbox = append(s.mbox, ev)
+	if ev.at < s.mbMin {
+		s.mbMin = ev.at
+	}
+	if ev.at < s.pub.Load() {
+		s.pub.Store(ev.at)
+	}
+	s.mbMu.Unlock()
+}
+
+// drainMailbox moves every mailbox event into the heap. The owner's context
+// only. pub is deliberately left at its (possibly stale, always
+// conservative) value — updatePub raises it once the events are heap-queued.
+func (s *shard) drainMailbox() {
+	s.mbMu.Lock()
+	moved := s.mbox
+	s.mbox = s.mbSpare[:0]
+	s.mbMin = posInf
+	s.mbMu.Unlock()
+	for i := range moved {
+		s.put(moved[i])
+		moved[i] = event{} // drop msg/owner references
+	}
+	s.mbSpare = moved[:0]
+}
+
+// updatePub publishes the shard's current position: min(heap head, earliest
+// undrained mailbox entry), posInf when idle. Owner's context only; the
+// mbMu lock serializes the store against concurrent post lowering.
+func (s *shard) updatePub() {
+	head := posInf
+	if len(s.heap) > 0 {
+		head = s.events[s.heap[0]].at
+	}
+	s.mbMu.Lock()
+	if s.mbMin < head {
+		head = s.mbMin
+	}
+	s.pub.Store(head)
+	s.mbMu.Unlock()
+}
+
+// safeTime computes this shard's causal execution bound: the minimum over
+// its peers' published positions plus the lookahead. Every event a peer can
+// still send arrives at or after that peer's position + MinDelay, so events
+// strictly below safeTime can no longer be preempted.
+func (s *shard) safeTime() int64 {
+	m := posInf
+	for _, p := range s.net.shards {
+		if p == s {
+			continue
 		}
+		if v := p.pub.Load(); v < m {
+			m = v
+		}
+	}
+	la := s.net.lookaheadNS
+	if m >= posInf-la {
+		return posInf
+	}
+	return m + la
+}
+
+// pubMin returns the minimum published position across all node shards —
+// the span's quiesce test: once it reaches the barrier, no shard holds (or
+// can still receive) an event below it.
+func (n *Network) pubMin() int64 {
+	m := posInf
+	for _, s := range n.shards {
+		if v := s.pub.Load(); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// flushMailboxes drains every shard's residual mailbox into its heap —
+// events at or beyond the barrier that no shard got to execute. Barrier
+// context only (workers parked), so barrier code that scans heaps
+// (removeOwnedEvents, minShard) sees every pending event.
+func (n *Network) flushMailboxes() {
+	for _, s := range n.shards {
+		s.drainMailbox()
 	}
 }
 
 // removeOwnedEvents drops every queued event owned by sn — its pending
 // timers, deliveries addressed to it, and lifecycle callbacks — so a dead
-// node leaves nothing behind. Barrier context only (outboxes are empty).
+// node leaves nothing behind. Barrier context only (mailboxes are flushed).
 func (n *Network) removeOwnedEvents(sn *simNode) {
 	for _, s := range n.allShards() {
 		idxs := s.scratchIdxs[:0]
@@ -358,19 +480,24 @@ func (n *Network) RunUntil(offset time.Duration) {
 	}
 }
 
-// runSharded is the conservative-lookahead loop. Driver events run at
-// barriers (every shard parked, clocks aligned); node events run in windows
-// of at most lookahead virtual nanoseconds.
+// runSharded is the asynchronous conservative loop. Driver events run at
+// barriers (every shard parked, clocks aligned); between barriers the node
+// shards advance independently under the safe-time protocol, so a
+// driver-sparse run pays one rendezvous per driver event — not one per
+// lookahead window.
 func (n *Network) runSharded(deadline int64) {
 	for {
-		t := int64(0)
-		any := false
-		for _, s := range n.allShards() {
-			if at, ok := s.minAt(); ok && (!any || at < t) {
-				t, any = at, true
+		driverNext := posInf
+		if at, ok := n.driver.minAt(); ok {
+			driverNext = at
+		}
+		t := driverNext
+		for _, s := range n.shards {
+			if at, ok := s.minAt(); ok && at < t {
+				t = at
 			}
 		}
-		if !any || t > deadline {
+		if t == posInf || t > deadline {
 			return
 		}
 		// Align clocks: t is the global minimum, so no shard regresses.
@@ -379,9 +506,10 @@ func (n *Network) runSharded(deadline int64) {
 				s.nowNS = t
 			}
 		}
-		if at, ok := n.driver.minAt(); ok && at == t {
+		if driverNext == t {
 			// Barrier work: run every driver event at exactly t, including
-			// ones they newly schedule at t.
+			// ones they newly schedule at t. Driver events win same-instant
+			// ties against node events (src == ids.Nil sorts first).
 			for {
 				at, ok := n.driver.minAt()
 				if !ok || at > t {
@@ -391,58 +519,115 @@ func (n *Network) runSharded(deadline int64) {
 			}
 			continue
 		}
-		horizon := t + n.lookaheadNS
-		if at, ok := n.driver.minAt(); ok && at < horizon {
-			horizon = at
+		barrier := driverNext
+		if deadline < posInf-1 && deadline+1 < barrier {
+			barrier = deadline + 1
 		}
-		if deadline+1 < horizon {
-			horizon = deadline + 1
-		}
-		n.runWindow(horizon)
-		n.flushOutboxes()
+		n.runSpan(barrier)
 	}
 }
 
-// runWindow executes one parallel window: every shard runs its events with
-// at < horizon. Sparse windows run inline on the coordinator — the result
-// is identical (shards cannot interact within a window), only cheaper than
-// waking workers for a handful of events.
-func (n *Network) runWindow(horizon int64) {
-	active := n.activeScratch[:0]
-	for _, s := range n.shards {
-		if at, ok := s.minAt(); ok && at < horizon {
-			active = append(active, s)
-		}
-	}
-	n.activeScratch = active[:0]
-	if len(active) == 0 {
-		return
-	}
+// runSpan executes every node-shard event strictly below the barrier (the
+// next driver event or the deadline). Sparse spans run inline on the
+// coordinator via global min-stepping — the exact sequential order, no
+// synchronization; dense spans fan out to the worker goroutines, each shard
+// advancing to its own safe time.
+func (n *Network) runSpan(barrier int64) {
 	before := n.eventsFiredLocked()
-	parallel := len(active) > 1 && !n.closed &&
-		(n.parallelMin < 0 || n.lastWindowEvents >= n.parallelMin)
+	parallel := len(n.shards) > 1 && !n.closed &&
+		(n.parallelMin < 0 || n.lastSpanEvents >= n.parallelMin)
 	if !parallel {
-		for _, s := range active {
-			s.runTo(horizon)
+		for {
+			var best *shard
+			for _, s := range n.shards {
+				if len(s.heap) == 0 {
+					continue
+				}
+				if best == nil || eventLess(&s.events[s.heap[0]], &best.events[best.heap[0]]) {
+					best = s
+				}
+			}
+			if best == nil || best.events[best.heap[0]].at >= barrier {
+				break
+			}
+			n.stepShard(best)
 		}
 	} else {
 		n.startWorkers()
-		n.inWindow = true
-		for _, s := range active {
-			n.workCh[s.idx] <- horizon
+		// Published positions are stale between spans (barrier code pushes
+		// events directly into heaps); refresh them before any shard
+		// computes a safe time from them.
+		for _, s := range n.shards {
+			s.updatePub()
 		}
-		for range active {
+		n.inSpan = true
+		for _, s := range n.shards {
+			n.workCh[s.idx] <- barrier
+		}
+		for range n.shards {
 			<-n.doneCh
 		}
-		n.inWindow = false
+		n.inSpan = false
+		n.flushMailboxes()
 	}
-	n.lastWindowEvents = int(n.eventsFiredLocked() - before)
+	n.lastSpanEvents = int(n.eventsFiredLocked() - before)
 }
 
-// runTo executes this shard's events strictly below horizon.
-func (s *shard) runTo(horizon int64) {
-	for len(s.heap) > 0 && s.events[s.heap[0]].at < horizon {
-		s.net.stepShard(s)
+// runLeg is one shard's side of a parallel span: repeatedly drain the
+// mailbox, advance to min(safe time, barrier), publish the new position,
+// and when stuck re-check peers until every shard's position has reached
+// the barrier. The globally-earliest shard always finds its head below its
+// safe time (head = global min < min over others + lookahead), so some
+// shard can always execute and the quiesce test is eventually reached.
+func (s *shard) runLeg(barrier int64) {
+	n := s.net
+	for {
+		s.drainMailbox()
+		did := false
+		for len(s.heap) > 0 {
+			head := s.events[s.heap[0]].at
+			// A peer may have posted to our mailbox since the last drain
+			// (it posts before raising its own published position). Our own
+			// published position is min(heap head, mailbox min): if it is
+			// below the head, an earlier mailbox event is pending — fold it
+			// into the heap before executing past it.
+			if s.pub.Load() < head {
+				s.drainMailbox()
+				s.updatePub()
+				continue
+			}
+			// The safe time must be re-read before every event, not once
+			// per wakeup: our own sends lower the receiving peer's position,
+			// and the peer's reaction can arrive back here one lookahead
+			// later — below a limit cached from before the send. With a
+			// fresh read the bound is exact: any message still unsent when
+			// we read it descends from an event in some shard's queue, and
+			// every causal chain that bottoms out in our own heap (at ≥
+			// head, since earlier events are done) needs at least two
+			// cross-shard hops to reach us, arriving ≥ head + 2·lookahead.
+			limit := s.safeTime()
+			if limit > barrier {
+				limit = barrier
+			}
+			if head >= limit {
+				break
+			}
+			if n.execProbe != nil {
+				n.execProbe(s, head)
+			}
+			n.stepShard(s)
+			// Publish after every event so stuck peers chase this shard's
+			// progress without waiting for the leg to finish.
+			s.updatePub()
+			did = true
+		}
+		if !did {
+			s.updatePub()
+			if n.pubMin() >= barrier {
+				return
+			}
+			runtime.Gosched()
+		}
 	}
 }
 
@@ -458,8 +643,8 @@ func (n *Network) startWorkers() {
 		ch := make(chan int64)
 		n.workCh[i] = ch
 		go func(s *shard, ch chan int64) {
-			for h := range ch {
-				s.runTo(h)
+			for b := range ch {
+				s.runLeg(b)
 				n.doneCh <- struct{}{}
 			}
 		}(s, ch)
@@ -529,8 +714,8 @@ func (n *Network) eventsFiredLocked() uint64 {
 // when the latency model declares no positive MinDelay (no safe lookahead).
 func (n *Network) Workers() int { return len(n.shards) }
 
-// Lookahead returns the conservative synchronization window width (zero in
-// sequential mode).
+// Lookahead returns the conservative safe-time bound — the latency model's
+// MinDelay, added to peers' published positions (zero in sequential mode).
 func (n *Network) Lookahead() time.Duration {
 	if len(n.shards) == 1 {
 		return 0
@@ -576,9 +761,23 @@ func mixLat(seed int64, from, to ids.NodeID, counter uint64) uint64 {
 	return mix64(h ^ counter)
 }
 
-// defaultParallelMin scales the inline-window threshold with the shard
-// count: waking K workers only pays off when the window holds enough events.
+// defaultParallelMin scales the inline-span threshold with the shard
+// count: waking K workers only pays off when the span holds enough events.
 func defaultParallelMin(workers int) int { return 2 * workers }
+
+// defaultWorkers is the Options.Workers == 0 default: one shard per
+// available CPU, bounded by the shard-count cap. On a single-core host this
+// is 1 — the sequential engine, no synchronization at all.
+func defaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if max := maxWorkers(); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // maxWorkers bounds Options.Workers to something sane: enough shards to
 // oversubscribe the machine for testing, not enough to drown it.

@@ -118,20 +118,25 @@ type Options struct {
 	// and first-arrival order becomes noisy under load. Nil disables it.
 	ProcessingDelay func(r *rand.Rand) time.Duration
 	// Workers is the number of scheduler shards node actors are partitioned
-	// across (default 1: the sequential engine). With Workers > 1 the
-	// conservative-lookahead scheduler runs shards on separate goroutines;
-	// the simulation outcome is byte-identical for every worker count.
-	// Requires a latency model implementing MinDelayer with a positive
-	// minimum (the lookahead window); otherwise the engine silently
-	// degrades to 1 worker. When Workers > 1, instrumentation callbacks
-	// (Logf, Tap, protocol-level OnDeliver/OnEvent) run on shard goroutines
-	// and must be safe for concurrent use.
+	// across. 0 (the default) means one shard per available CPU
+	// (min(GOMAXPROCS, the shard-count cap)); 1 forces the sequential
+	// engine. With more than one shard the asynchronous conservative
+	// scheduler runs shards on separate goroutines, each advancing to its
+	// own safe time (see sched.go); the simulation outcome is
+	// byte-identical for every worker count, so the setting is a pure
+	// wall-clock choice. Requires a latency model implementing MinDelayer
+	// with a positive minimum (the lookahead); otherwise the engine
+	// silently degrades to 1 worker. When more than one shard runs,
+	// instrumentation callbacks (Logf, Tap, protocol-level
+	// OnDeliver/OnEvent) run on shard goroutines and must be safe for
+	// concurrent use.
 	Workers int
 	// ParallelThreshold is the minimum number of events executed in the
-	// previous window for the next window to be fanned out to worker
-	// goroutines; sparser windows run inline on the coordinator, which is
-	// cheaper and bit-identical. 0 means the default (2×Workers); negative
-	// forces every multi-shard window onto the workers (tests).
+	// previous inter-barrier span for the next span to be fanned out to
+	// worker goroutines; sparser spans run inline on the coordinator
+	// (global min-stepping), which is cheaper and bit-identical. 0 means
+	// the default (2×Workers); negative forces every multi-shard span onto
+	// the workers (tests).
 	ParallelThreshold int
 	// Logf, when set, receives debug lines from env.Log.
 	Logf func(format string, args ...any)
@@ -139,8 +144,9 @@ type Options struct {
 
 // MinDelayer is implemented by latency models that can guarantee a lower
 // bound on every sampled delay. The sharded scheduler uses it as the
-// conservative lookahead window: events between nodes of different shards
-// are at least MinDelay apart, so windows of that width are causally safe.
+// conservative lookahead: events between nodes of different shards are at
+// least MinDelay apart, so a shard may safely execute anything earlier than
+// every peer's published position plus MinDelay (see sched.go).
 type MinDelayer interface {
 	// MinDelay returns a positive lower bound on every Sample result.
 	MinDelay() time.Duration
@@ -202,18 +208,21 @@ type Network struct {
 
 	// Scheduler state (see sched.go). driver aliases shards[0] when
 	// Workers == 1.
-	driver           *shard
-	shards           []*shard
-	all              []*shard // shards + driver when distinct (scheduler-loop scratch)
-	activeScratch    []*shard
-	lookaheadNS      int64
-	parallelMin      int
-	lastWindowEvents int
-	inWindow         bool
-	workersUp        bool
-	closed           bool
-	workCh           []chan int64
-	doneCh           chan struct{}
+	driver         *shard
+	shards         []*shard
+	all            []*shard // shards + driver when distinct (scheduler-loop scratch)
+	lookaheadNS    int64
+	parallelMin    int
+	lastSpanEvents int
+	inSpan         bool
+	workersUp      bool
+	closed         bool
+	workCh         []chan int64
+	doneCh         chan struct{}
+
+	// execProbe, when set (tests only), observes every event executed on a
+	// worker leg before it runs; it is called from shard goroutines.
+	execProbe func(s *shard, at int64)
 
 	driverSeq uint64 // event sequence counter for driver-scheduled events
 	estSeq    uint64 // latency draw counter for EstimateLatency
@@ -237,6 +246,13 @@ func New(opts Options) *Network {
 		opts.DetectDelay = 200 * time.Millisecond
 	}
 	workers := opts.Workers
+	if workers == 0 {
+		// Auto: one shard per available CPU, so multi-core hosts get
+		// parallelism without a flag. Results are byte-identical for every
+		// worker count, so this is a pure wall-clock choice. Workers: 1
+		// forces the sequential engine.
+		workers = defaultWorkers()
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -267,7 +283,6 @@ func New(opts Options) *Network {
 	n.shards = make([]*shard, workers)
 	for i := range n.shards {
 		n.shards[i] = newShard(n, i)
-		n.shards[i].outbox = make([][]event, workers)
 	}
 	if workers == 1 {
 		n.driver = n.shards[0]
@@ -831,7 +846,7 @@ func (e *env) Send(to ids.NodeID, m wire.Message) {
 	}
 	hc.sendFloor = arrive
 	// Typed delivery event: the hot path allocates nothing once the arena
-	// is warm (and, cross-shard, nothing beyond outbox growth).
+	// is warm (and, cross-shard, nothing beyond mailbox growth).
 	net.scheduleNode(self, peer.shard, event{
 		at: arrive, kind: evMsg, owner: peer, from: self.id, msg: m,
 		tokD: hc.tokD, tokN: hc.tokN,

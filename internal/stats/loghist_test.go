@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestLogHistBinRoundTrip checks that every in-range value lands in a bin
+// whose representative is within the bin's relative quantization error
+// (adjacent edges are a 10^(1/100) ≈ 1.023 ratio apart, so the geometric
+// midpoint is within ~1.2% of anything in the bin).
+func TestLogHistBinRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		// Log-uniform across the full tracked range.
+		v := logHistLo * math.Pow(10, rng.Float64()*logHistDecades)
+		if v >= logHistHi {
+			continue
+		}
+		b := logHistBin(v)
+		if b < 1 || b >= logHistBins-1 {
+			t.Fatalf("in-range value %g binned to boundary bin %d", v, b)
+		}
+		rep := binValue(b)
+		if r := rep / v; r < 0.985 || r > 1.015 {
+			t.Fatalf("bin %d representative %g is %.2f%% off value %g",
+				b, rep, 100*(r-1), v)
+		}
+	}
+}
+
+func TestLogHistBoundaryBins(t *testing.T) {
+	cases := []struct {
+		v   float64
+		bin int
+	}{
+		{0, 0},
+		{-1, 0},
+		{math.NaN(), 0},
+		{logHistLo / 2, 0},
+		{logHistLo, 1},
+		{logHistHi, logHistBins - 1},
+		{math.Inf(1), logHistBins - 1},
+		{1e9, logHistBins - 1},
+	}
+	for _, c := range cases {
+		if got := logHistBin(c.v); got != c.bin {
+			t.Errorf("logHistBin(%g) = %d, want %d", c.v, got, c.bin)
+		}
+	}
+}
+
+func TestLogHistFoldIntoAndCalibrate(t *testing.T) {
+	h := NewLogHist()
+	rng := rand.New(rand.NewSource(2))
+	var (
+		n     = 50000
+		sum   float64
+		lo    = math.Inf(1)
+		hi    = math.Inf(-1)
+		exact []float64
+	)
+	for i := 0; i < n; i++ {
+		// Latency-shaped: log-normal around ~50ms.
+		v := 0.05 * math.Exp(rng.NormFloat64())
+		h.Add(v)
+		sum += v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		exact = append(exact, v)
+	}
+	if got := h.Total(); got != uint64(n) {
+		t.Fatalf("Total = %d, want %d", got, n)
+	}
+
+	var s Sample
+	h.FoldInto(&s)
+	s.Calibrate(sum, lo, hi)
+
+	if s.Len() != n {
+		t.Fatalf("folded Len = %d, want %d", s.Len(), n)
+	}
+	// Calibration restores the exact moments.
+	if s.Mean() != sum/float64(n) {
+		t.Errorf("Mean = %g, want exact %g", s.Mean(), sum/float64(n))
+	}
+	if s.Min() != lo || s.Max() != hi {
+		t.Errorf("Min/Max = %g/%g, want %g/%g", s.Min(), s.Max(), lo, hi)
+	}
+	// Percentiles carry only bin quantization (~1.2%) plus centroid
+	// smearing; 5% is far above both and far below a real defect.
+	var ref Sample
+	for _, v := range exact {
+		ref.Add(v)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		got, want := s.Percentile(p), ref.Percentile(p)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("P%.0f = %g, want %g (±5%%)", p, got, want)
+		}
+	}
+}
+
+// TestLogHistConcurrentAdds pins the property the collector depends on:
+// bins are atomic counters, so adds commute and the histogram's contents
+// are independent of which goroutine recorded which sample.
+func TestLogHistConcurrentAdds(t *testing.T) {
+	seq, con := NewLogHist(), NewLogHist()
+	const goroutines, per = 8, 5000
+	for g := 0; g < goroutines; g++ {
+		rng := rand.New(rand.NewSource(int64(g)))
+		for i := 0; i < per; i++ {
+			seq.Add(0.001 * math.Exp(rng.NormFloat64()))
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				con.Add(0.001 * math.Exp(rng.NormFloat64()))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range seq.bins {
+		if a, b := seq.bins[i].Load(), con.bins[i].Load(); a != b {
+			t.Fatalf("bin %d: sequential %d != concurrent %d", i, a, b)
+		}
+	}
+}
+
+// TestAddNMatchesRepeatedAdd checks the bulk-insert path the histogram
+// fold uses against the one-at-a-time path, on fold-shaped input: many
+// ascending distinct values, each with a moderate count. (A handful of
+// giant centroids would interpolate percentiles coarsely — a shape the
+// per-bin fold never produces.)
+func TestAddNMatchesRepeatedAdd(t *testing.T) {
+	var bulk, loop Sample
+	rng := rand.New(rand.NewSource(3))
+	v := 0.001
+	for i := 0; i < 200; i++ {
+		v *= 1 + rng.Float64()*0.05
+		n := uint64(1 + rng.Intn(100))
+		bulk.AddN(v, n)
+		for j := uint64(0); j < n; j++ {
+			loop.Add(v)
+		}
+	}
+	if bulk.Len() != loop.Len() {
+		t.Fatalf("Len %d != %d", bulk.Len(), loop.Len())
+	}
+	if bulk.Min() != loop.Min() || bulk.Max() != loop.Max() {
+		t.Errorf("Min/Max %g/%g != %g/%g", bulk.Min(), bulk.Max(), loop.Min(), loop.Max())
+	}
+	if d := math.Abs(bulk.Mean() - loop.Mean()); d > 1e-12 {
+		t.Errorf("Mean %g != %g", bulk.Mean(), loop.Mean())
+	}
+	for _, p := range []float64{10, 50, 90} {
+		a, b := bulk.Percentile(p), loop.Percentile(p)
+		if math.Abs(a-b)/b > 0.02 {
+			t.Errorf("P%.0f: bulk %g vs loop %g", p, a, b)
+		}
+	}
+	if bulk.AddN(1, 0); bulk.Len() != loop.Len() {
+		t.Error("AddN with count 0 changed the sample")
+	}
+}

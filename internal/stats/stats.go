@@ -80,6 +80,51 @@ func (s *Sample) Add(v float64) {
 // AddDuration appends a duration observation in seconds.
 func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 
+// AddN appends count observations of the same value, switching the sample
+// to its bounded streaming representation: AddN exists for folding
+// pre-binned histograms (LogHist) whose counts exceed any sensible exact
+// buffer. Calling it with ascending values keeps the fold deterministic and
+// cheap (one ordered centroid merge per call).
+func (s *Sample) AddN(v float64, count uint64) {
+	if count == 0 {
+		return
+	}
+	if !s.compressed() {
+		s.compress()
+	}
+	s.flushPending()
+	s.cents = reduceCentroids(
+		mergeSortedCentroids(s.cents, []centroid{{mean: v, count: count}}), maxCentroids)
+	s.n += count
+	s.sum += v * float64(count)
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Calibrate overrides the streaming summary's exact moments — sum, min and
+// max — with externally tracked values. A sample reconstructed from a
+// quantized histogram (AddN over LogHist bins) carries the bins' midpoint
+// moments; when the producer kept the true running sum/min/max (cheap O(1)
+// per-node state), calibrating restores exact Mean/Min/Max while the
+// centroids keep serving percentiles. No-op semantics aside, the sample is
+// forced into compressed mode.
+func (s *Sample) Calibrate(sum, min, max float64) {
+	if !s.compressed() {
+		s.compress()
+	}
+	s.flushPending()
+	if s.n == 0 {
+		return
+	}
+	s.sum = sum
+	s.min = min
+	s.max = max
+}
+
 // compress converts the exact buffer into the streaming representation.
 func (s *Sample) compress() {
 	sort.Float64s(s.xs)

@@ -5,14 +5,18 @@ package brisa_test
 // simulator.
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	brisa "repro"
 )
 
-// eventLog collects structural events per peer.
+// eventLog collects structural events per peer. OnEvent callbacks run on
+// scheduler shard goroutines (the simulator defaults to one shard per CPU),
+// so access is mutex-guarded.
 type eventLog struct {
+	mu     sync.Mutex
 	events map[brisa.NodeID][]brisa.Event
 }
 
@@ -20,16 +24,24 @@ func newEventLog() *eventLog {
 	return &eventLog{events: make(map[brisa.NodeID][]brisa.Event)}
 }
 
+func (l *eventLog) add(id brisa.NodeID, ev brisa.Event) {
+	l.mu.Lock()
+	l.events[id] = append(l.events[id], ev)
+	l.mu.Unlock()
+}
+
 func (l *eventLog) config(mode brisa.Mode, parents, view int) func(brisa.NodeID) brisa.Config {
 	return func(id brisa.NodeID) brisa.Config {
 		return brisa.Config{
 			Mode: mode, Parents: parents, ViewSize: view,
-			OnEvent: func(ev brisa.Event) { l.events[id] = append(l.events[id], ev) },
+			OnEvent: func(ev brisa.Event) { l.add(id, ev) },
 		}
 	}
 }
 
 func (l *eventLog) count(t brisa.EventType) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n := 0
 	for _, evs := range l.events {
 		for _, ev := range evs {
@@ -93,9 +105,7 @@ func TestRepairWithoutPiggybackStillHeals(t *testing.T) {
 			return brisa.Config{
 				Mode: brisa.ModeTree, ViewSize: 4,
 				DisablePiggyback: true,
-				OnEvent: func(ev brisa.Event) {
-					log.events[id] = append(log.events[id], ev)
-				},
+				OnEvent:          func(ev brisa.Event) { log.add(id, ev) },
 			}
 		},
 	})

@@ -77,8 +77,10 @@ type StreamReport struct {
 	// Delays are all publish→delivery delays in seconds (ProbeLatency),
 	// excluding the source's local deliveries and warmup sequences.
 	Delays *Dist
-	// NodeDelays are per-node median delays in seconds (ProbeLatency) —
-	// the per-node aggregation the paper's Figure 9 plots.
+	// NodeDelays are per-node mean delays in seconds (ProbeLatency) — the
+	// per-node aggregation the paper's Figure 9 plots. The mean (rather
+	// than a median) is what the O(1)-per-node streaming collector can
+	// keep exact at 100k+ nodes.
 	NodeDelays *Dist
 	// Spread is the per-node span between first and last delivery in
 	// seconds (ProbeLatency) — Table II's dissemination latency is its

@@ -46,14 +46,37 @@ type workloadState struct {
 	// accs holds one accumulator per instrumented node (the source's stays
 	// empty: the paper measures receptions).
 	accs map[NodeID]*nodeAcc
+	// hist streams every measured delivery delay of this workload into a
+	// fixed-size log-binned histogram. Its atomic bins commute, so shard
+	// goroutines add to it without locks and the final counts are
+	// worker-count-invariant; the fold rebuilds the Delays distribution
+	// from it and calibrates the exact moments from the per-node
+	// accumulators. This is what keeps a 100k-node run's delay accounting
+	// at O(nodes) scalars instead of O(deliveries) buffered samples.
+	hist *stats.LogHist
 }
 
 // nodeAcc is one node's delivery accounting for one workload. It is only
-// ever touched from that node's actor callbacks, serially.
+// ever touched from that node's actor callbacks, serially. Deliberately
+// O(1): at 100k nodes these accumulators are the collector's footprint.
 type nodeAcc struct {
-	delays      stats.Sample
+	n           uint64  // measured deliveries
+	sum         float64 // total delay, seconds
+	min, max    float64 // exact delay extremes, seconds
 	first, last time.Time
 	dups        uint64
+}
+
+// record adds one measured delivery delay (in seconds).
+func (acc *nodeAcc) record(d float64) {
+	if acc.n == 0 || d < acc.min {
+		acc.min = d
+	}
+	if acc.n == 0 || d > acc.max {
+		acc.max = d
+	}
+	acc.n++
+	acc.sum += d
 }
 
 // blobWorkloadState is the in-run state of one blob workload.
@@ -92,6 +115,7 @@ func newCollector(sc Scenario) *collector {
 			w:     w,
 			pubAt: make(map[uint32]time.Time),
 			accs:  make(map[NodeID]*nodeAcc),
+			hist:  stats.NewLogHist(),
 		})
 	}
 	for _, w := range sc.BlobWorkloads {
@@ -159,7 +183,9 @@ func (col *collector) delivered(wi int, acc *nodeAcc, id NodeID, seq uint32, at 
 	}
 	acc.last = at
 	if measured {
-		acc.delays.AddDuration(at.Sub(t0))
+		d := at.Sub(t0).Seconds()
+		acc.record(d)
+		ws.hist.Add(d)
 	}
 }
 
@@ -315,21 +341,41 @@ func (col *collector) streamReport(wi int, survivors []peerSnapshot) *StreamRepo
 	}
 
 	if col.sc.probed(ProbeLatency) {
-		all, nodeMed, spread := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
-		// Fold in sorted node order: the accumulator map's iteration order
-		// must not reach the output (float summation order), which stays
-		// bit-identical across runs — and across simulator worker counts.
+		all, nodeMean, spread := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		// The delay distribution streams through the workload's log-binned
+		// histogram (shard goroutines add to it lock-free; the bins
+		// commute, so the counts are worker-count-invariant). The exact
+		// moments — sum, min, max — fold from the O(1) per-node
+		// accumulators in sorted node order: float summation order must not
+		// depend on map iteration, so the Report JSON stays bit-identical
+		// across runs and across simulator worker counts.
+		var (
+			n      uint64
+			sum    float64
+			lo, hi float64
+		)
 		for _, id := range sortedKeys(ws.accs) {
 			acc := ws.accs[id]
-			if acc.delays.Len() > 0 {
-				all.Merge(&acc.delays)
-				nodeMed.Add(acc.delays.Median())
+			if acc.n > 0 {
+				if n == 0 || acc.min < lo {
+					lo = acc.min
+				}
+				if n == 0 || acc.max > hi {
+					hi = acc.max
+				}
+				n += acc.n
+				sum += acc.sum
+				nodeMean.Add(acc.sum / float64(acc.n))
 			}
 			if !acc.first.IsZero() && acc.last.After(acc.first) {
 				spread.AddDuration(acc.last.Sub(acc.first))
 			}
 		}
-		sr.Delays, sr.NodeDelays, sr.Spread = all, nodeMed, spread
+		ws.hist.FoldInto(all)
+		if n > 0 {
+			all.Calibrate(sum, lo, hi)
+		}
+		sr.Delays, sr.NodeDelays, sr.Spread = all, nodeMean, spread
 	}
 
 	if col.sc.probed(ProbeDuplicates) {

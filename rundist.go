@@ -680,7 +680,9 @@ func (dn *distNet) fold(sc Scenario, initial []*distMember, rep *Report, elapsed
 						acc.last = at
 						if int(s.Seq) > ws.w.Warmup {
 							if t0, ok := ws.pubAt[s.Seq]; ok {
-								acc.delays.AddDuration(at.Sub(t0))
+								d := at.Sub(t0).Seconds()
+								acc.record(d)
+								ws.hist.Add(d)
 							}
 						}
 					}

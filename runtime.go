@@ -77,9 +77,11 @@ type SimRuntime struct {
 	Cluster *Cluster
 
 	// Workers is the number of scheduler shards the simulator partitions
-	// node actors across (default 1: the sequential engine). With
-	// Workers > 1 independent node actors execute on worker goroutines
-	// under a conservative-lookahead scheduler; the Report is
+	// node actors across. Zero (the default) picks one shard per CPU,
+	// capped at the scheduler's shard limit, so multi-core hosts get
+	// parallelism without configuration; 1 forces the sequential engine.
+	// With more than one shard independent node actors execute on worker
+	// goroutines under a conservative safe-time scheduler; the Report is
 	// byte-identical for every worker count (the equivalence harness in
 	// the test suite pins this). See ClusterConfig.Workers for the
 	// callback-safety requirements.
