@@ -100,6 +100,7 @@ const (
 	EvStallRepair      = core.EvStallRepair
 	EvBlobDeliver      = core.EvBlobDeliver
 	EvBlobDropped      = core.EvBlobDropped
+	EvMsgDropped       = core.EvMsgDropped
 )
 
 // Parent selection strategies.

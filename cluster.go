@@ -49,6 +49,10 @@ type ClusterConfig struct {
 	// ProcessingDelay, when set, adds per-message scheduling delay at
 	// receivers (see simnet.LogNormalDelay).
 	ProcessingDelay func(r *rand.Rand) time.Duration
+	// Faults, when set, injects deterministic network faults once the
+	// dissemination phase starts (see FaultModel). Buffer drops surface to
+	// the affected peer's OnEvent as EvMsgDropped.
+	Faults *FaultModel
 	// Workers is the number of scheduler shards the simulator partitions
 	// node actors across. Zero (the default) picks one shard per CPU,
 	// capped at the scheduler's shard limit; 1 forces the sequential
@@ -81,6 +85,12 @@ type Cluster struct {
 	// onAddPeer, when set by the scenario runner, instruments peers that
 	// join after the run started (churn joiners).
 	onAddPeer func(*Peer)
+
+	// dropSinks routes simulated buffer drops to each peer's OnEvent as
+	// EvMsgDropped. Written only in driver context (addPeer runs before the
+	// simulation or inside barrier events); read on shard goroutines, which
+	// the scheduler's span handoff orders after every barrier write.
+	dropSinks map[NodeID]func(Event)
 }
 
 // Validate checks the configuration. Zero values mean "use the documented
@@ -107,6 +117,11 @@ func (cfg ClusterConfig) Validate() error {
 	if cfg.Workers < 0 {
 		return fmt.Errorf("brisa: ClusterConfig.Workers must not be negative, got %d", cfg.Workers)
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("brisa: ClusterConfig: %w", err)
+		}
+	}
 	if cfg.PeerConfig == nil && cfg.PeerConfigAt == nil {
 		if err := cfg.Peer.Validate(); err != nil {
 			return err
@@ -132,19 +147,37 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.StabilizeTime = 15 * time.Second
 	}
 	c := &Cluster{
-		Net: simnet.New(simnet.Options{
-			Seed:              cfg.Seed,
-			Latency:           cfg.Latency,
-			DetectDelay:       cfg.DetectDelay,
-			NodeBandwidth:     cfg.NodeBandwidth,
-			Bandwidth:         cfg.LinkBandwidth,
-			ProcessingDelay:   cfg.ProcessingDelay,
-			Workers:           cfg.Workers,
-			ParallelThreshold: cfg.ParallelThreshold,
-		}),
 		cfg:   cfg,
 		peers: make(map[NodeID]*Peer),
 	}
+	faults := cfg.Faults
+	if faults != nil && faults.Buffer != nil {
+		// Surface buffer drops to the affected peer's OnEvent. The copy
+		// keeps the caller's FaultModel callback-free and reusable.
+		c.dropSinks = make(map[NodeID]func(Event))
+		f := *faults
+		userDrop := f.OnDrop
+		f.OnDrop = func(id NodeID, at time.Time) {
+			if sink := c.dropSinks[id]; sink != nil {
+				sink(Event{Type: EvMsgDropped, At: at})
+			}
+			if userDrop != nil {
+				userDrop(id, at)
+			}
+		}
+		faults = &f
+	}
+	c.Net = simnet.New(simnet.Options{
+		Seed:              cfg.Seed,
+		Latency:           cfg.Latency,
+		DetectDelay:       cfg.DetectDelay,
+		NodeBandwidth:     cfg.NodeBandwidth,
+		Bandwidth:         cfg.LinkBandwidth,
+		ProcessingDelay:   cfg.ProcessingDelay,
+		Faults:            faults,
+		Workers:           cfg.Workers,
+		ParallelThreshold: cfg.ParallelThreshold,
+	})
 	for i := 0; i < cfg.Nodes; i++ {
 		if _, err := c.addPeer(); err != nil {
 			return nil, err
@@ -169,10 +202,14 @@ func (c *Cluster) addPeer() (*Peer, error) {
 	idx := len(c.order)
 	c.next++
 	id := NodeID(c.next)
-	p, err := NewPeer(id, c.peerConfig(idx, id))
+	pcfg := c.peerConfig(idx, id)
+	p, err := NewPeer(id, pcfg)
 	if err != nil {
 		c.next--
 		return nil, err
+	}
+	if c.dropSinks != nil && pcfg.OnEvent != nil {
+		c.dropSinks[id] = pcfg.OnEvent
 	}
 	c.peers[id] = p
 	c.Net.AddNode(id, p.Handler())

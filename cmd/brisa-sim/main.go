@@ -15,6 +15,8 @@
 //	brisa-sim -nodes 10000 -messages 20 -cpuprofile cpu.out   # engine-scale run, profiled
 //	brisa-sim -nodes 256 -messages 0 -blob 1048576 -parity 16 # one 1 MiB erasure-coded blob
 //	brisa-sim -nodes 8 -messages 0 -blob 262144 -runtime live # blob over real sockets
+//	brisa-sim -nodes 256 -loss 0.05 -reorder 0.1              # lossy links (sim only)
+//	brisa-sim -nodes 64 -partition 5s-15s:0.3:asym -buffer 32 # one-way split + bounded buffers
 //
 // The -runtime flag resolves against brisa.Runtimes(); every scenario —
 // churn scripts and traffic probes included — runs on either runtime.
@@ -28,11 +30,46 @@ import (
 	"os/signal"
 	goruntime "runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	brisa "repro"
 )
+
+// parsePartition parses the -partition spec: start-end:fraction[:asym],
+// window offsets from dissemination start.
+func parsePartition(s string) (brisa.Partition, error) {
+	var p brisa.Partition
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return p, fmt.Errorf("bad -partition %q (want start-end:fraction[:asym])", s)
+	}
+	window := strings.SplitN(parts[0], "-", 2)
+	if len(window) != 2 {
+		return p, fmt.Errorf("bad -partition window %q (want start-end, e.g. 5s-15s)", parts[0])
+	}
+	start, err := time.ParseDuration(window[0])
+	if err != nil {
+		return p, fmt.Errorf("bad -partition start: %v", err)
+	}
+	end, err := time.ParseDuration(window[1])
+	if err != nil {
+		return p, fmt.Errorf("bad -partition end: %v", err)
+	}
+	frac, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return p, fmt.Errorf("bad -partition fraction: %v", err)
+	}
+	p = brisa.Partition{Start: start, End: end, Fraction: frac}
+	if len(parts) == 3 {
+		if parts[2] != "asym" {
+			return p, fmt.Errorf("bad -partition modifier %q (only asym)", parts[2])
+		}
+		p.Asymmetric = true
+	}
+	return p, nil
+}
 
 func main() {
 	var (
@@ -50,6 +87,12 @@ func main() {
 		chunk    = flag.Int("chunk", 0, "blob chunk bytes (default 64 KiB)")
 		parity   = flag.Int("parity", 0, "extra erasure-coded chunks per blob: any K of K+parity reconstruct (0 = no coding)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		loss     = flag.Float64("loss", 0, "per-message loss probability in [0,1) (sim runtime only)")
+		dup      = flag.Float64("dup", 0, "per-message duplication probability in [0,1) (sim runtime only)")
+		reorder  = flag.Float64("reorder", 0, "per-message reorder probability in [0,1) (sim runtime only)")
+		part     = flag.String("partition", "", "partition window as start-end:fraction[:asym], offsets from dissemination start, e.g. 5s-15s:0.3:asym (sim runtime only)")
+		buffer   = flag.Int("buffer", 0, "bound each node's inbound buffer to this many messages, 0 = unbounded (sim runtime only)")
+		bufDrop  = flag.String("buffer-policy", "oldest", "full-buffer victim policy: oldest | newest | rand")
 		planet   = flag.Bool("planetlab", false, "use PlanetLab latencies instead of cluster")
 		churn    = flag.String("churn", "", "churn script (paper Listing 1 syntax), applied 10s into dissemination")
 		runtime  = flag.String("runtime", "sim", "runtime: sim | live (loopback TCP) | dist (remote agents; see -agents)")
@@ -143,6 +186,26 @@ func main() {
 	}
 	if *churn != "" {
 		sc.Churn = &brisa.Churn{Script: *churn, Start: 10 * time.Second}
+	}
+	if *loss > 0 || *dup > 0 || *reorder > 0 || *part != "" || *buffer > 0 {
+		f := &brisa.FaultModel{Loss: *loss, Duplicate: *dup, Reorder: *reorder}
+		if *part != "" {
+			p, err := parsePartition(*part)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			f.Partitions = []brisa.Partition{p}
+		}
+		if *buffer > 0 {
+			policy, err := brisa.ParseDropPolicy(*bufDrop)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			f.Buffer = &brisa.BufferModel{Capacity: *buffer, Policy: policy}
+		}
+		sc.Faults = f
 	}
 
 	rt, err := brisa.LookupRuntime(*runtime)

@@ -1,0 +1,111 @@
+package brisa_test
+
+// Seeded regression guard for the residual repair defect recorded in
+// ROADMAP.md: with keep-alive piggybacks disabled, simultaneous soft repairs
+// can close a parent cycle of length >= 3 that the path-embedding check
+// misses (every member's embedded path predates the concurrent adoptions),
+// stranding the subtree below it. Found by scanning seeds of a
+// 64-node/3-simultaneous-crash workload; seed 161 closes a 3-cycle that
+// survives to the end of the run and stalls delivery.
+//
+// This test asserts that the bug REPRODUCES, pinning the exact failure so it
+// cannot mutate silently. When the repair protocol gains a fix (e.g. cycle
+// breaking via periodic root-path probing, §II-F follow-up), this test will
+// fail: flip the assertions to "no cycle, no stall" and keep the seed as the
+// fix's regression test.
+
+import (
+	"testing"
+	"time"
+
+	brisa "repro"
+)
+
+// parentCycles returns every cycle in the alive peers' parent graph for the
+// stream, each as the list of member nodes.
+func parentCycles(c *brisa.Cluster, stream brisa.StreamID) [][]brisa.NodeID {
+	parents := make(map[brisa.NodeID][]brisa.NodeID)
+	for _, p := range c.AlivePeers() {
+		parents[p.ID()] = p.Parents(stream)
+	}
+	state := make(map[brisa.NodeID]int) // 0 unvisited, 1 in-walk, 2 done
+	var cycles [][]brisa.NodeID
+	var walk func(id brisa.NodeID, path []brisa.NodeID)
+	walk = func(id brisa.NodeID, path []brisa.NodeID) {
+		if state[id] == 2 {
+			return
+		}
+		if state[id] == 1 {
+			for i, n := range path {
+				if n == id {
+					cycles = append(cycles, append([]brisa.NodeID{}, path[i:]...))
+				}
+			}
+			return
+		}
+		state[id] = 1
+		for _, par := range parents[id] {
+			if _, alive := parents[par]; !alive {
+				continue // dead parent: hard repair territory, not a cycle
+			}
+			walk(par, append(path, id))
+		}
+		state[id] = 2
+	}
+	for id := range parents {
+		walk(id, nil)
+	}
+	return cycles
+}
+
+func TestKnownIssueSoftRepairCycleWithoutPiggyback(t *testing.T) {
+	c := newTestCluster(t, brisa.ClusterConfig{
+		Nodes: 64, Seed: 161,
+		PeerConfig: func(id brisa.NodeID) brisa.Config {
+			return brisa.Config{
+				Mode: brisa.ModeTree, ViewSize: 4,
+				// The piggyback stall detector papers over the cycle in the
+				// default config; the un-optimized variant exposes it.
+				DisablePiggyback: true,
+			}
+		},
+	})
+	c.Bootstrap()
+	source := c.Peers()[0]
+	publishStream(c, source, 1, 100, 200*time.Millisecond, 256)
+	c.Net.RunFor(5 * time.Second)
+	for round := 0; round < 4; round++ {
+		// Three crashes at the same virtual instant force concurrent soft
+		// repairs whose position knowledge is mutually stale.
+		c.CrashRandom(source.ID())
+		c.CrashRandom(source.ID())
+		c.CrashRandom(source.ID())
+		c.Net.RunFor(3 * time.Second)
+	}
+	c.Net.RunFor(100*200*time.Millisecond + 15*time.Second)
+
+	var longest []brisa.NodeID
+	for _, cyc := range parentCycles(c, 1) {
+		if len(cyc) > len(longest) {
+			longest = cyc
+		}
+	}
+	stalled := 0
+	for _, p := range c.AlivePeers() {
+		if p.DeliveredCount(1) < 100 {
+			stalled++
+		}
+	}
+	t.Logf("cycle=%v stalled=%d of %d alive", longest, stalled, len(c.AlivePeers()))
+
+	// The defect, pinned. A fix makes both checks fail — flip them then.
+	if len(longest) < 3 {
+		t.Fatalf("known soft-repair cycle no longer reproduces (longest cycle %v): "+
+			"if the repair protocol was fixed, flip this test to assert no cycles "+
+			"and update ROADMAP.md's residual-issues note", longest)
+	}
+	if stalled == 0 {
+		t.Fatal("known stall no longer reproduces: if the repair protocol was fixed, " +
+			"flip this test to assert full delivery and update ROADMAP.md")
+	}
+}

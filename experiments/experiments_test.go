@@ -272,3 +272,32 @@ func TestFigure14ShapeBrisaRecoversFaster(t *testing.T) {
 func fmtSscan(s string, f *float64) (int, error) {
 	return fmt.Sscan(s, f)
 }
+
+func TestFaultSweepShapeReliabilityHolds(t *testing.T) {
+	t.Parallel()
+	r := RunFaultSweep(0.25, 1)
+	if len(r.Table.Rows) != 5 {
+		t.Fatalf("want 5 loss points, got %d", len(r.Table.Rows))
+	}
+	// Graceful degradation: reliability must stay high across the whole
+	// sweep (gap recovery absorbs loss), and the injected-loss column must
+	// grow strictly with the configured rate.
+	prevLost := -1.0
+	for _, row := range r.Table.Rows {
+		var rel float64
+		if _, err := fmtSscan(strings.TrimSuffix(row[1], "%"), &rel); err != nil {
+			t.Fatalf("bad reliability cell %q: %v", row[1], err)
+		}
+		if rel < 95 {
+			t.Errorf("reliability %.2f%% at loss %s, want >= 95%%", rel, row[0])
+		}
+		var lost float64
+		if _, err := fmtSscan(row[6], &lost); err != nil {
+			t.Fatalf("bad injected-lost cell %q: %v", row[6], err)
+		}
+		if lost <= prevLost {
+			t.Errorf("injected losses should grow with the loss rate: %v then %v", prevLost, lost)
+		}
+		prevLost = lost
+	}
+}

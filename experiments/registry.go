@@ -24,6 +24,7 @@ func Registry() map[string]Runner {
 		"fig13":  func(s Scale, seed int64) fmt.Stringer { return RunFigure13(s, seed) },
 		"table2": func(s Scale, seed int64) fmt.Stringer { return RunTable2(s, seed) },
 		"fig14":  func(s Scale, seed int64) fmt.Stringer { return RunFigure14(s, seed) },
+		"faults": func(s Scale, seed int64) fmt.Stringer { return RunFaultSweep(s, seed) },
 	}
 }
 

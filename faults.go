@@ -1,0 +1,53 @@
+package brisa
+
+import "repro/internal/simnet"
+
+// FaultModel configures deterministic network-fault injection for simulated
+// scenarios; set it on Scenario.Faults (or ClusterConfig.Faults for direct
+// cluster work). Message loss, duplication and reorder probabilities apply
+// per message; Partitions blackhole traffic across a hashed node split for a
+// window; Buffer bounds each node's inbound service queue under a drop
+// policy. Every decision is a pure splitmix64 hash of (seed, directed pair,
+// per-node counter) — the same construction as the latency streams — so a
+// faulty run is byte-identical at every worker count and fully replayable
+// from its seed. The pack activates at dissemination start; bootstrap runs
+// clean.
+type FaultModel = simnet.FaultModel
+
+// Partition is one temporary network split: a hashed Fraction of nodes forms
+// the minority side, and traffic crossing the cut during [Start, End)
+// (offsets from dissemination start) is silently dropped at send time.
+// Asymmetric cuts only traffic into the minority.
+type Partition = simnet.Partition
+
+// BufferModel bounds each simulated node's inbound service queue at Capacity
+// messages; arrivals at a full buffer sacrifice a victim per Policy. Service
+// is the per-message CPU cost when the topology has no ProcessingDelay.
+type BufferModel = simnet.BufferModel
+
+// DropPolicy selects the victim of a full inbound buffer. (Distinct from
+// OverflowPolicy, which governs subscription queues on the consumer side.)
+type DropPolicy = simnet.DropPolicy
+
+// Drop policies for BufferModel.Policy. The Buffer prefix keeps them clear of
+// the subscription-side OverflowPolicy constants.
+const (
+	// BufferDropOldest evicts the longest-queued message: the buffer keeps
+	// the newest Capacity messages.
+	BufferDropOldest = simnet.DropOldest
+	// BufferDropNewest rejects the arriving message: the buffer keeps the
+	// oldest.
+	BufferDropNewest = simnet.DropNewest
+	// BufferDropRand sacrifices a hashed-uniform pick among queued +
+	// arriving.
+	BufferDropRand = simnet.DropRand
+)
+
+// ParseDropPolicy maps "oldest", "newest" or "rand" to the policy (CLI
+// flags).
+func ParseDropPolicy(s string) (DropPolicy, error) { return simnet.ParseDropPolicy(s) }
+
+// FaultStats counts the faults a run injected: losses, duplicate copies,
+// reorders and partition drops at the sending side, buffer drops at the
+// receiving side. Reported as Report.Faults.
+type FaultStats = simnet.FaultStats

@@ -49,6 +49,9 @@ type goldenCase struct {
 //   - blob: a chunked large-payload workload (K-of-N erasure coded)
 //     alongside a message stream — chunk relay over the emerged tree,
 //     Have/Want pull repair, reconstruction accounting.
+//   - lossy: the full fault pack — message loss, duplication, reorder, an
+//     asymmetric mid-run partition, and bounded inbound buffers — pinning
+//     the fault-injection hash streams and the Faults report section.
 func goldenCases() []goldenCase {
 	return []goldenCase{
 		{
@@ -143,6 +146,35 @@ func goldenCases() []goldenCase {
 					brisa.ProbeLatency, brisa.ProbeDuplicates, brisa.ProbeTraffic,
 				},
 				Drain: 8 * time.Second,
+			},
+		},
+		{
+			name: "lossy",
+			file: "testdata/golden_report_lossy.json",
+			sc: brisa.Scenario{
+				Name: "golden-lossy-1x64",
+				Seed: 19,
+				Topology: brisa.Topology{
+					Nodes: 64,
+					Peer:  brisa.Config{Mode: brisa.ModeTree, ViewSize: 4},
+				},
+				Workloads: []brisa.Workload{
+					{Stream: 1, Messages: 30, Payload: 256},
+				},
+				Faults: &brisa.FaultModel{
+					Loss:      0.05,
+					Duplicate: 0.03,
+					Reorder:   0.10,
+					Partitions: []brisa.Partition{
+						{Start: 1 * time.Second, End: 2 * time.Second, Fraction: 0.25, Asymmetric: true},
+					},
+					Buffer: &brisa.BufferModel{Capacity: 4, Policy: brisa.BufferDropOldest, Service: 2 * time.Millisecond},
+				},
+				Probes: []brisa.Probe{
+					brisa.ProbeLatency, brisa.ProbeDuplicates,
+					brisa.ProbeTraffic, brisa.ProbeRepairs,
+				},
+				Drain: 10 * time.Second,
 			},
 		},
 	}

@@ -197,6 +197,12 @@ const (
 	// EvBlobDropped: an incomplete blob was evicted by the MaxBlobs bound
 	// (Seq = blob id).
 	EvBlobDropped
+	// EvMsgDropped: the network dropped an inbound message at this node's
+	// full receive buffer (simulated fault injection; the protocol never
+	// saw the message — recovery paths must cover the hole). Emitted by
+	// the runtime harness, not by core itself: only the network knows what
+	// it dropped.
+	EvMsgDropped
 )
 
 // Event is one structural protocol event.

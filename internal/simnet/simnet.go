@@ -131,6 +131,11 @@ type Options struct {
 	// OnDeliver/OnEvent) run on shard goroutines and must be safe for
 	// concurrent use.
 	Workers int
+	// Faults, when set, enables deterministic fault injection (message
+	// loss/duplication/reorder, partitions, bounded inbound buffers). The
+	// pack activates when the phase first switches to PhaseDissemination;
+	// stabilization runs clean. See FaultModel.
+	Faults *FaultModel
 	// ParallelThreshold is the minimum number of events executed in the
 	// previous inter-barrier span for the next span to be fanned out to
 	// worker goroutines; sparser spans run inline on the coordinator
@@ -187,9 +192,17 @@ type simNode struct {
 
 	conns map[ids.NodeID]*halfConn
 
-	evSeq   uint64 // per-source event sequence counter (tie-break key)
-	latSeq  uint64 // latency draw counter (latency stream position)
-	dialSeq uint32 // connection token counter
+	evSeq    uint64 // per-source event sequence counter (tie-break key)
+	latSeq   uint64 // latency draw counter (latency stream position)
+	dialSeq  uint32 // connection token counter
+	faultSeq uint64 // sender-side fault draw counter (fault stream position)
+	dropSeq  uint64 // receiver-side DropRand draw counter
+
+	// inq tracks the arena indices of queued (arrived, awaiting CPU)
+	// inbound messages, in service order. Maintained only when a bounded
+	// buffer is configured; its length is the buffer occupancy.
+	inq    []int32
+	fstats FaultStats
 
 	egressFreeAt int64 // when the shared uplink next becomes idle
 	cpuFreeAt    int64 // when the receive path next becomes idle
@@ -205,6 +218,15 @@ type Network struct {
 	nodes map[ids.NodeID]*simNode
 	order []ids.NodeID // insertion order, for deterministic iteration
 	phase Phase
+
+	// Fault injection (see faults.go). faults is the Network's sanitized
+	// copy; faultsOn flips at the first switch to PhaseDissemination (a
+	// driver-context write, read by shards afterwards — same publication
+	// pattern as phase itself).
+	faults    *FaultModel
+	partSalts []uint64
+	faultsOn  bool
+	faultT0   int64
 
 	// Scheduler state (see sched.go). driver aliases shards[0] when
 	// Workers == 1.
@@ -280,6 +302,14 @@ func New(opts Options) *Network {
 	if n.parallelMin == 0 {
 		n.parallelMin = defaultParallelMin(workers)
 	}
+	if opts.Faults.Enabled() {
+		f := opts.Faults.sanitized()
+		n.faults = &f
+		n.partSalts = make([]uint64, len(f.Partitions))
+		for i := range n.partSalts {
+			n.partSalts[i] = mix64(uint64(opts.Seed) ^ fPartSalt ^ uint64(i)*0x9e3779b97f4a7c15)
+		}
+	}
 	n.shards = make([]*shard, workers)
 	for i := range n.shards {
 		n.shards[i] = newShard(n, i)
@@ -309,8 +339,16 @@ func Epoch() time.Time { return epoch }
 // context only (experiment callbacks, between runs).
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
-// SetPhase switches the bandwidth-accounting phase. Driver context only.
-func (n *Network) SetPhase(p Phase) { n.phase = p }
+// SetPhase switches the bandwidth-accounting phase. The first switch to
+// PhaseDissemination also activates the configured fault pack (partition
+// windows are measured from that instant). Driver context only.
+func (n *Network) SetPhase(p Phase) {
+	n.phase = p
+	if p == PhaseDissemination && n.faults != nil && !n.faultsOn {
+		n.faultsOn = true
+		n.faultT0 = n.driver.nowNS
+	}
+}
 
 // ------------------------------------------------------------- scheduling
 
@@ -372,10 +410,17 @@ func (n *Network) stepShard(s *shard) {
 }
 
 // deliver runs the receive path of a message event: connection-token check,
-// optional receiver-CPU queueing, accounting, handler dispatch.
+// bounded-buffer admission, optional receiver-CPU queueing, accounting,
+// handler dispatch.
 func (n *Network) deliver(s *shard, idx int32) {
 	ev := &s.events[idx]
 	to := ev.owner
+	trackInq := n.faults != nil && n.faults.Buffer != nil
+	if trackInq && ev.kind == evMsgReady {
+		// The queued message reached its service instant (or is vanishing
+		// with its connection): it no longer occupies the buffer.
+		to.inq = inqForget(to.inq, idx)
+	}
 	hc := to.conns[ev.from]
 	if hc == nil || hc.tokD != ev.tokD || hc.tokN != ev.tokN {
 		// The connection this message traveled on is gone (closed, crashed,
@@ -383,12 +428,23 @@ func (n *Network) deliver(s *shard, idx int32) {
 		s.release(idx)
 		return
 	}
-	if n.opts.ProcessingDelay != nil && ev.kind == evMsg {
+	fixedSvc := n.faultsOn && trackInq && n.opts.ProcessingDelay == nil
+	if ev.kind == evMsg && (n.opts.ProcessingDelay != nil || fixedSvc) {
+		if n.faultsOn && trackInq && !n.bufAdmit(s, to) {
+			// A full buffer sacrificed the arriving message.
+			s.release(idx)
+			return
+		}
 		// Receiver CPU: service starts when both the message has arrived
 		// and the CPU is idle. Requeue the same slot at the service
 		// completion instant (the (src, seq) key is kept, so per-sender
 		// FIFO order survives the requeue).
-		d := n.opts.ProcessingDelay(to.delayRng)
+		var d time.Duration
+		if n.opts.ProcessingDelay != nil {
+			d = n.opts.ProcessingDelay(to.delayRng)
+		} else {
+			d = n.faults.Buffer.Service
+		}
 		if d < 0 {
 			d = 0
 		}
@@ -402,6 +458,9 @@ func (n *Network) deliver(s *shard, idx int32) {
 			ev.kind = evMsgReady
 			ev.at = svc
 			s.heapPush(idx)
+			if trackInq {
+				to.inq = append(to.inq, idx)
+			}
 			return
 		}
 	}
@@ -585,6 +644,7 @@ func (n *Network) Crash(id ids.NodeID) {
 	}
 	sn.alive = false
 	n.removeOwnedEvents(sn)
+	sn.inq = sn.inq[:0] // the tracked queued deliveries died with the node
 	n.dropConnsOf(sn, ErrPeerCrashed, n.opts.DetectDelay)
 }
 
@@ -599,6 +659,7 @@ func (n *Network) Shutdown(id ids.NodeID) {
 	sn.handler.Stop()
 	sn.alive = false
 	n.removeOwnedEvents(sn)
+	sn.inq = sn.inq[:0]
 	n.dropConnsOf(sn, ErrPeerClosed, 0)
 }
 
@@ -845,13 +906,25 @@ func (e *env) Send(to ids.NodeID, m wire.Message) {
 		arrive = hc.sendFloor
 	}
 	hc.sendFloor = arrive
-	// Typed delivery event: the hot path allocates nothing once the arena
-	// is warm (and, cross-shard, nothing beyond mailbox growth).
-	net.scheduleNode(self, peer.shard, event{
+	ev := event{
 		at: arrive, kind: evMsg, owner: peer, from: self.id, msg: m,
 		tokD: hc.tokD, tokN: hc.tokN,
 		size: int32(size), phase: phase, cls: cls,
-	})
+	}
+	if net.faultsOn {
+		// Faults apply after floor and egress accounting, so connection
+		// state evolves exactly as if the message had been delivered; only
+		// the delivery itself is dropped, delayed past the floor (reorder)
+		// or doubled. See faults.go.
+		at, ok := net.applyFaults(self, peer, arrive, ev)
+		if !ok {
+			return
+		}
+		ev.at = at
+	}
+	// Typed delivery event: the hot path allocates nothing once the arena
+	// is warm (and, cross-shard, nothing beyond mailbox growth).
+	net.scheduleNode(self, peer.shard, ev)
 }
 
 var _ node.Env = (*env)(nil)

@@ -165,6 +165,25 @@ type ChurnReport struct {
 	HardDelays *Dist
 }
 
+// FaultsReport summarizes the deterministic fault injection of a run
+// (Scenario.Faults): the configured intensities, echoed so persisted reports
+// are self-describing, and the number of faults actually injected. Fault
+// sweeps (experiments/faults.go) chain these into reliability/latency/
+// overhead-vs-intensity curves, like the paper's churn figures.
+type FaultsReport struct {
+	// Loss, Duplicate and Reorder are the configured per-message
+	// probabilities.
+	Loss, Duplicate, Reorder float64
+	// Partitions is the number of configured partition windows.
+	Partitions int
+	// BufferCapacity is the inbound-buffer bound (0 = unbounded), and
+	// BufferPolicy its drop policy name.
+	BufferCapacity int
+	BufferPolicy   string
+	// Injected counts the faults the run actually injected.
+	Injected FaultStats
+}
+
 // Report is the outcome of one scenario run, with per-stream results and
 // CDF/table renderers. The same shape comes back from both runtimes.
 type Report struct {
@@ -194,6 +213,8 @@ type Report struct {
 	Traffic *TrafficReport
 	// Churn is set when the scenario had churn and probed repairs.
 	Churn *ChurnReport
+	// Faults is set when the run injected faults (Scenario.Faults).
+	Faults *FaultsReport
 }
 
 // Stream returns the report for a stream, or nil.
@@ -325,6 +346,16 @@ func (r *Report) String() string {
 			r.Churn.Window, r.Churn.ParentsLostPerMin, r.Churn.OrphansPerMin,
 			r.Churn.SoftPct, r.Churn.HardPct)
 	}
+	if f := r.Faults; f != nil {
+		fmt.Fprintf(&b, "faults: loss=%.1f%% dup=%.1f%% reorder=%.1f%% partitions=%d",
+			100*f.Loss, 100*f.Duplicate, 100*f.Reorder, f.Partitions)
+		if f.BufferCapacity > 0 {
+			fmt.Fprintf(&b, " buffer=%d/%s", f.BufferCapacity, f.BufferPolicy)
+		}
+		i := f.Injected
+		fmt.Fprintf(&b, " | injected: lost=%d dup=%d reordered=%d partition-dropped=%d buffer-dropped=%d\n",
+			i.Lost, i.Duplicated, i.Reordered, i.PartitionDropped, i.BufferDropped)
+	}
 	return b.String()
 }
 
@@ -384,6 +415,19 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		HardPct           float64   `json:"hard_pct"`
 		HardDelays        *jsonDist `json:"hard_delays_s,omitempty"`
 	}
+	type jsonFaults struct {
+		Loss             float64 `json:"loss"`
+		Duplicate        float64 `json:"duplicate"`
+		Reorder          float64 `json:"reorder"`
+		Partitions       int     `json:"partitions,omitempty"`
+		BufferCapacity   int     `json:"buffer_capacity,omitempty"`
+		BufferPolicy     string  `json:"buffer_policy,omitempty"`
+		Lost             uint64  `json:"lost"`
+		Duplicated       uint64  `json:"duplicated"`
+		Reordered        uint64  `json:"reordered"`
+		PartitionDropped uint64  `json:"partition_dropped"`
+		BufferDropped    uint64  `json:"buffer_dropped"`
+	}
 	out := struct {
 		Name      string       `json:"name"`
 		Runtime   string       `json:"runtime"`
@@ -396,6 +440,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Blobs     []jsonBlob   `json:"blobs,omitempty"`
 		Traffic   *jsonTraffic `json:"traffic,omitempty"`
 		Churn     *jsonChurn   `json:"churn,omitempty"`
+		Faults    *jsonFaults  `json:"faults,omitempty"`
 	}{
 		Name:      r.Name,
 		Runtime:   r.Runtime,
@@ -447,6 +492,21 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			SoftPct:           r.Churn.SoftPct,
 			HardPct:           r.Churn.HardPct,
 			HardDelays:        distJSON(r.Churn.HardDelays),
+		}
+	}
+	if f := r.Faults; f != nil {
+		out.Faults = &jsonFaults{
+			Loss:             f.Loss,
+			Duplicate:        f.Duplicate,
+			Reorder:          f.Reorder,
+			Partitions:       f.Partitions,
+			BufferCapacity:   f.BufferCapacity,
+			BufferPolicy:     f.BufferPolicy,
+			Lost:             f.Injected.Lost,
+			Duplicated:       f.Injected.Duplicated,
+			Reordered:        f.Injected.Reordered,
+			PartitionDropped: f.Injected.PartitionDropped,
+			BufferDropped:    f.Injected.BufferDropped,
 		}
 	}
 	return json.Marshal(out)

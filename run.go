@@ -645,6 +645,7 @@ func (rt SimRuntime) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	c := rt.Cluster
 	if c == nil {
 		cfg := sc.Topology.clusterConfig(sc.Seed)
+		cfg.Faults = sc.Faults
 		cfg.Workers = rt.Workers
 		var err error
 		if c, err = NewCluster(cfg); err != nil {
@@ -696,6 +697,11 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	if sc.Faults != nil && c.cfg.Faults == nil {
+		// Fault injection lives in the simulator's send/receive paths and is
+		// wired at construction; a pre-built cluster cannot adopt it late.
+		return nil, fmt.Errorf("brisa: Scenario %q has Faults, but the cluster was built without them: set ClusterConfig.Faults (or let the runtime build the cluster)", sc.Name)
+	}
 	for i, w := range sc.Workloads {
 		if w.Source >= len(c.order) {
 			return nil, fmt.Errorf("brisa: Scenario %q: workload %d sources from node index %d, cluster has %d nodes",
@@ -730,6 +736,10 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 		for _, id := range c.order {
 			usageBase[id] = c.Net.Usage(id)
 		}
+	}
+	var faultsBase FaultStats
+	if c.cfg.Faults != nil {
+		faultsBase = c.Net.FaultStats()
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -916,6 +926,21 @@ func (c *Cluster) runScenario(ctx context.Context, sc Scenario) (*Report, error)
 			cr.HardPct = 100 * hard / (soft + hard)
 		}
 		rep.Churn = cr
+	}
+
+	if f := c.cfg.Faults; f != nil {
+		fr := &FaultsReport{
+			Loss:       f.Loss,
+			Duplicate:  f.Duplicate,
+			Reorder:    f.Reorder,
+			Partitions: len(f.Partitions),
+			Injected:   c.Net.FaultStats().Delta(faultsBase),
+		}
+		if f.Buffer != nil {
+			fr.BufferCapacity = f.Buffer.Capacity
+			fr.BufferPolicy = f.Buffer.Policy.String()
+		}
+		rep.Faults = fr
 	}
 
 	rep.Wall = time.Since(wallStart)

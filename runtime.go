@@ -48,6 +48,12 @@ func Run(ctx context.Context, rt Runtime, sc Scenario) (*Report, error) {
 			return nil, fmt.Errorf("brisa: Scenario %q has blob workloads, but runtime %q does not support blobs", sc.Name, rt.Name())
 		}
 	}
+	if sc.Faults != nil {
+		fc, ok := rt.(FaultCapable)
+		if !ok || !fc.SupportsFaults() {
+			return nil, fmt.Errorf("brisa: Scenario %q has fault injection, but runtime %q does not support it (faults are simulated; real wires bring their own)", sc.Name, rt.Name())
+		}
+	}
 	rep, err := rt.Run(ctx, sc.withDefaults())
 	if err != nil {
 		return nil, err
@@ -63,6 +69,15 @@ func Run(ctx context.Context, rt Runtime, sc Scenario) (*Report, error) {
 type BlobCapable interface {
 	// SupportsBlobs reports whether the runtime executes BlobWorkloads.
 	SupportsBlobs() bool
+}
+
+// FaultCapable marks runtimes that execute Scenario.Faults. Run refuses a
+// faulty scenario on a runtime that does not implement it (or that reports
+// false) — only the simulator does: fault injection lives in the simulated
+// send/receive paths, and real wires bring their own faults.
+type FaultCapable interface {
+	// SupportsFaults reports whether the runtime injects Scenario.Faults.
+	SupportsFaults() bool
 }
 
 // SimRuntime runs scenarios on the deterministic discrete-event simulator:
@@ -94,6 +109,9 @@ func (SimRuntime) Name() string { return "sim" }
 // SupportsBlobs implements BlobCapable.
 func (SimRuntime) SupportsBlobs() bool { return true }
 
+// SupportsFaults implements FaultCapable.
+func (SimRuntime) SupportsFaults() bool { return true }
+
 // NewCluster builds the simulated cluster this runtime's Run would build
 // for the scenario — topology, seed and Workers applied, not yet
 // bootstrapped. Use it when the cluster must outlive the run (reading
@@ -108,6 +126,7 @@ func (rt SimRuntime) NewCluster(sc Scenario) (*Cluster, error) {
 		return nil, err
 	}
 	cfg := sc.Topology.clusterConfig(sc.Seed)
+	cfg.Faults = sc.Faults
 	cfg.Workers = rt.Workers
 	return NewCluster(cfg)
 }

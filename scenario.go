@@ -245,6 +245,13 @@ type Scenario struct {
 	BlobWorkloads []BlobWorkload
 	// Churn, when set, runs a churn trace during dissemination.
 	Churn *Churn
+	// Faults, when set, injects deterministic network faults — message
+	// loss/duplication/reorder, partitions, bounded inbound buffers —
+	// during dissemination (bootstrap runs clean). Partition windows are
+	// offsets from dissemination start, like workload Start times.
+	// Simulator only: the live and distributed runtimes reject faulty
+	// scenarios (real wires bring their own faults). See FaultModel.
+	Faults *FaultModel
 	// Probes selects measurements (default: latency and duplicates).
 	Probes []Probe
 	// Drain is how long the run continues after the last publish and the
@@ -350,6 +357,20 @@ func (sc Scenario) Validate() error {
 			return err
 		}
 	}
+	if sc.Faults != nil {
+		if err := sc.Faults.Validate(); err != nil {
+			return fmt.Errorf("brisa: Scenario %q: %w", sc.Name, err)
+		}
+		// Like the churn window, partition windows must fit the scenario:
+		// a partition must close before the drain starts, so repairs get
+		// the drain to finish.
+		for i, p := range sc.Faults.Partitions {
+			if p.End > sc.end() {
+				return fmt.Errorf("brisa: Scenario %q: faults: partition %d window ends at %v, past the scenario end %v",
+					sc.Name, i, p.End, sc.end())
+			}
+		}
+	}
 	return nil
 }
 
@@ -394,7 +415,9 @@ func (sc Scenario) NewCluster() (*Cluster, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	return NewCluster(sc.Topology.clusterConfig(sc.Seed))
+	cfg := sc.Topology.clusterConfig(sc.Seed)
+	cfg.Faults = sc.Faults
+	return NewCluster(cfg)
 }
 
 // RunSim executes the scenario on a fresh simulated cluster.

@@ -160,6 +160,36 @@ func TestScenarioValidateErrors(t *testing.T) {
 		{"churn zero interval", func(sc *brisa.Scenario) {
 			sc.Churn = &brisa.Churn{Script: "from 0s to 5s const churn 3% each 0s"}
 		}},
+		{"fault loss probability 1", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Loss: 1}
+		}},
+		{"fault negative duplicate probability", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Duplicate: -0.1}
+		}},
+		{"fault reorder probability above 1", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Reorder: 1.5}
+		}},
+		{"fault empty partition window", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Partitions: []brisa.Partition{
+				{Start: time.Second, End: time.Second, Fraction: 0.5},
+			}}
+		}},
+		{"fault partition fraction out of range", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Partitions: []brisa.Partition{
+				{Start: 0, End: time.Second, Fraction: 1},
+			}}
+		}},
+		{"fault partition window past scenario end", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Partitions: []brisa.Partition{
+				{Start: 0, End: 240 * time.Hour, Fraction: 0.5},
+			}}
+		}},
+		{"fault buffer capacity zero", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Buffer: &brisa.BufferModel{Capacity: 0}}
+		}},
+		{"fault unknown drop policy", func(sc *brisa.Scenario) {
+			sc.Faults = &brisa.FaultModel{Buffer: &brisa.BufferModel{Capacity: 8, Policy: brisa.DropPolicy(9)}}
+		}},
 	}
 	for _, tc := range cases {
 		sc := ok
